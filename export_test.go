@@ -1,0 +1,9 @@
+package parapsp
+
+import "parapsp/internal/core"
+
+// coreOptionsForTest gives parapsp_test.go a core.Options value without
+// importing the internal package in the public-facing test file.
+func coreOptionsForTest() core.Options {
+	return core.Options{Workers: 2, PaperQueue: true}
+}

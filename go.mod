@@ -1,0 +1,3 @@
+module parapsp
+
+go 1.22

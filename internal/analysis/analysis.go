@@ -1,0 +1,300 @@
+// Package analysis derives the complex-network statistics that motivate
+// the paper's introduction — eccentricity, diameter, radius, average path
+// length, closeness and harmonic centrality, reachability — from an APSP
+// distance matrix, plus connected-component decomposition computed
+// directly on the graph. These are the downstream consumers a user of the
+// APSP library actually runs it for.
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+// Eccentricities returns, per vertex, the maximum finite shortest-path
+// distance to any other vertex. A vertex that reaches no other vertex has
+// eccentricity 0; unreachable vertices are ignored, the convention used
+// for disconnected real-world graphs.
+func Eccentricities(D *matrix.Matrix) []matrix.Dist {
+	n := D.N()
+	ecc := make([]matrix.Dist, n)
+	for i := 0; i < n; i++ {
+		row := D.Row(i)
+		var e matrix.Dist
+		for j, d := range row {
+			if j != i && d != matrix.Inf && d > e {
+				e = d
+			}
+		}
+		ecc[i] = e
+	}
+	return ecc
+}
+
+// Diameter returns the maximum eccentricity: the longest shortest path in
+// the graph (over reachable pairs). Zero for an empty or edgeless graph.
+func Diameter(D *matrix.Matrix) matrix.Dist {
+	var diam matrix.Dist
+	for _, e := range Eccentricities(D) {
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// Radius returns the minimum non-zero eccentricity — the eccentricity of
+// the most central vertex. Vertices that reach nothing are skipped; zero
+// is returned if every vertex is isolated.
+func Radius(D *matrix.Matrix) matrix.Dist {
+	r := matrix.Inf
+	for _, e := range Eccentricities(D) {
+		if e > 0 && e < r {
+			r = e
+		}
+	}
+	if r == matrix.Inf {
+		return 0
+	}
+	return r
+}
+
+// AveragePathLength returns the mean shortest-path distance over all
+// ordered reachable pairs (i, j), i != j. NaN for graphs with no such pair.
+func AveragePathLength(D *matrix.Matrix) float64 {
+	n := D.N()
+	var sum float64
+	var count int64
+	for i := 0; i < n; i++ {
+		row := D.Row(i)
+		for j, d := range row {
+			if j != i && d != matrix.Inf {
+				sum += float64(d)
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return sum / float64(count)
+}
+
+// Closeness returns the Wasserman–Faust closeness centrality of every
+// vertex: ((r-1)/(n-1)) * ((r-1)/S) where r is the number of vertices the
+// vertex reaches (including itself) and S the sum of distances to them.
+// The correction factor makes scores comparable across components of a
+// disconnected graph. Vertices reaching nothing score 0.
+func Closeness(D *matrix.Matrix) []float64 {
+	n := D.N()
+	out := make([]float64, n)
+	if n <= 1 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		row := D.Row(i)
+		var sum float64
+		reach := 0
+		for j, d := range row {
+			if j != i && d != matrix.Inf {
+				sum += float64(d)
+				reach++
+			}
+		}
+		if reach == 0 || sum == 0 {
+			continue
+		}
+		r := float64(reach)
+		out[i] = (r / float64(n-1)) * (r / sum)
+	}
+	return out
+}
+
+// Harmonic returns the harmonic centrality of every vertex: the sum of
+// reciprocal distances to all other vertices, with 1/Inf = 0. Unlike
+// closeness it needs no disconnection correction.
+func Harmonic(D *matrix.Matrix) []float64 {
+	n := D.N()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := D.Row(i)
+		var sum float64
+		for j, d := range row {
+			if j != i && d != matrix.Inf && d > 0 {
+				sum += 1 / float64(d)
+			}
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// ReachableCounts returns, per vertex, the number of vertices it reaches
+// (excluding itself).
+func ReachableCounts(D *matrix.Matrix) []int {
+	n := D.N()
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := D.Row(i)
+		c := 0
+		for j, d := range row {
+			if j != i && d != matrix.Inf {
+				c++
+			}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// TopK returns the indices of the k largest values, ties broken by lower
+// index, sorted by decreasing value. k is clamped to len(values).
+func TopK(values []float64, k int) []int {
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return idx[:k]
+}
+
+// Components labels the weakly connected components of g: comp[v] is the
+// component id of v (ids are dense, assigned in order of lowest member).
+// For undirected graphs weak and strong components coincide.
+func Components(g *graph.Graph) []int {
+	n := g.N()
+	// Weak connectivity needs both edge directions; build the reverse
+	// adjacency only if the graph is directed.
+	var rev *graph.Graph
+	if !g.Undirected() {
+		rev = g.Transpose()
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	queue := make([]int32, 0, 64)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := next
+		next++
+		comp[s] = id
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.Neighbors(u) {
+				if comp[v] < 0 {
+					comp[v] = id
+					queue = append(queue, v)
+				}
+			}
+			if rev != nil {
+				for _, v := range rev.Neighbors(u) {
+					if comp[v] < 0 {
+						comp[v] = id
+						queue = append(queue, v)
+					}
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// ComponentSizes returns the size of each component id in comp.
+func ComponentSizes(comp []int) []int {
+	max := -1
+	for _, c := range comp {
+		if c > max {
+			max = c
+		}
+	}
+	sizes := make([]int, max+1)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	return sizes
+}
+
+// LargestComponent returns the vertices of the largest weakly connected
+// component (ties broken by lowest component id).
+func LargestComponent(g *graph.Graph) []int32 {
+	comp := Components(g)
+	sizes := ComponentSizes(comp)
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	var out []int32
+	for v, c := range comp {
+		if c == best {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// DegreeStats summarizes a degree histogram for reporting: count of
+// vertices, arc total, min/max/mean degree.
+type DegreeStats struct {
+	Vertices int
+	Arcs     int64
+	Min, Max int
+	Mean     float64
+}
+
+// Degrees computes DegreeStats for g.
+func Degrees(g *graph.Graph) DegreeStats {
+	min, max := g.MinMaxDegree()
+	st := DegreeStats{Vertices: g.N(), Arcs: g.NumArcs(), Min: min, Max: max}
+	if st.Vertices > 0 {
+		st.Mean = float64(st.Arcs) / float64(st.Vertices)
+	}
+	return st
+}
+
+// Assortativity returns the degree assortativity coefficient (Newman):
+// the Pearson correlation of the degrees at either end of each edge,
+// in [-1, 1]. Social networks tend positive (hubs link to hubs);
+// technological and biological networks, and preferential-attachment
+// models, tend negative. NaN when degenerate (no edges or zero variance).
+func Assortativity(g *graph.Graph) float64 {
+	var sx, sy, sxy, sxx, syy float64
+	var m float64
+	for u := int32(0); u < int32(g.N()); u++ {
+		du := float64(g.OutDegree(u))
+		for _, v := range g.Neighbors(u) {
+			dv := float64(g.OutDegree(v))
+			sx += du
+			sy += dv
+			sxy += du * dv
+			sxx += du * du
+			syy += dv * dv
+			m++
+		}
+	}
+	if m == 0 {
+		return math.NaN()
+	}
+	num := sxy/m - (sx/m)*(sy/m)
+	den := math.Sqrt(sxx/m-(sx/m)*(sx/m)) * math.Sqrt(syy/m-(sy/m)*(sy/m))
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}

@@ -1,0 +1,308 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"parapsp/internal/baseline"
+	"parapsp/internal/gen"
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+// pathD returns the APSP matrix of an undirected path 0-1-...-(n-1).
+func pathD(t *testing.T, n int) *matrix.Matrix {
+	t.Helper()
+	var pairs [][2]int32
+	for i := 0; i < n-1; i++ {
+		pairs = append(pairs, [2]int32{int32(i), int32(i + 1)})
+	}
+	g, err := graph.FromPairs(n, true, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return baseline.FloydWarshall(g)
+}
+
+func TestEccentricitiesPath(t *testing.T) {
+	D := pathD(t, 5) // path 0-1-2-3-4
+	want := []matrix.Dist{4, 3, 2, 3, 4}
+	got := Eccentricities(D)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ecc[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDiameterRadiusPath(t *testing.T) {
+	D := pathD(t, 5)
+	if d := Diameter(D); d != 4 {
+		t.Errorf("diameter = %d, want 4", d)
+	}
+	if r := Radius(D); r != 2 {
+		t.Errorf("radius = %d, want 2", r)
+	}
+}
+
+func TestDiameterCompleteGraph(t *testing.T) {
+	g, err := gen.ErdosRenyiGNP(6, 1, true, 1, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	D := baseline.FloydWarshall(g)
+	if d := Diameter(D); d != 1 {
+		t.Errorf("K6 diameter = %d, want 1", d)
+	}
+	if r := Radius(D); r != 1 {
+		t.Errorf("K6 radius = %d, want 1", r)
+	}
+}
+
+func TestAveragePathLengthPath3(t *testing.T) {
+	// Path 0-1-2: ordered pairs distances 1,1,1,1,2,2 -> mean 8/6.
+	D := pathD(t, 3)
+	want := 8.0 / 6.0
+	if got := AveragePathLength(D); math.Abs(got-want) > 1e-12 {
+		t.Errorf("APL = %g, want %g", got, want)
+	}
+}
+
+func TestAveragePathLengthNoPairs(t *testing.T) {
+	g, err := graph.FromPairs(3, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	D := baseline.FloydWarshall(g)
+	if got := AveragePathLength(D); !math.IsNaN(got) {
+		t.Errorf("APL of edgeless graph = %g, want NaN", got)
+	}
+}
+
+func TestClosenessStar(t *testing.T) {
+	// Star: hub 0, leaves 1..4. Hub closeness 1, leaf = (4/4)*(4/7).
+	var pairs [][2]int32
+	for i := int32(1); i < 5; i++ {
+		pairs = append(pairs, [2]int32{0, i})
+	}
+	g, err := graph.FromPairs(5, true, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	D := baseline.FloydWarshall(g)
+	c := Closeness(D)
+	if math.Abs(c[0]-1.0) > 1e-12 {
+		t.Errorf("hub closeness = %g, want 1", c[0])
+	}
+	wantLeaf := 4.0 / 7.0
+	for i := 1; i < 5; i++ {
+		if math.Abs(c[i]-wantLeaf) > 1e-12 {
+			t.Errorf("leaf %d closeness = %g, want %g", i, c[i], wantLeaf)
+		}
+	}
+}
+
+func TestClosenessDisconnectedCorrection(t *testing.T) {
+	// Two K2 components in a 4-vertex graph: each vertex reaches 1 other
+	// at distance 1 -> closeness (1/3)*(1/1) = 1/3 < within-component 1.
+	g, err := graph.FromPairs(4, true, [][2]int32{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Closeness(baseline.FloydWarshall(g))
+	for i, v := range c {
+		if math.Abs(v-1.0/3.0) > 1e-12 {
+			t.Errorf("closeness[%d] = %g, want 1/3", i, v)
+		}
+	}
+}
+
+func TestClosenessIsolated(t *testing.T) {
+	g, err := graph.FromPairs(2, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Closeness(baseline.FloydWarshall(g))
+	if c[0] != 0 || c[1] != 0 {
+		t.Errorf("isolated closeness = %v", c)
+	}
+	one, err := graph.FromPairs(1, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Closeness(baseline.FloydWarshall(one)); got[0] != 0 {
+		t.Errorf("singleton closeness = %v", got)
+	}
+}
+
+func TestHarmonicStar(t *testing.T) {
+	var pairs [][2]int32
+	for i := int32(1); i < 5; i++ {
+		pairs = append(pairs, [2]int32{0, i})
+	}
+	g, err := graph.FromPairs(5, true, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Harmonic(baseline.FloydWarshall(g))
+	if math.Abs(h[0]-4.0) > 1e-12 {
+		t.Errorf("hub harmonic = %g, want 4", h[0])
+	}
+	wantLeaf := 1.0 + 3.0/2.0
+	if math.Abs(h[1]-wantLeaf) > 1e-12 {
+		t.Errorf("leaf harmonic = %g, want %g", h[1], wantLeaf)
+	}
+}
+
+func TestReachableCountsDirected(t *testing.T) {
+	g, err := graph.FromPairs(3, false, [][2]int32{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ReachableCounts(baseline.FloydWarshall(g))
+	want := []int{2, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("reach[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	vals := []float64{0.3, 0.9, 0.1, 0.9, 0.5}
+	got := TopK(vals, 3)
+	want := []int{1, 3, 4} // stable: index 1 before 3
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	if len(TopK(vals, 99)) != 5 {
+		t.Error("k > len not clamped")
+	}
+	if len(TopK(vals, -1)) != 0 {
+		t.Error("negative k not clamped")
+	}
+}
+
+func TestComponentsUndirected(t *testing.T) {
+	g, err := graph.FromPairs(6, true, [][2]int32{{0, 1}, {1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := Components(g)
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("component split: %v", comp)
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] {
+		t.Errorf("components merged: %v", comp)
+	}
+	if comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Errorf("isolated vertex joined: %v", comp)
+	}
+	sizes := ComponentSizes(comp)
+	if len(sizes) != 3 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if sizes[comp[0]] != 3 || sizes[comp[3]] != 2 || sizes[comp[5]] != 1 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestComponentsDirectedWeak(t *testing.T) {
+	// 0 -> 1 <- 2 is weakly connected even though not strongly.
+	g, err := graph.FromPairs(3, false, [][2]int32{{0, 1}, {2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := Components(g)
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("weak connectivity broken: %v", comp)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g, err := graph.FromPairs(6, true, [][2]int32{{0, 1}, {1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := LargestComponent(g)
+	if len(lc) != 3 || lc[0] != 0 || lc[1] != 1 || lc[2] != 2 {
+		t.Errorf("largest component = %v", lc)
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g, err := graph.FromPairs(4, true, [][2]int32{{0, 1}, {0, 2}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Degrees(g)
+	if st.Vertices != 4 || st.Arcs != 6 || st.Min != 1 || st.Max != 3 || st.Mean != 1.5 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEmptyMatrixAnalyses(t *testing.T) {
+	D := matrix.New(0)
+	if Diameter(D) != 0 || Radius(D) != 0 {
+		t.Error("empty diameter/radius non-zero")
+	}
+	if len(Eccentricities(D)) != 0 || len(Closeness(D)) != 0 || len(Harmonic(D)) != 0 {
+		t.Error("empty analyses returned entries")
+	}
+}
+
+func TestAssortativityStarNegative(t *testing.T) {
+	// A star is maximally disassortative: degree-1 leaves link only to
+	// the hub. r = -1.
+	var pairs [][2]int32
+	for i := int32(1); i < 6; i++ {
+		pairs = append(pairs, [2]int32{0, i})
+	}
+	g, err := graph.FromPairs(6, true, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Assortativity(g); math.Abs(r+1) > 1e-9 {
+		t.Errorf("star assortativity = %g, want -1", r)
+	}
+}
+
+func TestAssortativityRegularNaN(t *testing.T) {
+	// A cycle is degree-regular: zero variance, undefined correlation.
+	var pairs [][2]int32
+	for i := 0; i < 6; i++ {
+		pairs = append(pairs, [2]int32{int32(i), int32((i + 1) % 6)})
+	}
+	g, err := graph.FromPairs(6, true, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Assortativity(g); !math.IsNaN(r) {
+		t.Errorf("regular graph assortativity = %g, want NaN", r)
+	}
+}
+
+func TestAssortativityRange(t *testing.T) {
+	g, err := gen.BarabasiAlbert(500, 3, 41, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Assortativity(g)
+	if math.IsNaN(r) || r < -1 || r > 1 {
+		t.Errorf("BA assortativity = %g", r)
+	}
+	// Preferential attachment is known to be non-assortative to
+	// disassortative; it must not come out strongly positive.
+	if r > 0.3 {
+		t.Errorf("BA assortativity suspiciously positive: %g", r)
+	}
+}
+
+func TestAssortativityEmpty(t *testing.T) {
+	g, _ := graph.FromPairs(3, true, nil)
+	if r := Assortativity(g); !math.IsNaN(r) {
+		t.Errorf("edgeless assortativity = %g, want NaN", r)
+	}
+}

@@ -1,0 +1,340 @@
+package analysis
+
+import (
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+	"parapsp/internal/sched"
+)
+
+// Betweenness computes exact betweenness centrality for an *unweighted*
+// graph with Brandes' algorithm (one BFS + dependency accumulation per
+// source), parallelized over sources the same way the paper parallelizes
+// its SSSP runs: independent per-source searches with per-worker scratch,
+// dynamic-cyclic scheduling. For undirected graphs scores are halved, the
+// usual convention. It panics on weighted graphs (a weighted Brandes needs
+// a priority queue; out of scope here).
+func Betweenness(g *graph.Graph, workers int) []float64 {
+	if g.Weighted() {
+		panic("analysis: Betweenness requires an unweighted graph")
+	}
+	n := g.N()
+	bc := make([]float64, n)
+
+	type scratch struct {
+		dist  []int32
+		sigma []float64 // shortest-path counts
+		delta []float64 // dependency accumulator
+		queue []int32
+		local []float64 // per-worker betweenness accumulator
+	}
+	workers = sched.Workers(workers)
+	scratches := make([]*scratch, workers)
+
+	sched.ParallelWorkers(n, workers, sched.DynamicCyclic, func(w, si int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = &scratch{
+				dist:  make([]int32, n),
+				sigma: make([]float64, n),
+				delta: make([]float64, n),
+				queue: make([]int32, 0, n),
+				local: make([]float64, n),
+			}
+			scratches[w] = sc
+		}
+		s := int32(si)
+		for i := 0; i < n; i++ {
+			sc.dist[i] = -1
+			sc.sigma[i] = 0
+			sc.delta[i] = 0
+		}
+		sc.dist[s] = 0
+		sc.sigma[s] = 1
+		q := sc.queue[:0]
+		q = append(q, s)
+		for head := 0; head < len(q); head++ {
+			v := q[head]
+			dv := sc.dist[v]
+			for _, t := range g.Neighbors(v) {
+				if sc.dist[t] < 0 {
+					sc.dist[t] = dv + 1
+					q = append(q, t)
+				}
+				if sc.dist[t] == dv+1 {
+					sc.sigma[t] += sc.sigma[v]
+				}
+			}
+		}
+		// Dependency accumulation in reverse BFS order. Scanning v's
+		// out-neighbors t with dist[t] == dist[v]+1 enumerates exactly
+		// the vertices v is a predecessor of; reverse BFS order
+		// guarantees their deltas are already final.
+		for i := len(q) - 1; i >= 0; i-- {
+			v := q[i]
+			dv := sc.dist[v]
+			for _, t := range g.Neighbors(v) {
+				if sc.dist[t] == dv+1 && sc.sigma[t] > 0 {
+					sc.delta[v] += sc.sigma[v] / sc.sigma[t] * (1 + sc.delta[t])
+				}
+			}
+			if v != s {
+				sc.local[v] += sc.delta[v]
+			}
+		}
+		sc.queue = q
+	})
+
+	// Workers have finished (ParallelWorkers waits), so their private
+	// accumulators can be merged without locking.
+	for _, sc := range scratches {
+		if sc == nil {
+			continue
+		}
+		for v, x := range sc.local {
+			bc[v] += x
+		}
+	}
+	if g.Undirected() {
+		for v := range bc {
+			bc[v] /= 2
+		}
+	}
+	return bc
+}
+
+// SCC computes strongly connected components with an iterative Tarjan
+// algorithm (explicit stack, so million-vertex graphs cannot overflow the
+// goroutine stack). comp[v] is the component id of v; ids are dense and
+// assigned in reverse topological order of the condensation (a property of
+// Tarjan's algorithm). Undirected graphs simply get their connected
+// components.
+func SCC(g *graph.Graph) []int {
+	n := g.N()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int32
+	next := int32(0)
+	nComp := 0
+
+	type frame struct {
+		v    int32
+		edge int // next adjacency offset to explore
+	}
+	var call []frame
+
+	for s := 0; s < n; s++ {
+		if index[s] != unvisited {
+			continue
+		}
+		call = call[:0]
+		call = append(call, frame{v: int32(s)})
+		index[s] = next
+		low[s] = next
+		next++
+		stack = append(stack, int32(s))
+		onStack[s] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			adj := g.Neighbors(f.v)
+			advanced := false
+			for f.edge < len(adj) {
+				t := adj[f.edge]
+				f.edge++
+				if index[t] == unvisited {
+					index[t] = next
+					low[t] = next
+					next++
+					stack = append(stack, t)
+					onStack[t] = true
+					call = append(call, frame{v: t})
+					advanced = true
+					break
+				}
+				if onStack[t] && index[t] < low[f.v] {
+					low[f.v] = index[t]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.v is finished.
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := &call[len(call)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+	return comp
+}
+
+// BetweennessWeighted computes exact betweenness centrality for graphs
+// with positive edge weights: Brandes' algorithm with a Dijkstra inner
+// loop (lazy-deletion binary heap) instead of BFS. It accepts unweighted
+// graphs too (every edge weighs 1) and then agrees with Betweenness;
+// the BFS variant remains the faster choice there. Parallelized over
+// sources like the rest of the repository. Undirected scores are halved.
+func BetweennessWeighted(g *graph.Graph, workers int) []float64 {
+	n := g.N()
+	bc := make([]float64, n)
+
+	type item struct {
+		v int32
+		d matrix.Dist
+	}
+	type scratch struct {
+		dist    []matrix.Dist
+		sigma   []float64
+		delta   []float64
+		settled []int32 // settle order, for reverse accumulation
+		done    []bool
+		heap    []item
+		local   []float64
+	}
+	workers = sched.Workers(workers)
+	scratches := make([]*scratch, workers)
+
+	push := func(h []item, it item) []item {
+		h = append(h, it)
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h[p].d <= h[i].d {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+		return h
+	}
+	pop := func(h []item) ([]item, item) {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < last && h[l].d < h[s].d {
+				s = l
+			}
+			if r < last && h[r].d < h[s].d {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			h[s], h[i] = h[i], h[s]
+			i = s
+		}
+		return h, top
+	}
+
+	sched.ParallelWorkers(n, workers, sched.DynamicCyclic, func(w, si int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = &scratch{
+				dist:  make([]matrix.Dist, n),
+				sigma: make([]float64, n),
+				delta: make([]float64, n),
+				done:  make([]bool, n),
+				local: make([]float64, n),
+			}
+			scratches[w] = sc
+		}
+		s := int32(si)
+		for i := 0; i < n; i++ {
+			sc.dist[i] = matrix.Inf
+			sc.sigma[i] = 0
+			sc.delta[i] = 0
+			sc.done[i] = false
+		}
+		sc.settled = sc.settled[:0]
+		sc.heap = sc.heap[:0]
+		sc.dist[s] = 0
+		sc.sigma[s] = 1
+		sc.heap = push(sc.heap, item{s, 0})
+		for len(sc.heap) > 0 {
+			var it item
+			sc.heap, it = pop(sc.heap)
+			if sc.done[it.v] || it.d > sc.dist[it.v] {
+				continue
+			}
+			sc.done[it.v] = true
+			sc.settled = append(sc.settled, it.v)
+			adj, wts := g.NeighborsW(it.v)
+			for j, t := range adj {
+				wt := matrix.Dist(1)
+				if wts != nil {
+					wt = wts[j]
+				}
+				nd := matrix.AddSat(it.d, wt)
+				switch {
+				case nd < sc.dist[t]:
+					sc.dist[t] = nd
+					sc.sigma[t] = sc.sigma[it.v]
+					sc.heap = push(sc.heap, item{t, nd})
+				case nd == sc.dist[t] && nd != matrix.Inf:
+					sc.sigma[t] += sc.sigma[it.v]
+				}
+			}
+		}
+		// Reverse settle order: successors finalized before predecessors.
+		for i := len(sc.settled) - 1; i >= 0; i-- {
+			v := sc.settled[i]
+			dv := sc.dist[v]
+			adj, wts := g.NeighborsW(v)
+			for j, t := range adj {
+				wt := matrix.Dist(1)
+				if wts != nil {
+					wt = wts[j]
+				}
+				if sc.dist[t] == matrix.AddSat(dv, wt) && sc.sigma[t] > 0 && sc.dist[t] != matrix.Inf {
+					sc.delta[v] += sc.sigma[v] / sc.sigma[t] * (1 + sc.delta[t])
+				}
+			}
+			if v != s {
+				sc.local[v] += sc.delta[v]
+			}
+		}
+	})
+
+	for _, sc := range scratches {
+		if sc == nil {
+			continue
+		}
+		for v, x := range sc.local {
+			bc[v] += x
+		}
+	}
+	if g.Undirected() {
+		for v := range bc {
+			bc[v] /= 2
+		}
+	}
+	return bc
+}

@@ -1,0 +1,336 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parapsp/internal/gen"
+	"parapsp/internal/graph"
+)
+
+func TestBetweennessPath(t *testing.T) {
+	// Path 0-1-2-3-4: interior betweenness (undirected, halved convention)
+	// for vertex at position i counts pairs routed through it: 1<->(3,4),
+	// 0<->(2,3,4) etc. For a path of 5, bc = [0, 3, 4, 3, 0].
+	var pairs [][2]int32
+	for i := 0; i < 4; i++ {
+		pairs = append(pairs, [2]int32{int32(i), int32(i + 1)})
+	}
+	g, err := graph.FromPairs(5, true, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := Betweenness(g, 2)
+	want := []float64{0, 3, 4, 3, 0}
+	for i := range want {
+		if math.Abs(bc[i]-want[i]) > 1e-9 {
+			t.Errorf("bc[%d] = %g, want %g", i, bc[i], want[i])
+		}
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star with hub 0 and 4 leaves: hub carries all C(4,2)=6 leaf pairs.
+	var pairs [][2]int32
+	for i := int32(1); i < 5; i++ {
+		pairs = append(pairs, [2]int32{0, i})
+	}
+	g, err := graph.FromPairs(5, true, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := Betweenness(g, 3)
+	if math.Abs(bc[0]-6) > 1e-9 {
+		t.Errorf("hub bc = %g, want 6", bc[0])
+	}
+	for i := 1; i < 5; i++ {
+		if bc[i] != 0 {
+			t.Errorf("leaf bc[%d] = %g", i, bc[i])
+		}
+	}
+}
+
+func TestBetweennessCycleUniform(t *testing.T) {
+	// 6-cycle: symmetric, every vertex equal betweenness.
+	var pairs [][2]int32
+	for i := 0; i < 6; i++ {
+		pairs = append(pairs, [2]int32{int32(i), int32((i + 1) % 6)})
+	}
+	g, err := graph.FromPairs(6, true, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := Betweenness(g, 2)
+	for i := 1; i < 6; i++ {
+		if math.Abs(bc[i]-bc[0]) > 1e-9 {
+			t.Errorf("cycle betweenness not uniform: %v", bc)
+		}
+	}
+	if bc[0] <= 0 {
+		t.Errorf("cycle betweenness = %v", bc)
+	}
+}
+
+func TestBetweennessDirectedChain(t *testing.T) {
+	// 0 -> 1 -> 2: vertex 1 lies on the single 0->2 path.
+	g, err := graph.FromPairs(3, false, [][2]int32{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := Betweenness(g, 1)
+	if math.Abs(bc[1]-1) > 1e-9 || bc[0] != 0 || bc[2] != 0 {
+		t.Errorf("directed chain bc = %v", bc)
+	}
+}
+
+func TestBetweennessSplitShortestPaths(t *testing.T) {
+	// Diamond 0->1->3, 0->2->3: vertices 1 and 2 each carry half the
+	// single 0->3 pair.
+	g, err := graph.FromPairs(4, false, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := Betweenness(g, 2)
+	if math.Abs(bc[1]-0.5) > 1e-9 || math.Abs(bc[2]-0.5) > 1e-9 {
+		t.Errorf("diamond bc = %v", bc)
+	}
+}
+
+func TestBetweennessWorkerInvariance(t *testing.T) {
+	g, err := gen.BarabasiAlbert(300, 3, 19, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Betweenness(g, 1)
+	b := Betweenness(g, 7)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-6*(1+math.Abs(a[i])) {
+			t.Fatalf("bc[%d] differs across worker counts: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBetweennessPanicsOnWeighted(t *testing.T) {
+	g, err := graph.FromEdges(2, false, []graph.Edge{{From: 0, To: 1, W: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("weighted graph accepted")
+		}
+	}()
+	Betweenness(g, 1)
+}
+
+func TestSCCBasics(t *testing.T) {
+	// Two 2-cycles joined by a one-way bridge: {0,1} -> {2,3}, plus an
+	// isolated vertex 4.
+	g, err := graph.FromPairs(5, false, [][2]int32{
+		{0, 1}, {1, 0},
+		{2, 3}, {3, 2},
+		{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := SCC(g)
+	if comp[0] != comp[1] || comp[2] != comp[3] {
+		t.Fatalf("SCC merged incorrectly: %v", comp)
+	}
+	if comp[0] == comp[2] || comp[4] == comp[0] || comp[4] == comp[2] {
+		t.Fatalf("SCC split incorrectly: %v", comp)
+	}
+	// Tarjan ids are reverse topological: the sink component {2,3} gets a
+	// smaller id than the source component {0,1}.
+	if comp[2] > comp[0] {
+		t.Errorf("condensation order violated: %v", comp)
+	}
+}
+
+func TestSCCDAGAllSingletons(t *testing.T) {
+	g, err := graph.FromPairs(4, false, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := SCC(g)
+	seen := map[int]bool{}
+	for _, c := range comp {
+		if seen[c] {
+			t.Fatalf("DAG has a multi-vertex SCC: %v", comp)
+		}
+		seen[c] = true
+	}
+}
+
+func TestSCCFullCycle(t *testing.T) {
+	var pairs [][2]int32
+	for i := 0; i < 10; i++ {
+		pairs = append(pairs, [2]int32{int32(i), int32((i + 1) % 10)})
+	}
+	g, err := graph.FromPairs(10, false, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := SCC(g)
+	for _, c := range comp {
+		if c != comp[0] {
+			t.Fatalf("cycle not one SCC: %v", comp)
+		}
+	}
+}
+
+func TestSCCUndirectedEqualsComponents(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g, err := gen.ErdosRenyiGNM(n, rng.Intn(2*n), true, seed, gen.Weighting{})
+		if err != nil {
+			return false
+		}
+		scc := SCC(g)
+		cc := Components(g)
+		// Same partition: scc[u] == scc[v] iff cc[u] == cc[v].
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if (scc[u] == scc[v]) != (cc[u] == cc[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SCC agreement with a brute-force reachability check on small random
+// directed graphs: u,v strongly connected iff mutually reachable.
+func TestSCCMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		g, err := gen.ErdosRenyiGNM(n, rng.Intn(3*n), false, seed, gen.Weighting{})
+		if err != nil {
+			return false
+		}
+		reach := make([][]bool, n)
+		for s := 0; s < n; s++ {
+			reach[s] = make([]bool, n)
+			q := []int32{int32(s)}
+			reach[s][s] = true
+			for head := 0; head < len(q); head++ {
+				for _, t := range g.Neighbors(q[head]) {
+					if !reach[s][t] {
+						reach[s][t] = true
+						q = append(q, t)
+					}
+				}
+			}
+		}
+		comp := SCC(g)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				mutual := reach[u][v] && reach[v][u]
+				if mutual != (comp[u] == comp[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCCEmptyAndSingleton(t *testing.T) {
+	g0, _ := graph.FromPairs(0, false, nil)
+	if len(SCC(g0)) != 0 {
+		t.Error("empty SCC non-empty")
+	}
+	g1, _ := graph.FromPairs(1, false, nil)
+	if c := SCC(g1); len(c) != 1 || c[0] != 0 {
+		t.Errorf("singleton SCC = %v", c)
+	}
+}
+
+func TestBetweennessWeightedMatchesUnweightedOnUnitGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g, err := gen.ErdosRenyiGNM(n, rng.Intn(3*n), rng.Intn(2) == 0, seed, gen.Weighting{})
+		if err != nil {
+			return false
+		}
+		a := Betweenness(g, 2)
+		b := BetweennessWeighted(g, 3)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9*(1+math.Abs(a[i])) {
+				t.Logf("seed %d: bc[%d] = %g vs %g", seed, i, a[i], b[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetweennessWeightedRoutesAroundHeavyEdge(t *testing.T) {
+	// 0-3 direct weight 10 vs 0-1-2-3 weight 3: all shortest paths route
+	// through 1 and 2, giving them positive betweenness; the direct edge
+	// carries nothing.
+	g, err := graph.FromEdges(4, true, []graph.Edge{
+		{From: 0, To: 3, W: 10},
+		{From: 0, To: 1, W: 1},
+		{From: 1, To: 2, W: 1},
+		{From: 2, To: 3, W: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := BetweennessWeighted(g, 2)
+	if bc[1] <= 0 || bc[2] <= 0 {
+		t.Errorf("interior bc = %v", bc)
+	}
+	if bc[0] != 0 || bc[3] != 0 {
+		t.Errorf("endpoint bc = %v", bc)
+	}
+}
+
+func TestBetweennessWeightedSplitPaths(t *testing.T) {
+	// Weighted diamond with equal-cost routes: 0->1->3 (2+2) and
+	// 0->2->3 (1+3). Each middle vertex carries half of the 0->3 pair.
+	g, err := graph.FromEdges(4, false, []graph.Edge{
+		{From: 0, To: 1, W: 2},
+		{From: 1, To: 3, W: 2},
+		{From: 0, To: 2, W: 1},
+		{From: 2, To: 3, W: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := BetweennessWeighted(g, 1)
+	if math.Abs(bc[1]-0.5) > 1e-9 || math.Abs(bc[2]-0.5) > 1e-9 {
+		t.Errorf("diamond bc = %v", bc)
+	}
+}
+
+func TestBetweennessWeightedWorkerInvariance(t *testing.T) {
+	g, err := gen.BarabasiAlbert(200, 3, 43, gen.Weighting{Min: 1, Max: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := BetweennessWeighted(g, 1)
+	b := BetweennessWeighted(g, 6)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-6*(1+math.Abs(a[i])) {
+			t.Fatalf("bc[%d] differs across workers", i)
+		}
+	}
+}

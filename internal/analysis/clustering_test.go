@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"parapsp/internal/gen"
+	"parapsp/internal/graph"
+)
+
+func TestClusteringTriangle(t *testing.T) {
+	g, err := graph.FromPairs(3, true, [][2]int32{{0, 1}, {1, 2}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := LocalClustering(g, 2)
+	for v, c := range local {
+		if math.Abs(c-1) > 1e-12 {
+			t.Errorf("triangle clustering[%d] = %g, want 1", v, c)
+		}
+	}
+	if gc := GlobalClustering(g, 2); math.Abs(gc-1) > 1e-12 {
+		t.Errorf("global = %g", gc)
+	}
+}
+
+func TestClusteringStarIsZero(t *testing.T) {
+	var pairs [][2]int32
+	for i := int32(1); i < 6; i++ {
+		pairs = append(pairs, [2]int32{0, i})
+	}
+	g, err := graph.FromPairs(6, true, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := LocalClustering(g, 1)
+	for v, c := range local {
+		if c != 0 {
+			t.Errorf("star clustering[%d] = %g", v, c)
+		}
+	}
+	if GlobalClustering(g, 1) != 0 {
+		t.Error("star global non-zero")
+	}
+}
+
+func TestClusteringSquareWithDiagonal(t *testing.T) {
+	// Square 0-1-2-3 plus diagonal 0-2: triangles (0,1,2) and (0,2,3).
+	g, err := graph.FromPairs(4, true, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := LocalClustering(g, 3)
+	// Vertex 0: neighbours {1,2,3}; connected pairs: (1,2),(2,3) of 3 -> 2/3.
+	// Vertex 1: neighbours {0,2}; pair (0,2) connected -> 1.
+	want := []float64{2.0 / 3.0, 1, 2.0 / 3.0, 1}
+	for v := range want {
+		if math.Abs(local[v]-want[v]) > 1e-12 {
+			t.Errorf("clustering[%d] = %g, want %g", v, local[v], want[v])
+		}
+	}
+}
+
+func TestClusteringWattsStrogatzRing(t *testing.T) {
+	// Ring lattice (beta = 0), k = 4: the classic C = 1/2 case.
+	g, err := gen.WattsStrogatz(100, 4, 0, 1, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := GlobalClustering(g, 4)
+	if math.Abs(gc-0.5) > 1e-9 {
+		t.Errorf("ring lattice C = %g, want 0.5", gc)
+	}
+}
+
+func TestClusteringSmallWorldSignature(t *testing.T) {
+	// Watts-Strogatz with small beta keeps clustering high; an ER graph
+	// of the same size/density has far lower clustering.
+	ws, err := gen.WattsStrogatz(500, 6, 0.05, 2, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := gen.ErdosRenyiGNM(500, 1500, true, 2, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cws := GlobalClustering(ws, 4)
+	cer := GlobalClustering(er, 4)
+	if cws < 3*cer {
+		t.Errorf("small-world signature missing: WS C=%g vs ER C=%g", cws, cer)
+	}
+}
+
+func TestClusteringWorkerInvariance(t *testing.T) {
+	g, err := gen.BarabasiAlbert(300, 3, 23, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := LocalClustering(g, 1)
+	b := LocalClustering(g, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("clustering[%d] differs across workers", i)
+		}
+	}
+}
+
+func TestClusteringEmptyAndTiny(t *testing.T) {
+	g0, _ := graph.FromPairs(0, true, nil)
+	if len(LocalClustering(g0, 2)) != 0 || GlobalClustering(g0, 2) != 0 {
+		t.Error("empty graph mishandled")
+	}
+	g2, _ := graph.FromPairs(2, true, [][2]int32{{0, 1}})
+	if GlobalClustering(g2, 2) != 0 {
+		t.Error("K2 clustering non-zero")
+	}
+}

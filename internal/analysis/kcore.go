@@ -1,0 +1,106 @@
+package analysis
+
+import "parapsp/internal/graph"
+
+// KCore computes the core number of every vertex: the largest k such that
+// the vertex belongs to a maximal subgraph in which every vertex has
+// degree >= k. It uses the classic O(n + m) bucket-peeling algorithm
+// (Batagelj & Zaversnik) — the same degrees-are-bounded-by-n insight that
+// powers the paper's Section 4 bucket orderings, applied to peeling
+// instead of sorting.
+//
+// Directed graphs are treated as their underlying undirected multigraph
+// (in-degree + out-degree), the usual convention for k-core on directed
+// complex networks.
+func KCore(g *graph.Graph) []int {
+	n := g.N()
+	if n == 0 {
+		return []int{}
+	}
+	deg := make([]int, n)
+	var rev *graph.Graph
+	if g.Undirected() {
+		for v := 0; v < n; v++ {
+			deg[v] = g.OutDegree(int32(v))
+		}
+	} else {
+		rev = g.Transpose()
+		for v := 0; v < n; v++ {
+			deg[v] = g.OutDegree(int32(v)) + rev.OutDegree(int32(v))
+		}
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+
+	// Counting-sort vertices by degree: pos[v] is v's index in vert,
+	// which is ordered ascending by current degree; binStart[d] is the
+	// first index holding degree d.
+	binStart := make([]int, maxDeg+2)
+	for _, d := range deg {
+		binStart[d+1]++
+	}
+	for d := 1; d <= maxDeg+1; d++ {
+		binStart[d] += binStart[d-1]
+	}
+	vert := make([]int32, n)
+	pos := make([]int, n)
+	fill := make([]int, maxDeg+1)
+	copy(fill, binStart[:maxDeg+1])
+	for v := 0; v < n; v++ {
+		p := fill[deg[v]]
+		fill[deg[v]]++
+		vert[p] = int32(v)
+		pos[v] = p
+	}
+
+	core := make([]int, n)
+	// demote moves u one bucket down after a neighbour was peeled.
+	demote := func(u int32) {
+		du := deg[u]
+		pu := pos[u]
+		pw := binStart[du]
+		w := vert[pw]
+		if u != w {
+			vert[pu], vert[pw] = w, u
+			pos[u], pos[w] = pw, pu
+		}
+		binStart[du]++
+		deg[u]--
+	}
+	peel := func(v int32) {
+		for _, u := range g.Neighbors(v) {
+			if deg[u] > deg[v] {
+				demote(u)
+			}
+		}
+		if rev != nil {
+			for _, u := range rev.Neighbors(v) {
+				if deg[u] > deg[v] {
+					demote(u)
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = deg[v]
+		peel(v)
+	}
+	return core
+}
+
+// Degeneracy returns the graph's degeneracy: the maximum core number,
+// a standard sparsity measure of complex networks.
+func Degeneracy(g *graph.Graph) int {
+	max := 0
+	for _, c := range KCore(g) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}

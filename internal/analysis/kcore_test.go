@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parapsp/internal/gen"
+	"parapsp/internal/graph"
+)
+
+func TestKCorePath(t *testing.T) {
+	g, err := graph.FromPairs(4, true, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range KCore(g) {
+		if c != 1 {
+			t.Errorf("path core[%d] = %d, want 1", v, c)
+		}
+	}
+}
+
+func TestKCoreTriangleWithTail(t *testing.T) {
+	// Triangle 0-1-2 plus tail 2-3: triangle is 2-core, tail 1-core.
+	g, err := graph.FromPairs(4, true, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := KCore(g)
+	want := []int{2, 2, 2, 1}
+	for v := range want {
+		if core[v] != want[v] {
+			t.Errorf("core[%d] = %d, want %d", v, core[v], want[v])
+		}
+	}
+	if Degeneracy(g) != 2 {
+		t.Errorf("degeneracy = %d", Degeneracy(g))
+	}
+}
+
+func TestKCoreClique(t *testing.T) {
+	g, err := gen.ErdosRenyiGNP(6, 1, true, 1, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range KCore(g) {
+		if c != 5 {
+			t.Errorf("K6 core[%d] = %d, want 5", v, c)
+		}
+	}
+}
+
+func TestKCoreBADegeneracy(t *testing.T) {
+	// BA(n, m) has degeneracy exactly m: every non-seed vertex had degree
+	// m at insertion, and the seed clique K_{m+1} is m-degenerate.
+	for _, m := range []int{2, 3, 5} {
+		g, err := gen.BarabasiAlbert(400, m, int64(m), gen.Weighting{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := Degeneracy(g); d != m {
+			t.Errorf("BA(400,%d) degeneracy = %d, want %d", m, d, m)
+		}
+	}
+}
+
+func TestKCoreDirectedUsesTotalDegree(t *testing.T) {
+	// Directed triangle (cycle): total degree 2 everywhere -> core 2.
+	g, err := graph.FromPairs(3, false, [][2]int32{{0, 1}, {1, 2}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range KCore(g) {
+		if c != 2 {
+			t.Errorf("directed cycle core[%d] = %d, want 2", v, c)
+		}
+	}
+}
+
+func TestKCoreEmptyAndIsolated(t *testing.T) {
+	g0, _ := graph.FromPairs(0, true, nil)
+	if len(KCore(g0)) != 0 {
+		t.Error("empty graph mishandled")
+	}
+	g3, _ := graph.FromPairs(3, true, nil)
+	for v, c := range KCore(g3) {
+		if c != 0 {
+			t.Errorf("isolated core[%d] = %d", v, c)
+		}
+	}
+	if Degeneracy(g3) != 0 {
+		t.Error("edgeless degeneracy non-zero")
+	}
+}
+
+// Property: the k-core definition holds — in the subgraph induced by
+// {v : core[v] >= k}, every vertex has at least k neighbours within the
+// subgraph, for every k up to the degeneracy.
+func TestKCoreDefinitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		g, err := gen.ErdosRenyiGNM(n, rng.Intn(4*n), true, seed, gen.Weighting{})
+		if err != nil {
+			return false
+		}
+		core := KCore(g)
+		maxK := 0
+		for _, c := range core {
+			if c > maxK {
+				maxK = c
+			}
+		}
+		for k := 1; k <= maxK; k++ {
+			for v := 0; v < n; v++ {
+				if core[v] < k {
+					continue
+				}
+				inside := 0
+				for _, u := range g.Neighbors(int32(v)) {
+					if core[u] >= k {
+						inside++
+					}
+				}
+				if inside < k {
+					t.Logf("seed %d: vertex %d in %d-core has only %d in-core neighbours", seed, v, k, inside)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: core numbers are maximal — for k = core[v]+1 the vertex is
+// peeled before its in-subgraph degree reaches k (checked indirectly by
+// comparing with a brute-force iterative-deletion computation).
+func TestKCoreMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g, err := gen.ErdosRenyiGNM(n, rng.Intn(3*n), true, seed, gen.Weighting{})
+		if err != nil {
+			return false
+		}
+		want := bruteForceCore(g)
+		got := KCore(g)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Logf("seed %d: core[%d] = %d, want %d", seed, v, got[v], want[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForceCore computes core numbers by repeated deletion: for each k,
+// iteratively remove vertices with degree < k; survivors have core >= k.
+func bruteForceCore(g *graph.Graph) []int {
+	n := g.N()
+	core := make([]int, n)
+	for k := 1; ; k++ {
+		alive := make([]bool, n)
+		for v := range alive {
+			alive[v] = true
+		}
+		for changed := true; changed; {
+			changed = false
+			for v := 0; v < n; v++ {
+				if !alive[v] {
+					continue
+				}
+				d := 0
+				for _, u := range g.Neighbors(int32(v)) {
+					if alive[u] {
+						d++
+					}
+				}
+				if d < k {
+					alive[v] = false
+					changed = true
+				}
+			}
+		}
+		any := false
+		for v := 0; v < n; v++ {
+			if alive[v] {
+				core[v] = k
+				any = true
+			}
+		}
+		if !any {
+			return core
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parapsp/internal/gen"
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+// pathGraph returns the directed path 0 -> 1 -> ... -> n-1 with weight w.
+func pathGraph(t *testing.T, n int, w matrix.Dist) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n, false)
+	for i := 0; i < n-1; i++ {
+		if err := b.AddWeighted(int32(i), int32(i+1), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFloydWarshallPath(t *testing.T) {
+	g := pathGraph(t, 5, 2)
+	D := FloydWarshall(g)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := matrix.Inf
+			if j >= i {
+				want = matrix.Dist(2 * (j - i))
+			}
+			if got := D.At(i, j); got != want {
+				t.Errorf("D[%d][%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestFloydWarshallCycle(t *testing.T) {
+	// Undirected 4-cycle, unit weights: opposite corners at distance 2.
+	g, err := graph.FromPairs(4, true, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	D := FloydWarshall(g)
+	want := [][]matrix.Dist{
+		{0, 1, 2, 1},
+		{1, 0, 1, 2},
+		{2, 1, 0, 1},
+		{1, 2, 1, 0},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if D.At(i, j) != want[i][j] {
+				t.Errorf("D[%d][%d] = %d, want %d", i, j, D.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestFloydWarshallPicksShorterOfParallelRoutes(t *testing.T) {
+	// 0->1 weight 10, 0->2->1 weight 3+3=6.
+	g, err := graph.FromEdges(3, false, []graph.Edge{{From: 0, To: 1, W: 10}, {From: 0, To: 2, W: 3}, {From: 2, To: 1, W: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	D := FloydWarshall(g)
+	if D.At(0, 1) != 6 {
+		t.Errorf("D[0][1] = %d, want 6", D.At(0, 1))
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	g, err := graph.FromPairs(4, true, [][2]int32{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, D := range map[string]*matrix.Matrix{
+		"fw":       FloydWarshall(g),
+		"dijkstra": DijkstraAPSP(g),
+		"bellman":  BellmanFordAPSP(g),
+		"spfa":     SPFAAPSP(g),
+		"bfs":      BFSAPSP(g),
+	} {
+		if D.At(0, 2) != matrix.Inf || D.At(3, 1) != matrix.Inf {
+			t.Errorf("%s: cross-component distance finite", name)
+		}
+		if D.At(0, 1) != 1 || D.At(2, 3) != 1 {
+			t.Errorf("%s: in-component distance wrong", name)
+		}
+	}
+}
+
+func TestSingleVertexAndEmpty(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		g, err := graph.FromPairs(n, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		D := FloydWarshall(g)
+		if D.N() != n {
+			t.Errorf("n=%d: matrix size %d", n, D.N())
+		}
+		if n == 1 && D.At(0, 0) != 0 {
+			t.Errorf("self distance = %d", D.At(0, 0))
+		}
+	}
+}
+
+func TestAllAgreeRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		m := rng.Intn(3 * n)
+		undirected := rng.Intn(2) == 0
+		var w gen.Weighting
+		weighted := rng.Intn(2) == 0
+		if weighted {
+			w = gen.Weighting{Min: 1, Max: 10}
+		}
+		g, err := gen.ErdosRenyiGNM(n, m, undirected, seed, w)
+		if err != nil {
+			return false
+		}
+		ref := FloydWarshall(g)
+		if !DijkstraAPSP(g).Equal(ref) {
+			t.Logf("dijkstra disagrees on seed %d", seed)
+			return false
+		}
+		if !BellmanFordAPSP(g).Equal(ref) {
+			t.Logf("bellman disagrees on seed %d", seed)
+			return false
+		}
+		if !SPFAAPSP(g).Equal(ref) {
+			t.Logf("spfa disagrees on seed %d", seed)
+			return false
+		}
+		if !weighted && !BFSAPSP(g).Equal(ref) {
+			t.Logf("bfs disagrees on seed %d", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSAPSPPanicsOnWeighted(t *testing.T) {
+	g, err := graph.FromEdges(2, false, []graph.Edge{{From: 0, To: 1, W: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BFSAPSP accepted weighted graph")
+		}
+	}()
+	BFSAPSP(g)
+}
+
+func TestDijkstraSSSPInPlace(t *testing.T) {
+	g := pathGraph(t, 4, 3)
+	dist := make([]matrix.Dist, 4)
+	DijkstraSSSP(g, 1, dist)
+	want := []matrix.Dist{matrix.Inf, 0, 3, 6}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestBellmanFordEarlyTermination(t *testing.T) {
+	// A star graph settles in one round; just verify correctness.
+	g, err := graph.FromPairs(5, true, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := make([]matrix.Dist, 5)
+	BellmanFordSSSP(g, 0, dist)
+	for i := 1; i < 5; i++ {
+		if dist[i] != 1 {
+			t.Errorf("dist[%d] = %d, want 1", i, dist[i])
+		}
+	}
+	BellmanFordSSSP(g, 1, dist)
+	if dist[2] != 2 {
+		t.Errorf("leaf-to-leaf = %d, want 2", dist[2])
+	}
+}
+
+func TestStarGraphAllAlgorithms(t *testing.T) {
+	// Hub 0 with 9 leaves: leaf-leaf distance 2, hub-leaf 1.
+	var pairs [][2]int32
+	for i := int32(1); i < 10; i++ {
+		pairs = append(pairs, [2]int32{0, i})
+	}
+	g, err := graph.FromPairs(10, true, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := FloydWarshall(g)
+	if ref.At(1, 2) != 2 || ref.At(0, 5) != 1 {
+		t.Fatalf("star distances wrong: %d %d", ref.At(1, 2), ref.At(0, 5))
+	}
+	for name, D := range map[string]*matrix.Matrix{
+		"dijkstra": DijkstraAPSP(g),
+		"bellman":  BellmanFordAPSP(g),
+		"spfa":     SPFAAPSP(g),
+		"bfs":      BFSAPSP(g),
+	} {
+		if !D.Equal(ref) {
+			t.Errorf("%s disagrees with Floyd-Warshall on star", name)
+		}
+	}
+}
+
+func TestLargeWeightsSaturate(t *testing.T) {
+	// Chain of near-max weights: distances saturate at Inf rather than wrap.
+	b := graph.NewBuilder(4, false)
+	w := matrix.Dist(matrix.MaxFinite / 2)
+	for i := 0; i < 3; i++ {
+		if err := b.AddWeighted(int32(i), int32(i+1), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, D := range map[string]*matrix.Matrix{
+		"fw":       FloydWarshall(g),
+		"dijkstra": DijkstraAPSP(g),
+	} {
+		if D.At(0, 1) != w {
+			t.Errorf("%s: one hop = %d", name, D.At(0, 1))
+		}
+		if D.At(0, 2) != 2*w {
+			t.Errorf("%s: two hops = %d, want %d", name, D.At(0, 2), 2*w)
+		}
+		// Three hops exceeds MaxFinite: must saturate to Inf, never wrap.
+		if got := D.At(0, 3); got != matrix.Inf {
+			t.Errorf("%s: three hops = %d, want Inf", name, got)
+		}
+	}
+}
+
+func TestBlockedFloydWarshallMatchesPlain(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200) // spans sub-tile and multi-tile sizes
+		m := rng.Intn(4 * n)
+		var w gen.Weighting
+		if rng.Intn(2) == 0 {
+			w = gen.Weighting{Min: 1, Max: 12}
+		}
+		g, err := gen.ErdosRenyiGNM(n, m, rng.Intn(2) == 0, seed, w)
+		if err != nil {
+			return false
+		}
+		ref := FloydWarshall(g)
+		for _, workers := range []int{1, 4} {
+			if !BlockedFloydWarshall(g, workers).Equal(ref) {
+				t.Logf("seed %d n=%d workers=%d", seed, n, workers)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedFloydWarshallExactTileBoundary(t *testing.T) {
+	// n exactly a multiple of the block size, and n = BlockSize +/- 1.
+	for _, n := range []int{BlockSize, 2 * BlockSize, BlockSize - 1, BlockSize + 1} {
+		g, err := gen.BarabasiAlbert(n, 2, int64(n), gen.Weighting{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !BlockedFloydWarshall(g, 3).Equal(FloydWarshall(g)) {
+			t.Errorf("n=%d: blocked FW differs", n)
+		}
+	}
+}
+
+func TestBlockedFloydWarshallEmpty(t *testing.T) {
+	g, _ := graph.FromPairs(0, false, nil)
+	if D := BlockedFloydWarshall(g, 2); D.N() != 0 {
+		t.Error("empty graph mishandled")
+	}
+}

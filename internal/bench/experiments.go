@@ -1,0 +1,1246 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"parapsp/internal/analysis"
+	"parapsp/internal/baseline"
+	"parapsp/internal/core"
+	"parapsp/internal/datasets"
+	"parapsp/internal/dist"
+	"parapsp/internal/gen"
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+	"parapsp/internal/oracle"
+	"parapsp/internal/order"
+	"parapsp/internal/sched"
+	"parapsp/internal/stats"
+)
+
+// Base dataset scales per experiment, chosen so the default harness run
+// fits this container's memory and finishes in minutes. cfg.Scale
+// multiplies them; scale 1.0/0.02 ~ the paper's full WordNet would need
+// ~85 GB for the matrix alone.
+const (
+	scaleAPSPWordNet  = 0.02  // n ~ 2.9k: full APSP affordable
+	scaleAPSPFlickr   = 0.015 // n ~ 1.6k but dense (mean degree ~44)
+	scaleAPSPHepPh    = 0.12  // n ~ 1.4k, the paper's scheduling testbed
+	scaleOrderWordNet = 0.20  // n ~ 29k: ordering-only, no matrix
+	scaleOrderLarge   = 0.10  // soc-Pokec ~163k / soc-LiveJournal1 ~485k degrees
+	scaleFig10        = 0.015 // all five Table 2 datasets
+)
+
+// synth builds the stand-in for name at baseScale*cfg.Scale, enforcing the
+// memory bound when the experiment will allocate a distance matrix.
+func synth(cfg Config, name string, baseScale float64, needsMatrix bool) (*graph.Graph, error) {
+	scale := baseScale * cfg.Scale
+	if scale > 1 {
+		scale = 1
+	}
+	n, err := datasets.ScaledSize(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	if needsMatrix {
+		if need := matrix.EstimateMemBytes(n); need > cfg.MaxMemBytes {
+			return nil, fmt.Errorf("bench: %s at scale %g needs %d MB for the matrix, bound is %d MB — lower -scale",
+				name, scale, need>>20, cfg.MaxMemBytes>>20)
+		}
+	}
+	g, _, err := datasets.Synthesize(name, scale, cfg.Seed)
+	return g, err
+}
+
+func describe(w io.Writer, name string, g *graph.Graph) {
+	st := analysis.Degrees(g)
+	fmt.Fprintf(w, "  workload: %s stand-in, n=%d arcs=%d degree[min=%d max=%d mean=%.1f]\n\n",
+		name, st.Vertices, st.Arcs, st.Min, st.Max, st.Mean)
+}
+
+func init() {
+	register(Experiment{
+		ID:     "table2",
+		Paper:  "Table 2",
+		Title:  "Dataset inventory and the synthesized stand-ins",
+		Expect: "five datasets with the paper's vertex/edge counts; stand-ins match scaled n and mean degree",
+		Run:    runTable2,
+	})
+	register(Experiment{
+		ID:     "fig1",
+		Paper:  "Figure 1",
+		Title:  "Scheduling-scheme effect in ParAlg2 on ca-HepPh",
+		Expect: "static-cyclic and dynamic-cyclic beat default block partitioning; dynamic-cyclic best",
+		Run:    runFig1,
+	})
+	register(Experiment{
+		ID:     "table1",
+		Paper:  "Table 1",
+		Title:  "Ordering time: ParAlg2's selection sort vs ParBuckets on WordNet",
+		Expect: "selection is orders of magnitude slower and thread-invariant; ParBuckets worsens as threads grow",
+		Run:    runTable1,
+	})
+	register(Experiment{
+		ID:     "fig3",
+		Paper:  "Figure 3",
+		Title:  "Degree distribution of the WordNet graph",
+		Expect: "power law: vertex counts fall by orders of magnitude as degree grows",
+		Run:    runFig3,
+	})
+	register(Experiment{
+		ID:     "fig4",
+		Paper:  "Figure 4",
+		Title:  "Ordering time: ParBuckets vs ParMax",
+		Expect: "ParMax faster and improving with threads; ParBuckets degrading with threads",
+		Run:    runFig4,
+	})
+	register(Experiment{
+		ID:     "fig5",
+		Paper:  "Figure 5",
+		Title:  "Dijkstra-phase time under ParAlg2 / ParBuckets / ParMax orders",
+		Expect: "approximate ParBuckets order slows the SSSP phase; exact ParMax matches ParAlg2's selection order",
+		Run:    runFig5,
+	})
+	register(Experiment{
+		ID:     "fig6",
+		Paper:  "Figure 6",
+		Title:  "Ordering time: ParMax vs MultiLists (plus large-graph MultiLists scaling)",
+		Expect: "MultiLists outperforms ParMax; on larger graphs MultiLists keeps improving with threads",
+		Run:    runFig6,
+	})
+	register(Experiment{
+		ID:     "fig7",
+		Paper:  "Figure 7",
+		Title:  "ParAlg1 vs ParAlg2 elapsed time on Flickr",
+		Expect: "both scale with threads; ParAlg2 ~2x (2-4x across datasets) faster at every thread count",
+		Run:    runFig7,
+	})
+	register(Experiment{
+		ID:     "fig8",
+		Paper:  "Figure 8",
+		Title:  "Overall elapsed time: ParAlg1 / ParAlg2 / ParAPSP on WordNet",
+		Expect: "ParAPSP <= ParAlg2 < ParAlg1; ParAPSP's edge over ParAlg2 grows with threads",
+		Run:    runFig8,
+	})
+	register(Experiment{
+		ID:     "fig9",
+		Paper:  "Figure 9",
+		Title:  "Parallel speedup: ParAlg1 / ParAlg2 / ParAPSP on WordNet",
+		Expect: "ParAlg2 speedup lags ParAlg1 (sequential ordering); ParAPSP reaches (hyper-)linear speedup",
+		Run:    runFig9,
+	})
+	register(Experiment{
+		ID:     "fig9-amdahl",
+		Paper:  "Figure 9 (projection)",
+		Title:  "Amdahl projection of the speedup curves from measured phase costs",
+		Expect: "ParAlg2's serial ordering caps its projected speedup; ParAPSP projects linear",
+		Run:    runFig9Amdahl,
+	})
+	register(Experiment{
+		ID:     "fig10",
+		Paper:  "Figure 10",
+		Title:  "ParAPSP elapsed time and speedup on all Table 2 datasets",
+		Expect: "near-linear speedup on every dataset",
+		Run:    runFig10,
+	})
+	register(Experiment{
+		ID:     "seqgap",
+		Paper:  "Section 2/5.2 claim",
+		Title:  "Sequential basic vs optimized vs adaptive algorithm",
+		Expect: "optimized 2-4x faster than basic; adaptive about on par with optimized",
+		Run:    runSeqGap,
+	})
+	register(Experiment{
+		ID:     "baselines",
+		Paper:  "Sections 2 and 6",
+		Title:  "Peng-style algorithms vs Floyd-Warshall / heap Dijkstra / SPFA",
+		Expect: "modified-Dijkstra algorithms beat Floyd-Warshall; row reuse beats plain SPFA",
+		Run:    runBaselines,
+	})
+	register(Experiment{
+		ID:     "exactness",
+		Paper:  "Section 5 claim",
+		Title:  "Every algorithm and configuration produces the identical APSP solution",
+		Expect: "one checksum, shared by all algorithms, schedules and orderings",
+		Run:    runExactness,
+	})
+	register(Experiment{
+		ID:     "complexity",
+		Paper:  "Peng et al. claim (Section 2)",
+		Title:  "Empirical time-complexity fit of the modified-Dijkstra APSP",
+		Expect: "log-log slope around 2.2-2.6 on scale-free graphs (Peng et al. report O(n^2.4))",
+		Run:    runComplexity,
+	})
+	register(Experiment{
+		ID:     "distmem",
+		Paper:  "Section 7 (future work)",
+		Title:  "Simulated distributed-memory ParAPSP: runtime and communication",
+		Expect: "exact at every node count; messages grow as n*(P-1); row exchange buys remote folds",
+		Run:    runDistMem,
+	})
+	register(Experiment{
+		ID:     "workstats",
+		Paper:  "ours (mechanism)",
+		Title:  "Work counters: fold rate and edge scans by ordering",
+		Expect: "degree order maximizes fold rate; disabling reuse zeroes folds and multiplies edge scans",
+		Run:    runWorkStats,
+	})
+	register(Experiment{
+		ID:     "weighted",
+		Paper:  "ours (generality)",
+		Title:  "Weighted-graph end-to-end check at benchmark scale",
+		Expect: "all algorithms match heap Dijkstra on positive weights",
+		Run:    runWeighted,
+	})
+	register(Experiment{
+		ID:     "oracle",
+		Paper:  "ours (beyond the memory wall)",
+		Title:  "Landmark distance oracle: accuracy and memory vs landmark count",
+		Expect: "upper bounds never below truth; accuracy rises with k at O(k*n) memory",
+		Run:    runOracle,
+	})
+	register(Experiment{
+		ID:     "ablation-queue",
+		Paper:  "ours",
+		Title:  "Queue-discipline ablation: dedup FIFO vs paper's literal FIFO vs binary heap",
+		Expect: "identical solutions; FIFO variants close, heap pays log-factor overhead on these inputs",
+		Run:    runAblationQueue,
+	})
+	register(Experiment{
+		ID:     "ablation-buckets",
+		Paper:  "ours (Section 4.2 narrative)",
+		Title:  "Bucket-count ablation: 100 vs 1000 vs exact (max+1) buckets",
+		Expect: "more buckets -> better order -> faster SSSP phase; exact closes the gap, as Section 4.2 reports",
+		Run:    runAblationBuckets,
+	})
+	register(Experiment{
+		ID:     "ablation-threshold",
+		Paper:  "ours (Section 4.2 constant)",
+		Title:  "ParMax parallel/sequential threshold sweep",
+		Expect: "ordering stays exact at every threshold; timing varies mildly around the paper's 1%",
+		Run:    runAblationThreshold,
+	})
+	register(Experiment{
+		ID:     "ablation-reuse",
+		Paper:  "ours (Section 5.4 conjecture)",
+		Title:  "Row-reuse (dynamic programming) ablation",
+		Expect: "disabling completed-row reuse slows every algorithm substantially — the paper's hyper-linear-speedup mechanism",
+		Run:    runAblationReuse,
+	})
+}
+
+func runTable2(cfg Config, w io.Writer) error {
+	t := &Table{
+		Title:  "Paper's Table 2 (full size) and the synthesized stand-ins at harness scale",
+		Header: []string{"Name", "Type", "Vertex", "Edge", "synth n", "synth arcs", "synth maxdeg"},
+	}
+	for _, in := range datasets.Table2() {
+		base := scaleFig10
+		if in.Name == "WordNet" {
+			base = scaleAPSPWordNet
+		}
+		g, err := synth(cfg, in.Name, base, false)
+		if err != nil {
+			return err
+		}
+		kind := "Undirected"
+		if in.Directed {
+			kind = "Directed"
+		}
+		_, maxd := g.MinMaxDegree()
+		t.AddRow(in.Name, kind, in.Vertices, in.Edges, g.N(), g.NumArcs(), maxd)
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// schedSweep measures the SSSP phase under a fixed source order for each
+// (scheme, threads) pair.
+func schedSweep(cfg Config, g *graph.Graph, src []int32, schemes []sched.Scheme) (map[sched.Scheme][]time.Duration, error) {
+	out := make(map[sched.Scheme][]time.Duration)
+	for _, scheme := range schemes {
+		times := make([]time.Duration, 0, len(cfg.Threads))
+		for _, p := range sortedCopy(cfg.Threads) {
+			var err error
+			d := Measure(cfg.Runs, p, func() {
+				_, _, err = core.SSSPPhase(g, src, p, scheme, core.Options{})
+			})
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, d)
+		}
+		out[scheme] = times
+	}
+	return out, nil
+}
+
+func threadsHeader(label string, threads []int) []string {
+	h := []string{label}
+	for _, p := range sortedCopy(threads) {
+		h = append(h, fmt.Sprintf("%d thr", p))
+	}
+	return h
+}
+
+func durationRow(name string, times []time.Duration) []any {
+	row := []any{name}
+	for _, d := range times {
+		row = append(row, FormatDuration(d))
+	}
+	return row
+}
+
+func runFig1(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "ca-HepPh", scaleAPSPHepPh, true)
+	if err != nil {
+		return err
+	}
+	describe(w, "ca-HepPh", g)
+	src := order.SelectionSort(g.Degrees(), 1.0)
+	// The paper measures the first three; guided is this repo's addition.
+	schemes := []sched.Scheme{sched.Block, sched.StaticCyclic, sched.DynamicCyclic, sched.Guided}
+	res, err := schedSweep(cfg, g, src, schemes)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:  "ParAlg2 SSSP-phase elapsed time by loop schedule (order fixed to selection sort's)",
+		Header: threadsHeader("schedule", cfg.Threads),
+	}
+	for _, s := range schemes {
+		t.AddRow(durationRow(s.String(), res[s])...)
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// orderingSweep measures ordering procedures across the thread sweep on a
+// degree array.
+func orderingSweep(cfg Config, degrees []int, procs []order.Procedure, bucketRanges int) (map[order.Procedure][]time.Duration, error) {
+	out := make(map[order.Procedure][]time.Duration)
+	for _, proc := range procs {
+		times := make([]time.Duration, 0, len(cfg.Threads))
+		for _, p := range sortedCopy(cfg.Threads) {
+			ocfg := order.Config{Workers: p, BucketRanges: bucketRanges}
+			var err error
+			d := Measure(cfg.Runs, p, func() {
+				_, err = order.Run(proc, degrees, ocfg)
+			})
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, d)
+		}
+		out[proc] = times
+	}
+	return out, nil
+}
+
+func runTable1(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "WordNet", scaleOrderWordNet, false)
+	if err != nil {
+		return err
+	}
+	describe(w, "WordNet", g)
+	degrees := g.Degrees()
+	res, err := orderingSweep(cfg, degrees, []order.Procedure{order.Selection, order.ParBucketsProc}, 0)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:  "Ordering-procedure elapsed time (paper reports 46,847 ms vs 10-166 ms at full size)",
+		Header: threadsHeader("procedure", cfg.Threads),
+	}
+	t.AddRow(durationRow("ParAlg2 (selection)", res[order.Selection])...)
+	t.AddRow(durationRow("parBuckets", res[order.ParBucketsProc])...)
+	t.Fprint(w)
+	return nil
+}
+
+func runFig3(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "WordNet", scaleOrderWordNet, false)
+	if err != nil {
+		return err
+	}
+	describe(w, "WordNet", g)
+	hist := g.DegreeHistogram()
+	t := &Table{
+		Title:  "Degree distribution (log-binned; paper's Figure 3 is the per-degree scatter)",
+		Header: []string{"degree range", "vertices", "share"},
+	}
+	n := float64(g.N())
+	for lo := 1; lo < len(hist); lo *= 2 {
+		hi := lo*2 - 1
+		if hi >= len(hist) {
+			hi = len(hist) - 1
+		}
+		var c int64
+		for d := lo; d <= hi; d++ {
+			c += hist[d]
+		}
+		if c > 0 {
+			t.AddRow(fmt.Sprintf("%d-%d", lo, hi), c, fmt.Sprintf("%.3f%%", 100*float64(c)/n))
+		}
+	}
+	t.Fprint(w)
+
+	// Scale-free check: fit count(d) ~ a * d^gamma over populated degrees;
+	// real complex networks land around gamma in [-3, -2].
+	var ds, cs []float64
+	for d, c := range hist {
+		if d > 0 && c > 0 {
+			ds = append(ds, float64(d))
+			cs = append(cs, float64(c))
+		}
+	}
+	gamma, _, r2, err := stats.PowerLawFit(ds, cs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  power-law fit: count(d) ~ d^%.2f (log-log R^2=%.3f)\n\n", gamma, r2)
+	return nil
+}
+
+func runFig4(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "WordNet", scaleOrderWordNet, false)
+	if err != nil {
+		return err
+	}
+	describe(w, "WordNet", g)
+	res, err := orderingSweep(cfg, g.Degrees(), []order.Procedure{order.ParBucketsProc, order.ParMaxProc}, 0)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:  "Ordering elapsed time",
+		Header: threadsHeader("procedure", cfg.Threads),
+	}
+	t.AddRow(durationRow("ParBuckets", res[order.ParBucketsProc])...)
+	t.AddRow(durationRow("ParMax", res[order.ParMaxProc])...)
+	t.Fprint(w)
+	return nil
+}
+
+func runFig5(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "WordNet", scaleAPSPWordNet, true)
+	if err != nil {
+		return err
+	}
+	describe(w, "WordNet", g)
+	degrees := g.Degrees()
+	orders := []struct {
+		name string
+		src  []int32
+	}{
+		{"ParAlg2 (selection)", order.SelectionSort(degrees, 1.0)},
+		{"ParBuckets (approx)", order.ParBuckets(degrees, 4, 100)},
+		{"ParMax (exact)", order.ParMax(degrees, 4, 0.01)},
+	}
+	t := &Table{
+		Title:  "Dijkstra-phase elapsed time under each precomputed order",
+		Header: threadsHeader("order", cfg.Threads),
+	}
+	for _, o := range orders {
+		times := make([]time.Duration, 0, len(cfg.Threads))
+		for _, p := range sortedCopy(cfg.Threads) {
+			var err error
+			d := Measure(cfg.Runs, p, func() {
+				_, _, err = core.SSSPPhase(g, o.src, p, sched.DynamicCyclic, core.Options{})
+			})
+			if err != nil {
+				return err
+			}
+			times = append(times, d)
+		}
+		t.AddRow(durationRow(o.name, times)...)
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func runFig6(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "WordNet", scaleOrderWordNet, false)
+	if err != nil {
+		return err
+	}
+	describe(w, "WordNet", g)
+	res, err := orderingSweep(cfg, g.Degrees(), []order.Procedure{order.ParMaxProc, order.MultiListsProc}, 0)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:  "Ordering elapsed time",
+		Header: threadsHeader("procedure", cfg.Threads),
+	}
+	t.AddRow(durationRow("ParMax", res[order.ParMaxProc])...)
+	t.AddRow(durationRow("MultiLists", res[order.MultiListsProc])...)
+	t.Fprint(w)
+
+	// Section 4.3's large-graph check: MultiLists ordering alone on
+	// soc-Pokec / soc-LiveJournal1 shaped degree arrays.
+	for _, name := range []string{"soc-Pokec", "soc-LiveJournal1"} {
+		scale := scaleOrderLarge * cfg.Scale
+		if scale > 1 {
+			scale = 1
+		}
+		degrees, _, err := datasets.SynthesizeDegrees(name, scale, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		lt := &Table{
+			Title:  fmt.Sprintf("MultiLists on %s-shaped degrees (n=%d)", name, len(degrees)),
+			Header: threadsHeader("procedure", cfg.Threads),
+		}
+		times := make([]time.Duration, 0, len(cfg.Threads))
+		for _, p := range sortedCopy(cfg.Threads) {
+			d := Measure(cfg.Runs, p, func() {
+				order.MultiLists(degrees, p, 0.1)
+			})
+			times = append(times, d)
+		}
+		lt.AddRow(durationRow("MultiLists", times)...)
+		lt.Fprint(w)
+	}
+	return nil
+}
+
+// overallSweep measures full Solve runs (ordering + SSSP) for each
+// algorithm across the thread sweep.
+func overallSweep(cfg Config, g *graph.Graph, algs []core.Algorithm) (map[core.Algorithm][]time.Duration, error) {
+	out := make(map[core.Algorithm][]time.Duration)
+	for _, alg := range algs {
+		times := make([]time.Duration, 0, len(cfg.Threads))
+		for _, p := range sortedCopy(cfg.Threads) {
+			var err error
+			d := Measure(cfg.Runs, p, func() {
+				_, err = core.Solve(g, alg, core.Options{Workers: p, MaxMemBytes: cfg.MaxMemBytes})
+			})
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, d)
+		}
+		out[alg] = times
+	}
+	return out, nil
+}
+
+func runFig7(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "Flickr", scaleAPSPFlickr, true)
+	if err != nil {
+		return err
+	}
+	describe(w, "Flickr", g)
+	res, err := overallSweep(cfg, g, []core.Algorithm{core.ParAlg1, core.ParAlg2})
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:  "Overall elapsed time (paper's Figure 7 y-axis is log-scale)",
+		Header: threadsHeader("algorithm", cfg.Threads),
+	}
+	t.AddRow(durationRow("ParAlg1", res[core.ParAlg1])...)
+	t.AddRow(durationRow("ParAlg2", res[core.ParAlg2])...)
+	t.Fprint(w)
+	r := &Table{Title: "ParAlg1 / ParAlg2 time ratio (paper: ~2x, 2-4x across datasets)",
+		Header: threadsHeader("ratio", cfg.Threads)}
+	row := []any{"ParAlg1/ParAlg2"}
+	for i := range res[core.ParAlg1] {
+		row = append(row, fmt.Sprintf("%.2fx", float64(res[core.ParAlg1][i])/float64(res[core.ParAlg2][i])))
+	}
+	r.AddRow(row...)
+	r.Fprint(w)
+	return nil
+}
+
+func fig8Measurements(cfg Config) (*graph.Graph, map[core.Algorithm][]time.Duration, error) {
+	g, err := synth(cfg, "WordNet", scaleAPSPWordNet, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := overallSweep(cfg, g, []core.Algorithm{core.ParAlg1, core.ParAlg2, core.ParAPSP})
+	return g, res, err
+}
+
+func runFig8(cfg Config, w io.Writer) error {
+	g, res, err := fig8Measurements(cfg)
+	if err != nil {
+		return err
+	}
+	describe(w, "WordNet", g)
+	t := &Table{
+		Title:  "Overall elapsed time (ordering + Dijkstra phases)",
+		Header: threadsHeader("algorithm", cfg.Threads),
+	}
+	for _, alg := range []core.Algorithm{core.ParAlg1, core.ParAlg2, core.ParAPSP} {
+		t.AddRow(durationRow(alg.String(), res[alg])...)
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func runFig9(cfg Config, w io.Writer) error {
+	g, res, err := fig8Measurements(cfg)
+	if err != nil {
+		return err
+	}
+	describe(w, "WordNet", g)
+	t := &Table{
+		Title:  "Parallel speedup vs 1 thread (same runs as fig8)",
+		Header: threadsHeader("algorithm", cfg.Threads),
+	}
+	for _, alg := range []core.Algorithm{core.ParAlg1, core.ParAlg2, core.ParAPSP} {
+		row := []any{alg.String()}
+		for _, s := range Speedups(res[alg]) {
+			row = append(row, fmt.Sprintf("%.2fx", s))
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(w)
+	fmt.Fprintf(w, "  note: wall-clock speedup above 1 requires multiple hardware cores; see EXPERIMENTS.md.\n\n")
+	return nil
+}
+
+func runFig10(cfg Config, w io.Writer) error {
+	timesT := &Table{
+		Title:  "(a) ParAPSP overall elapsed time",
+		Header: threadsHeader("dataset", cfg.Threads),
+	}
+	speedT := &Table{
+		Title:  "(b) ParAPSP parallel speedup",
+		Header: threadsHeader("dataset", cfg.Threads),
+	}
+	for _, in := range datasets.Table2() {
+		g, err := synth(cfg, in.Name, scaleFig10, true)
+		if err != nil {
+			return err
+		}
+		times := make([]time.Duration, 0, len(cfg.Threads))
+		for _, p := range sortedCopy(cfg.Threads) {
+			var err error
+			d := Measure(cfg.Runs, p, func() {
+				_, err = core.Solve(g, core.ParAPSP, core.Options{Workers: p, MaxMemBytes: cfg.MaxMemBytes})
+			})
+			if err != nil {
+				return err
+			}
+			times = append(times, d)
+		}
+		timesT.AddRow(durationRow(fmt.Sprintf("%s (n=%d)", in.Name, g.N()), times)...)
+		row := []any{in.Name}
+		for _, s := range Speedups(times) {
+			row = append(row, fmt.Sprintf("%.2fx", s))
+		}
+		speedT.AddRow(row...)
+	}
+	timesT.Fprint(w)
+	speedT.Fprint(w)
+	return nil
+}
+
+func runSeqGap(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "WordNet", scaleAPSPWordNet, true)
+	if err != nil {
+		return err
+	}
+	describe(w, "WordNet", g)
+	t := &Table{
+		Title:  "Single-thread elapsed time (ordering + SSSP)",
+		Header: []string{"algorithm", "ordering", "sssp", "total", "vs basic"},
+	}
+	var basic time.Duration
+	for _, alg := range []core.Algorithm{core.SeqBasic, core.SeqOptimized, core.SeqAdaptive} {
+		// Average the phase timings reported by Solve itself so the
+		// ordering/sssp/total columns are mutually consistent.
+		var ordering, sssp time.Duration
+		runs := cfg.Runs
+		if runs < 1 {
+			runs = 1
+		}
+		Measure(runs, 1, func() {
+			res, err2 := core.Solve(g, alg, core.Options{MaxMemBytes: cfg.MaxMemBytes})
+			if err2 != nil {
+				err = err2
+				return
+			}
+			ordering += res.OrderingTime
+			sssp += res.SSSPTime
+		})
+		if err != nil {
+			return err
+		}
+		ordering /= time.Duration(runs)
+		sssp /= time.Duration(runs)
+		total := ordering + sssp
+		if alg == core.SeqBasic {
+			basic = total
+		}
+		t.AddRow(alg.String(), FormatDuration(ordering), FormatDuration(sssp),
+			FormatDuration(total), fmt.Sprintf("%.2fx", float64(basic)/float64(total)))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func runBaselines(cfg Config, w io.Writer) error {
+	// Floyd-Warshall is O(n^3): keep this workload small.
+	g, err := synth(cfg, "ca-HepPh", 0.08, true)
+	if err != nil {
+		return err
+	}
+	describe(w, "ca-HepPh", g)
+	t := &Table{
+		Title:  "Single-thread APSP elapsed time across algorithm families",
+		Header: []string{"algorithm", "time", "vs seq-optimized"},
+	}
+	type entry struct {
+		name string
+		f    func() *matrix.Matrix
+	}
+	var optTime time.Duration
+	runs := []entry{
+		{"Floyd-Warshall (O(n^3))", func() *matrix.Matrix { return baseline.FloydWarshall(g) }},
+		{"blocked Floyd-Warshall (Katz&Kider)", func() *matrix.Matrix { return baseline.BlockedFloydWarshall(g, 1) }},
+		{"repeated heap Dijkstra", func() *matrix.Matrix { return baseline.DijkstraAPSP(g) }},
+		{"repeated SPFA (no reuse)", func() *matrix.Matrix { return baseline.SPFAAPSP(g) }},
+		{"seq-basic (Peng Alg 2)", func() *matrix.Matrix {
+			r, _ := core.Solve(g, core.SeqBasic, core.Options{})
+			return r.D
+		}},
+		{"seq-optimized (Peng Alg 3)", func() *matrix.Matrix {
+			r, _ := core.Solve(g, core.SeqOptimized, core.Options{})
+			return r.D
+		}},
+	}
+	times := make([]time.Duration, len(runs))
+	var ref *matrix.Matrix
+	for i, e := range runs {
+		var D *matrix.Matrix
+		times[i] = Measure(cfg.Runs, 1, func() { D = e.f() })
+		if i == 0 {
+			ref = D
+		} else if !D.Equal(ref) {
+			return fmt.Errorf("bench: %s disagrees with Floyd-Warshall", e.name)
+		}
+		if e.name == "seq-optimized (Peng Alg 3)" {
+			optTime = times[i]
+		}
+	}
+	for i, e := range runs {
+		t.AddRow(e.name, FormatDuration(times[i]), fmt.Sprintf("%.2fx", float64(times[i])/float64(optTime)))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func runExactness(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "Livemocha", 0.01, true)
+	if err != nil {
+		return err
+	}
+	describe(w, "Livemocha", g)
+	t := &Table{
+		Title:  "Solution checksum per configuration (all rows must match)",
+		Header: []string{"configuration", "checksum"},
+	}
+	var first uint64
+	check := func(name string, D *matrix.Matrix) error {
+		cs := D.Checksum()
+		if first == 0 {
+			first = cs
+		} else if cs != first {
+			return fmt.Errorf("bench: %s produced a different solution (checksum %x != %x)", name, cs, first)
+		}
+		t.AddRow(name, fmt.Sprintf("%016x", cs))
+		return nil
+	}
+	if err := check("Floyd-Warshall", baseline.FloydWarshall(g)); err != nil {
+		return err
+	}
+	for _, alg := range []core.Algorithm{core.SeqBasic, core.SeqOptimized, core.SeqAdaptive, core.ParAlg1, core.ParAlg2, core.ParAPSP} {
+		res, err := core.Solve(g, alg, core.Options{Workers: 4, MaxMemBytes: cfg.MaxMemBytes})
+		if err != nil {
+			return err
+		}
+		if err := check(alg.String()+" (4 thr)", res.D); err != nil {
+			return err
+		}
+	}
+	for _, scheme := range []sched.Scheme{sched.Block, sched.StaticCyclic, sched.DynamicCyclic, sched.DynamicChunk, sched.Guided} {
+		res, err := core.Solve(g, core.ParAPSP, core.Options{Workers: 4, MaxMemBytes: cfg.MaxMemBytes}.WithSchedule(scheme))
+		if err != nil {
+			return err
+		}
+		if err := check("ParAPSP "+scheme.String(), res.D); err != nil {
+			return err
+		}
+	}
+	for _, proc := range []order.Procedure{order.ParBucketsProc, order.ParMaxProc, order.MultiListsProc} {
+		res, err := core.Solve(g, core.ParAPSP, core.Options{Workers: 4, Ordering: proc, MaxMemBytes: cfg.MaxMemBytes})
+		if err != nil {
+			return err
+		}
+		if err := check("ParAPSP ordering="+proc.String(), res.D); err != nil {
+			return err
+		}
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func runAblationQueue(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "Flickr", scaleAPSPFlickr, true)
+	if err != nil {
+		return err
+	}
+	describe(w, "Flickr", g)
+	t := &Table{
+		Title:  "ParAPSP overall time by queue discipline",
+		Header: threadsHeader("queue", cfg.Threads),
+	}
+	for _, variant := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"dedup FIFO (SPFA bitmap)", core.Options{}},
+		{"paper FIFO (duplicates)", core.Options{PaperQueue: true}},
+		{"binary heap (Dijkstra)", core.Options{HeapQueue: true}},
+	} {
+		times := make([]time.Duration, 0, len(cfg.Threads))
+		for _, p := range sortedCopy(cfg.Threads) {
+			opts := variant.opts
+			opts.Workers = p
+			opts.MaxMemBytes = cfg.MaxMemBytes
+			var err error
+			d := Measure(cfg.Runs, p, func() {
+				_, err = core.Solve(g, core.ParAPSP, opts)
+			})
+			if err != nil {
+				return err
+			}
+			times = append(times, d)
+		}
+		t.AddRow(durationRow(variant.name, times)...)
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func runAblationBuckets(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "WordNet", scaleAPSPWordNet, true)
+	if err != nil {
+		return err
+	}
+	describe(w, "WordNet", g)
+	degrees := g.Degrees()
+	t := &Table{
+		Title:  "SSSP-phase time (4 threads) and order quality by bucket count",
+		Header: []string{"ordering", "exact?", "sssp time"},
+	}
+	cases := []struct {
+		name string
+		src  []int32
+	}{
+		{"ParBuckets 100+1", order.ParBuckets(degrees, 4, 100)},
+		{"ParBuckets 1000+1", order.ParBuckets(degrees, 4, 1000)},
+		{"ParMax (max+1)", order.ParMax(degrees, 4, 0.01)},
+		{"MultiLists", order.MultiLists(degrees, 4, 0.1)},
+	}
+	for _, c := range cases {
+		exact := order.SortedByKeysDesc(degrees, c.src)
+		var err error
+		d := Measure(cfg.Runs, 4, func() {
+			_, _, err = core.SSSPPhase(g, c.src, 4, sched.DynamicCyclic, core.Options{})
+		})
+		if err != nil {
+			return err
+		}
+		t.AddRow(c.name, fmt.Sprintf("%v", exact), FormatDuration(d))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func runAblationThreshold(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "WordNet", scaleOrderWordNet, false)
+	if err != nil {
+		return err
+	}
+	describe(w, "WordNet", g)
+	degrees := g.Degrees()
+	t := &Table{
+		Title:  "ParMax ordering time by parallel/sequential threshold (4 threads)",
+		Header: []string{"threshold", "ordering time", "exact?"},
+	}
+	for _, th := range []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5} {
+		var src []int32
+		d := Measure(cfg.Runs, 4, func() {
+			src = order.ParMax(degrees, 4, th)
+		})
+		t.AddRow(fmt.Sprintf("%.1f%%", th*100), FormatDuration(d),
+			fmt.Sprintf("%v", order.SortedByKeysDesc(degrees, src)))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func runAblationReuse(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "WordNet", scaleAPSPWordNet, true)
+	if err != nil {
+		return err
+	}
+	describe(w, "WordNet", g)
+	t := &Table{
+		Title:  "ParAPSP overall time: completed-row reuse on (default) vs off",
+		Header: threadsHeader("row reuse", cfg.Threads),
+	}
+	for _, disable := range []bool{false, true} {
+		times := make([]time.Duration, 0, len(cfg.Threads))
+		for _, p := range sortedCopy(cfg.Threads) {
+			var err error
+			d := Measure(cfg.Runs, p, func() {
+				_, err = core.Solve(g, core.ParAPSP, core.Options{Workers: p, DisableRowReuse: disable, MaxMemBytes: cfg.MaxMemBytes})
+			})
+			if err != nil {
+				return err
+			}
+			times = append(times, d)
+		}
+		name := "on (modified Dijkstra)"
+		if disable {
+			name = "off (plain SPFA)"
+		}
+		t.AddRow(durationRow(name, times)...)
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// runComplexity repeats Peng et al.'s empirical-complexity methodology: a
+// sweep of scale-free graph sizes, single-thread runs, and a least-squares
+// power-law fit of runtime against n.
+func runComplexity(cfg Config, w io.Writer) error {
+	sizes := []int{400, 800, 1600, 3200}
+	if cfg.Scale > 1 {
+		for i := range sizes {
+			sizes[i] = int(float64(sizes[i]) * cfg.Scale)
+		}
+	}
+	t := &Table{
+		Title:  "Single-thread runtime across graph sizes (Barabasi-Albert, m=4)",
+		Header: []string{"n", "seq-basic", "seq-optimized"},
+	}
+	var ns, basicTimes, optTimes []float64
+	for _, n := range sizes {
+		if need := matrix.EstimateMemBytes(n); need > cfg.MaxMemBytes {
+			fmt.Fprintf(w, "  skipping n=%d: matrix needs %d MB (bound %d MB)\n", n, need>>20, cfg.MaxMemBytes>>20)
+			continue
+		}
+		g0, err := gen.BarabasiAlbert(n, 4, cfg.Seed, gen.Weighting{})
+		if err != nil {
+			return err
+		}
+		g, err := gen.Relabel(g0, cfg.Seed+1)
+		if err != nil {
+			return err
+		}
+		var dBasic, dOpt time.Duration
+		dBasic = Measure(cfg.Runs, 1, func() {
+			if _, err2 := core.Solve(g, core.SeqBasic, core.Options{}); err2 != nil {
+				err = err2
+			}
+		})
+		dOpt = Measure(cfg.Runs, 1, func() {
+			if _, err2 := core.Solve(g, core.SeqOptimized, core.Options{}); err2 != nil {
+				err = err2
+			}
+		})
+		if err != nil {
+			return err
+		}
+		t.AddRow(n, FormatDuration(dBasic), FormatDuration(dOpt))
+		ns = append(ns, float64(n))
+		basicTimes = append(basicTimes, dBasic.Seconds())
+		optTimes = append(optTimes, dOpt.Seconds())
+	}
+	t.Fprint(w)
+	ft := &Table{
+		Title:  "Power-law fit runtime ~ a * n^b (Peng et al.: b ~ 2.4)",
+		Header: []string{"algorithm", "exponent b", "R^2"},
+	}
+	for _, fit := range []struct {
+		name  string
+		times []float64
+	}{{"seq-basic", basicTimes}, {"seq-optimized", optTimes}} {
+		b, _, r2, err := stats.PowerLawFit(ns, fit.times)
+		if err != nil {
+			return err
+		}
+		ft.AddRow(fit.name, fmt.Sprintf("%.2f", b), fmt.Sprintf("%.3f", r2))
+	}
+	ft.Fprint(w)
+	return nil
+}
+
+// runDistMem exercises the future-work prototype: the simulated
+// distributed-memory ParAPSP across node counts, reporting runtime and
+// the communication a real MPI port would pay.
+func runDistMem(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "WordNet", scaleAPSPWordNet, true)
+	if err != nil {
+		return err
+	}
+	describe(w, "WordNet", g)
+	ref, err := core.Solve(g, core.ParAPSP, core.Options{Workers: 4, MaxMemBytes: cfg.MaxMemBytes})
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:  "Simulated distributed ParAPSP by node count (broadcast row exchange)",
+		Header: []string{"nodes", "time", "messages", "MB sent", "remote folds", "local folds", "exact?"},
+	}
+	for _, nodes := range []int{1, 2, 4, 8} {
+		var st dist.Stats
+		var D *matrix.Matrix
+		d := Measure(cfg.Runs, nodes, func() {
+			D, st, err = dist.Solve(g, dist.Config{Nodes: nodes})
+		})
+		if err != nil {
+			return err
+		}
+		t.AddRow(nodes, FormatDuration(d), st.Messages,
+			fmt.Sprintf("%.1f", float64(st.Bytes)/(1<<20)),
+			st.RemoteFolds, st.LocalFolds,
+			fmt.Sprintf("%v", D.Equal(ref.D)))
+	}
+	t.Fprint(w)
+	// Communication ablation: what the row exchange buys.
+	at := &Table{
+		Title:  "Broadcast ablation at 4 nodes",
+		Header: []string{"row exchange", "time", "remote folds"},
+	}
+	for _, disable := range []bool{false, true} {
+		var st dist.Stats
+		d := Measure(cfg.Runs, 4, func() {
+			_, st, err = dist.Solve(g, dist.Config{Nodes: 4, DisableBroadcast: disable})
+		})
+		if err != nil {
+			return err
+		}
+		name := "on"
+		if disable {
+			name = "off (own rows only)"
+		}
+		at.AddRow(name, FormatDuration(d), st.RemoteFolds)
+	}
+	at.Fprint(w)
+	return nil
+}
+
+// runWorkStats prints the work counters that explain the paper's results
+// mechanistically: the degree-descending order raises the fold rate
+// (completed-row reuse), which slashes edge scans.
+func runWorkStats(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "WordNet", scaleAPSPWordNet, true)
+	if err != nil {
+		return err
+	}
+	describe(w, "WordNet", g)
+	t := &Table{
+		Title:  "Work counters per configuration (4 workers)",
+		Header: []string{"configuration", "pops", "folds", "fold rate", "edge scans", "enqueues"},
+	}
+	for _, c := range []struct {
+		name string
+		alg  core.Algorithm
+		opts core.Options
+	}{
+		{"ParAlg1 (identity order)", core.ParAlg1, core.Options{}},
+		{"ParAPSP (degree order)", core.ParAPSP, core.Options{}},
+		{"ParAPSP, reuse disabled", core.ParAPSP, core.Options{DisableRowReuse: true}},
+		{"ParAPSP, ParBuckets order", core.ParAPSP, core.Options{Ordering: order.ParBucketsProc}},
+	} {
+		opts := c.opts
+		opts.Workers = 4
+		opts.MaxMemBytes = cfg.MaxMemBytes
+		res, err := core.Solve(g, c.alg, opts)
+		if err != nil {
+			return err
+		}
+		st := res.Stats
+		t.AddRow(c.name, st.Pops, st.Folds, fmt.Sprintf("%.3f", st.FoldRate()), st.EdgeScans, st.Enqueues)
+	}
+	t.Fprint(w)
+	fmt.Fprintf(w, "  reading: higher fold rate = more dynamic-programming reuse = less edge work.\n\n")
+	return nil
+}
+
+// runWeighted verifies the library's weighted-graph path end to end at
+// benchmark scale: the paper's datasets are unweighted, but the algorithms
+// are defined over positive weights.
+func runWeighted(cfg Config, w io.Writer) error {
+	scale := scaleAPSPWordNet * cfg.Scale
+	if scale > 1 {
+		scale = 1
+	}
+	n, err := datasets.ScaledSize("WordNet", scale)
+	if err != nil {
+		return err
+	}
+	if need := matrix.EstimateMemBytes(n); need > cfg.MaxMemBytes {
+		return fmt.Errorf("bench: weighted workload needs %d MB", need>>20)
+	}
+	base, err := gen.BarabasiAlbert(n, 4, cfg.Seed, gen.Weighting{Min: 1, Max: 64})
+	if err != nil {
+		return err
+	}
+	g, err := gen.Relabel(base, cfg.Seed+1)
+	if err != nil {
+		return err
+	}
+	describe(w, "weighted BA", g)
+	ref := baseline.DijkstraAPSP(g)
+	t := &Table{
+		Title:  "Weighted-graph run (uniform weights in [1,64])",
+		Header: []string{"algorithm", "time", "matches heap Dijkstra"},
+	}
+	for _, alg := range []core.Algorithm{core.SeqBasic, core.ParAlg2, core.ParAPSP} {
+		var res *core.Result
+		var err error
+		d := Measure(cfg.Runs, 4, func() {
+			res, err = core.Solve(g, alg, core.Options{Workers: 4, MaxMemBytes: cfg.MaxMemBytes})
+		})
+		if err != nil {
+			return err
+		}
+		t.AddRow(alg.String(), FormatDuration(d), fmt.Sprintf("%v", res.D.Equal(ref)))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// runFig9Amdahl regenerates Figure 9's *shape* on a single-core host: it
+// measures the sequential ordering cost and the (parallelizable) SSSP
+// cost at a larger scale, then projects each algorithm's speedup curve by
+// Amdahl's law. This is the paper's argument made quantitative: ParAlg2's
+// selection sort is a serial fraction that caps its speedup, ParAPSP's
+// MultiLists ordering is parallel and negligible, so its projection is
+// essentially linear.
+func runFig9Amdahl(cfg Config, w io.Writer) error {
+	scale := 0.1 * cfg.Scale // n ~ 14.6k: ordering fraction visible
+	if scale > 1 {
+		scale = 1
+	}
+	n, err := datasets.ScaledSize("WordNet", scale)
+	if err != nil {
+		return err
+	}
+	if need := matrix.EstimateMemBytes(n); need > cfg.MaxMemBytes {
+		return fmt.Errorf("bench: fig9-amdahl needs %d MB for n=%d", need>>20, n)
+	}
+	g, _, err := datasets.Synthesize("WordNet", scale, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	describe(w, "WordNet", g)
+	degrees := g.Degrees()
+
+	var src []int32
+	tSel := Measure(cfg.Runs, 1, func() { src = order.SelectionSort(degrees, 1.0) })
+	tML := Measure(cfg.Runs, 1, func() { order.MultiLists(degrees, 1, 0.1) })
+	var errSSSP error
+	tSSSP := Measure(1, 1, func() {
+		_, _, errSSSP = core.SSSPPhase(g, src, 1, sched.DynamicCyclic, core.Options{})
+	})
+	if errSSSP != nil {
+		return errSSSP
+	}
+	fmt.Fprintf(w, "  measured at n=%d: ordering selection=%s multilists=%s, sssp(1 worker)=%s\n",
+		n, FormatDuration(tSel), FormatDuration(tML), FormatDuration(tSSSP))
+	fmt.Fprintf(w, "  serial fraction of ParAlg2 = %.2f%%; of ParAPSP ~ 0%% (MultiLists parallelizes)\n\n",
+		100*float64(tSel)/float64(tSel+tSSSP))
+
+	t := &Table{
+		Title:  "Amdahl-projected speedup (the shape of the paper's Figure 9)",
+		Header: []string{"threads", "ParAlg1 (no ordering)", "ParAlg2 (serial selection)", "ParAPSP (parallel MultiLists)"},
+	}
+	total2 := float64(tSel + tSSSP)
+	totalA := float64(tML + tSSSP)
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		pa1 := float64(p) // identity order: fully parallel loop
+		pa2 := total2 / (float64(tSel) + float64(tSSSP)/float64(p))
+		pap := totalA / (float64(tML)/float64(p) + float64(tSSSP)/float64(p))
+		t.AddRow(p, fmt.Sprintf("%.1fx", pa1), fmt.Sprintf("%.1fx", pa2), fmt.Sprintf("%.1fx", pap))
+	}
+	t.Fprint(w)
+	fmt.Fprintf(w, "  at the paper's full n=146k the selection sort is 45 s of a 1300 s run (serial\n")
+	fmt.Fprintf(w, "  fraction 3.5%%), capping ParAlg2 near 10.5x at 16 threads while ParAPSP stays\n")
+	fmt.Fprintf(w, "  linear — exactly the divergence Figure 9 plots.\n\n")
+	return nil
+}
+
+// runOracle profiles the landmark distance oracle: accuracy and memory
+// against landmark count — the practical regime past the paper's O(n^2)
+// memory wall.
+func runOracle(cfg Config, w io.Writer) error {
+	g, err := synth(cfg, "WordNet", scaleAPSPWordNet, true)
+	if err != nil {
+		return err
+	}
+	describe(w, "WordNet", g)
+	truth, err := core.Solve(g, core.ParAPSP, core.Options{Workers: 4, MaxMemBytes: cfg.MaxMemBytes})
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:  "Landmark oracle vs exact APSP (2000 random queries)",
+		Header: []string{"landmarks", "build time", "memory", "exact", "mean slack", "max slack"},
+	}
+	n := g.N()
+	for _, k := range []int{4, 8, 16, 32, 64} {
+		var o *oracle.Oracle
+		d := Measure(cfg.Runs, 4, func() {
+			o, err = oracle.Build(g, oracle.Options{Landmarks: k, Workers: 4})
+		})
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		var slackSum float64
+		var maxSlack matrix.Dist
+		exact, count := 0, 0
+		for q := 0; q < 2000; q++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			dTrue := truth.D.At(int(u), int(v))
+			if dTrue == matrix.Inf {
+				continue
+			}
+			est := o.Estimate(u, v)
+			if est < dTrue {
+				return fmt.Errorf("bench: oracle estimate %d below truth %d", est, dTrue)
+			}
+			slack := est - dTrue
+			if slack == 0 {
+				exact++
+			}
+			if slack > maxSlack {
+				maxSlack = slack
+			}
+			slackSum += float64(slack)
+			count++
+		}
+		t.AddRow(k, FormatDuration(d), fmt.Sprintf("%d KiB", o.MemBytes()>>10),
+			fmt.Sprintf("%.1f%%", 100*float64(exact)/float64(count)),
+			fmt.Sprintf("%.3f", slackSum/float64(count)), maxSlack)
+	}
+	t.Fprint(w)
+	fmt.Fprintf(w, "  the full matrix for this n is %d MiB; the oracle answers from KiB-scale rows.\n\n",
+		matrix.EstimateMemBytes(n)>>20)
+	return nil
+}

@@ -1,0 +1,367 @@
+// Package core implements the paper's APSP algorithms: Peng et al.'s
+// modified Dijkstra procedure (Algorithm 1) and basic/optimized/adaptive
+// sequential solvers (Algorithms 2-3), and the paper's parallel solvers —
+// ParAlg1, ParAlg2, and the contributed ParAPSP (Algorithms 4 and 8) —
+// with pluggable ordering procedures and loop schedules so every
+// configuration measured in the evaluation section can be reproduced.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+	"parapsp/internal/order"
+	"parapsp/internal/sched"
+)
+
+// Algorithm identifies an APSP solver configuration from the paper.
+type Algorithm int
+
+const (
+	// SeqBasic is Algorithm 2: the modified Dijkstra procedure applied to
+	// sources 0..n-1 in index order, single-threaded.
+	// The zero Algorithm value is deliberately invalid so that
+	// higher-level option structs can treat it as "default".
+	SeqBasic Algorithm = iota + 1
+	// SeqOptimized is Algorithm 3: sources in descending degree order
+	// found by the O(n^2) selection sort, single-threaded.
+	SeqOptimized
+	// SeqAdaptive is Peng et al.'s adaptive variant: the source order is
+	// re-prioritized between iterations by how often each completed row
+	// was actually reused. The paper chose not to parallelize it; it is
+	// provided for the sequential comparison it mentions.
+	SeqAdaptive
+	// ParAlg1 is the parallel basic algorithm (Section 3.1): independent
+	// modified-Dijkstra runs over sources in index order.
+	ParAlg1
+	// ParAlg2 is Algorithm 4: the sequential selection-sort ordering
+	// followed by a schedule(dynamic,1) parallel loop over the ordered
+	// sources.
+	ParAlg2
+	// ParAPSP is Algorithm 8, the paper's contribution: the MultiLists
+	// parallel ordering followed by the same dynamic-cyclic source loop.
+	ParAPSP
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case SeqBasic:
+		return "seq-basic"
+	case SeqOptimized:
+		return "seq-optimized"
+	case SeqAdaptive:
+		return "seq-adaptive"
+	case ParAlg1:
+		return "ParAlg1"
+	case ParAlg2:
+		return "ParAlg2"
+	case ParAPSP:
+		return "ParAPSP"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Valid reports whether a names a known algorithm.
+func (a Algorithm) Valid() bool { return a >= SeqBasic && a <= ParAPSP }
+
+// ParseAlgorithm maps a name (as printed by String) to an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for a := SeqBasic; a <= ParAPSP; a++ {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q", name)
+}
+
+// Options tunes a Solve run. The zero value reproduces the paper's
+// configuration of the chosen algorithm.
+type Options struct {
+	// Workers is the thread count of the parallel algorithms
+	// (ignored, treated as 1, by the sequential ones).
+	Workers int
+	// Schedule overrides the loop schedule of the parallel source loop.
+	// Default: DynamicCyclic for ParAlg2/ParAPSP (the paper's choice,
+	// Figure 1) and for ParAlg1.
+	Schedule sched.Scheme
+	// scheduleSet distinguishes an explicit Block (0) from the default.
+	// Set via WithSchedule.
+	scheduleSet bool
+	// Ordering overrides the ordering procedure of ParAPSP, which the
+	// Section 4 experiments vary between ParBuckets, ParMax and
+	// MultiLists. Zero value (Identity) means "the algorithm's own
+	// default". It is ignored by algorithms whose ordering is fixed by
+	// definition (ParAlg1/ParAlg2 and the sequential solvers).
+	Ordering order.Procedure
+	// OrderingConfig tunes the ordering procedure; zero fields take the
+	// paper's defaults. Workers inside it is overridden by Options.Workers.
+	OrderingConfig order.Config
+	// Ratio is Algorithm 3's partial ordering ratio r for the
+	// selection-sort based algorithms. 0 means the paper's r = 1.0.
+	Ratio float64
+	// HeapQueue switches the modified Dijkstra from the paper's FIFO
+	// label-correcting queue to a binary min-heap (classic Dijkstra with
+	// lazy deletion). Solutions are identical; this is the queue-discipline
+	// ablation. Incompatible with TrackPaths and PaperQueue.
+	HeapQueue bool
+	// PaperQueue makes the modified Dijkstra enqueue duplicates exactly
+	// as written in Algorithm 1 line 16, instead of the default
+	// SPFA-style membership test. Semantics are identical; this exists
+	// for the queue-dedup ablation.
+	PaperQueue bool
+	// DisableRowReuse turns off the dynamic-programming reuse of
+	// completed rows (the flag mechanism), degrading every solver to a
+	// plain repeated label-correcting search. Ablation only: it isolates
+	// the benefit the paper credits for its hyper-linear speedup.
+	DisableRowReuse bool
+	// MaxMemBytes, when non-zero, makes Solve fail instead of allocating
+	// a distance matrix larger than this bound. The paper's experiments
+	// are memory-gated (sx-superuser needs 160 GB); this is the guard.
+	MaxMemBytes uint64
+	// TrackPaths additionally computes the next-hop successor matrix so
+	// shortest paths (not just distances) can be reconstructed. Doubles
+	// the memory footprint. Not supported by SeqAdaptive.
+	TrackPaths bool
+}
+
+// WithSchedule returns o with the loop schedule set explicitly.
+func (o Options) WithSchedule(s sched.Scheme) Options {
+	o.Schedule = s
+	o.scheduleSet = true
+	return o
+}
+
+// Result is the outcome of a Solve run, with the phase split the paper's
+// Section 4 and 5 experiments report (ordering time vs Dijkstra-part time).
+type Result struct {
+	// D is the distance matrix: D.At(u,v) is the shortest-path distance
+	// from u to v, matrix.Inf if v is unreachable from u.
+	D *matrix.Matrix
+	// Next is the successor matrix for path reconstruction; non-nil only
+	// when Options.TrackPaths was set.
+	Next *NextHop
+	// Order is the source order the run used (nil for SeqBasic/ParAlg1,
+	// whose order is the identity).
+	Order []int32
+	// OrderingTime is the elapsed wall time of the ordering procedure.
+	OrderingTime time.Duration
+	// SSSPTime is the elapsed wall time of the iterated modified
+	// Dijkstra loop (the paper's "Dijkstra algorithm part").
+	SSSPTime time.Duration
+	// Stats aggregates the work performed (pops, folds, edge scans);
+	// collected by the default FIFO distance-only solver, zero for the
+	// paths/heap variants and SeqAdaptive.
+	Stats Counters
+	// Algorithm and Workers echo the configuration for reporting.
+	Algorithm Algorithm
+	Workers   int
+}
+
+// Total returns the overall elapsed time (ordering + SSSP phases).
+func (r *Result) Total() time.Duration { return r.OrderingTime + r.SSSPTime }
+
+// Errors returned by Solve.
+var (
+	ErrMemory  = errors.New("core: distance matrix exceeds memory bound")
+	ErrInvalid = errors.New("core: invalid configuration")
+)
+
+// Solve runs the selected APSP algorithm on g and returns the distance
+// matrix plus phase timings. All algorithms produce the exact APSP
+// solution; they differ only in running time.
+func Solve(g *graph.Graph, alg Algorithm, opts Options) (*Result, error) {
+	if !alg.Valid() {
+		return nil, fmt.Errorf("%w: algorithm %d", ErrInvalid, int(alg))
+	}
+	if opts.Ordering != order.Identity && !opts.Ordering.Valid() {
+		return nil, fmt.Errorf("%w: ordering %d", ErrInvalid, int(opts.Ordering))
+	}
+	if alg == SeqAdaptive && opts.TrackPaths {
+		return nil, fmt.Errorf("%w: TrackPaths is not supported by SeqAdaptive", ErrInvalid)
+	}
+	if opts.HeapQueue && (opts.TrackPaths || opts.PaperQueue || alg == SeqAdaptive) {
+		return nil, fmt.Errorf("%w: HeapQueue cannot combine with TrackPaths, PaperQueue, or SeqAdaptive", ErrInvalid)
+	}
+	n := g.N()
+	if opts.MaxMemBytes != 0 {
+		need := matrix.EstimateMemBytes(n)
+		if opts.TrackPaths {
+			need *= 2 // next-hop matrix is the same size again
+		}
+		if need > opts.MaxMemBytes {
+			return nil, fmt.Errorf("%w: need %d bytes for n=%d, bound %d", ErrMemory, need, n, opts.MaxMemBytes)
+		}
+	}
+	workers := sched.Workers(opts.Workers)
+	res := &Result{Algorithm: alg, Workers: workers}
+
+	// Phase 1: source ordering.
+	start := time.Now()
+	var src []int32
+	var err error
+	switch alg {
+	case SeqBasic, ParAlg1, SeqAdaptive:
+		// Identity order; SeqAdaptive re-orders on the fly during phase 2.
+	case SeqOptimized, ParAlg2:
+		src = order.SelectionSort(g.Degrees(), ratioOrDefault(opts.Ratio))
+	case ParAPSP:
+		proc := opts.Ordering
+		if proc == order.Identity {
+			proc = order.MultiListsProc
+		}
+		cfg := opts.OrderingConfig
+		cfg.Workers = workers
+		src, err = order.Run(proc, g.Degrees(), cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.OrderingTime = time.Since(start)
+	res.Order = src
+
+	// Phase 2: iterated modified Dijkstra over the ordered sources.
+	D := matrix.New(n)
+	D.InitAPSP()
+	var nh *NextHop
+	if opts.TrackPaths {
+		nh = newNextHop(n)
+	}
+	start = time.Now()
+	switch alg {
+	case SeqBasic, SeqOptimized:
+		res.Stats = runSequential(g, src, D, nh, opts)
+	case SeqAdaptive:
+		res.Order = runAdaptive(g, D, opts)
+	case ParAlg1, ParAlg2, ParAPSP:
+		res.Stats = runParallel(g, src, D, nh, workers, scheduleFor(alg, opts), opts)
+	}
+	res.SSSPTime = time.Since(start)
+	res.D = D
+	res.Next = nh
+	return res, nil
+}
+
+func ratioOrDefault(r float64) float64 {
+	if r == 0 {
+		return 1.0
+	}
+	return r
+}
+
+// scheduleFor resolves the loop schedule: an explicit WithSchedule wins,
+// otherwise the paper's dynamic-cyclic choice.
+func scheduleFor(alg Algorithm, opts Options) sched.Scheme {
+	if opts.scheduleSet {
+		return opts.Schedule
+	}
+	if opts.Schedule != sched.Block { // non-zero value set directly
+		return opts.Schedule
+	}
+	_ = alg
+	return sched.DynamicCyclic
+}
+
+// runSequential iterates the modified Dijkstra over sources in the given
+// order (nil = identity), single-threaded. This is Algorithms 2 and 3.
+func runSequential(g *graph.Graph, src []int32, D *matrix.Matrix, nh *NextHop, opts Options) Counters {
+	n := g.N()
+	flags := newFlags(n)
+	sc := newScratch(n)
+	var hsc *heapScratch
+	if opts.HeapQueue {
+		hsc = newHeapScratch(n)
+	}
+	for i := 0; i < n; i++ {
+		s := int32(i)
+		if src != nil {
+			s = src[i]
+		}
+		switch {
+		case nh != nil:
+			modifiedDijkstraPaths(g, s, D, nh, flags, sc, opts)
+		case hsc != nil:
+			modifiedDijkstraHeap(g, s, D, flags, hsc, opts)
+		default:
+			modifiedDijkstra(g, s, D, flags, sc, opts)
+		}
+	}
+	return sc.stats
+}
+
+// runParallel is the shared engine of ParAlg1/ParAlg2/ParAPSP: a parallel
+// loop over the ordered sources, each iteration one full modified-Dijkstra
+// run. Workers keep private queue scratch; completed rows are published
+// through the atomic flag array, so concurrently running searches can fold
+// them in exactly as the sequential algorithm would.
+func runParallel(g *graph.Graph, src []int32, D *matrix.Matrix, nh *NextHop, workers int, scheme sched.Scheme, opts Options) Counters {
+	n := g.N()
+	flags := newFlags(n)
+	scratches := make([]*scratch, workers)
+	heapScratches := make([]*heapScratch, workers)
+	sched.ParallelWorkers(n, workers, scheme, func(w, i int) {
+		s := int32(i)
+		if src != nil {
+			s = src[i]
+		}
+		if opts.HeapQueue {
+			hsc := heapScratches[w]
+			if hsc == nil {
+				hsc = newHeapScratch(n)
+				heapScratches[w] = hsc
+			}
+			modifiedDijkstraHeap(g, s, D, flags, hsc, opts)
+			return
+		}
+		sc := scratches[w]
+		if sc == nil {
+			sc = newScratch(n)
+			scratches[w] = sc
+		}
+		if nh != nil {
+			modifiedDijkstraPaths(g, s, D, nh, flags, sc, opts)
+		} else {
+			modifiedDijkstra(g, s, D, flags, sc, opts)
+		}
+	})
+	var total Counters
+	for _, sc := range scratches {
+		if sc != nil {
+			total.Add(sc.stats)
+		}
+	}
+	return total
+}
+
+// OrderingOnly runs just the ordering procedure of a configuration and
+// returns the order and its elapsed time. The Section 4 experiments
+// (Table 1, Figures 4 and 6) time this phase in isolation.
+func OrderingOnly(g *graph.Graph, proc order.Procedure, cfg order.Config) ([]int32, time.Duration, error) {
+	degrees := g.Degrees()
+	start := time.Now()
+	src, err := order.Run(proc, degrees, cfg)
+	return src, time.Since(start), err
+}
+
+// SSSPPhase runs only the iterated-Dijkstra phase over a precomputed source
+// order and returns the distance matrix and elapsed time. Figure 5 times
+// this phase under orders produced by different procedures.
+func SSSPPhase(g *graph.Graph, src []int32, workers int, scheme sched.Scheme, opts Options) (*matrix.Matrix, time.Duration, error) {
+	n := g.N()
+	if src != nil && !order.IsPermutation(src, n) {
+		return nil, 0, fmt.Errorf("%w: source order is not a permutation of [0,%d)", ErrInvalid, n)
+	}
+	D := matrix.New(n)
+	D.InitAPSP()
+	start := time.Now()
+	if sched.Workers(workers) == 1 {
+		runSequential(g, src, D, nil, opts)
+	} else {
+		runParallel(g, src, D, nil, workers, scheme, opts)
+	}
+	return D, time.Since(start), nil
+}

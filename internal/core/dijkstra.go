@@ -1,0 +1,235 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+// flags is the shared completion vector of Algorithm 1 ("vector flag").
+// flags.done(t) == true means the full SSSP row of t is final and will
+// never be written again, so any other search may fold it in.
+//
+// Publication protocol: the owner of source t writes its whole row, then
+// calls set(t) — an atomic store. A reader that observes done(t) == true
+// via the atomic load is therefore guaranteed (Go memory model: the store
+// is a release, the load an acquire) to see every row entry. This is what
+// makes the parallel algorithms produce the exact sequential solution
+// without locking the matrix.
+type flags struct {
+	v []atomic.Uint32
+}
+
+func newFlags(n int) *flags { return &flags{v: make([]atomic.Uint32, n)} }
+
+func (f *flags) done(t int32) bool { return f.v[t].Load() != 0 }
+func (f *flags) set(t int32)       { f.v[t].Store(1) }
+
+// scratch is the per-worker reusable state of one modified-Dijkstra run:
+// the FIFO vertex queue and (in dedup mode) the queue-membership bitmap.
+// Reusing it across the worker's sources removes per-source allocation,
+// which would otherwise dominate small-graph runs.
+type scratch struct {
+	queue   []int32
+	inQueue []bool
+	stats   Counters
+}
+
+func newScratch(n int) *scratch {
+	return &scratch{queue: make([]int32, 0, 64), inQueue: make([]bool, n)}
+}
+
+// modifiedDijkstra is Algorithm 1: a label-correcting single-source search
+// from s into row D[s], reusing any completed row it encounters.
+//
+// The procedure maintains a FIFO queue of vertices whose tentative distance
+// improved. When a dequeued vertex t already has a final row (flag[t] set),
+// the whole row is folded in — D[s,v] <- min(D[s,v], D[s,t]+D[t,v]) — and
+// t's edges are NOT expanded: row t already dominates every continuation
+// through t, including continuations of the vertices the fold just
+// improved, so fold improvements need no re-enqueue. Otherwise t's
+// outgoing edges are relaxed and improved endpoints are enqueued
+// (lines 13-18). The search terminates because weights are positive and
+// each enqueue requires a strict distance decrease.
+//
+// In dedup mode (the default) a vertex already in the queue is not
+// enqueued twice — the classic SPFA refinement, which changes no distances
+// because a queued vertex is processed with its latest tentative distance
+// anyway. With opts.PaperQueue the duplicate enqueues of the pseudocode
+// are kept verbatim.
+func modifiedDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *scratch, opts Options) {
+	row := D.Row(int(s))
+	row[s] = 0 // line 2 (idempotent after InitAPSP)
+
+	dedup := !opts.PaperQueue
+	reuse := !opts.DisableRowReuse
+
+	q := sc.queue[:0]
+	q = append(q, s)
+	if dedup {
+		sc.inQueue[s] = true
+	}
+	head := 0
+	st := &sc.stats
+	for head < len(q) {
+		t := q[head]
+		head++
+		st.Pops++
+		// Reclaim consumed prefix occasionally so the backing array does
+		// not grow with total enqueues.
+		if head > 1024 && head*2 >= len(q) {
+			q = q[:copy(q, q[head:])]
+			head = 0
+		}
+		if dedup {
+			sc.inQueue[t] = false
+		}
+		dt := row[t]
+
+		if reuse && t != s && f.done(t) {
+			// Lines 6-11: fold in the completed row of t.
+			st.Folds++
+			rt := D.Row(int(t))
+			for v, dtv := range rt {
+				if dtv == matrix.Inf {
+					continue
+				}
+				if nd := matrix.AddSat(dt, dtv); nd < row[v] {
+					row[v] = nd
+					st.FoldUpdates++
+				}
+			}
+			continue
+		}
+
+		// Lines 13-18: relax t's outgoing edges.
+		adj, w := g.NeighborsW(t)
+		st.EdgeScans += int64(len(adj))
+		if w == nil {
+			// Unweighted fast path: every edge weighs 1.
+			nd := matrix.AddSat(dt, 1)
+			for _, v := range adj {
+				if nd < row[v] {
+					row[v] = nd
+					st.EdgeUpdates++
+					if !dedup {
+						q = append(q, v)
+						st.Enqueues++
+					} else if !sc.inQueue[v] {
+						sc.inQueue[v] = true
+						q = append(q, v)
+						st.Enqueues++
+					}
+				}
+			}
+		} else {
+			for i, v := range adj {
+				if nd := matrix.AddSat(dt, w[i]); nd < row[v] {
+					row[v] = nd
+					st.EdgeUpdates++
+					if !dedup {
+						q = append(q, v)
+						st.Enqueues++
+					} else if !sc.inQueue[v] {
+						sc.inQueue[v] = true
+						q = append(q, v)
+						st.Enqueues++
+					}
+				}
+			}
+		}
+	}
+	sc.queue = q[:0]
+	f.set(s) // line 21: publish the completed row
+}
+
+// runAdaptive implements Peng et al.'s adaptive optimization as described
+// in Section 2.2 of the paper: the source order is adapted between
+// iterations, giving priority to vertices that were "actually in the
+// middle of shortest paths of two other vertices".
+//
+// Peng et al.'s exact bookkeeping is not reproduced in the ICPP paper, so
+// this implementation uses the natural reading (documented in DESIGN.md):
+// it counts, per vertex, how many times its completed row was folded into
+// another search (a direct measure of being a useful intermediate), and at
+// each iteration selects the unprocessed vertex with the highest
+// (reuseCount, degree) pair. The selection scan is O(n) per iteration —
+// the loop-carried dependence that made the paper decline to parallelize
+// this variant.
+func runAdaptive(g *graph.Graph, D *matrix.Matrix, opts Options) []int32 {
+	n := g.N()
+	f := newFlags(n)
+	sc := newScratch(n)
+	degrees := g.Degrees()
+	reused := make([]int64, n)
+	processed := make([]bool, n)
+	orderOut := make([]int32, 0, n)
+
+	for iter := 0; iter < n; iter++ {
+		best := int32(-1)
+		for v := 0; v < n; v++ {
+			if processed[v] {
+				continue
+			}
+			if best < 0 {
+				best = int32(v)
+				continue
+			}
+			if reused[v] > reused[best] ||
+				(reused[v] == reused[best] && degrees[v] > degrees[best]) {
+				best = int32(v)
+			}
+		}
+		processed[best] = true
+		orderOut = append(orderOut, best)
+		adaptiveDijkstra(g, best, D, f, sc, reused, opts)
+	}
+	return orderOut
+}
+
+// adaptiveDijkstra is modifiedDijkstra with reuse accounting: each fold of
+// a completed row t increments reused[t].
+func adaptiveDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *scratch, reused []int64, opts Options) {
+	row := D.Row(int(s))
+	row[s] = 0
+	q := sc.queue[:0]
+	q = append(q, s)
+	sc.inQueue[s] = true
+	head := 0
+	for head < len(q) {
+		t := q[head]
+		head++
+		sc.inQueue[t] = false
+		dt := row[t]
+		if !opts.DisableRowReuse && t != s && f.done(t) {
+			reused[t]++
+			rt := D.Row(int(t))
+			for v, dtv := range rt {
+				if dtv == matrix.Inf {
+					continue
+				}
+				if nd := matrix.AddSat(dt, dtv); nd < row[v] {
+					row[v] = nd
+				}
+			}
+			continue
+		}
+		adj, w := g.NeighborsW(t)
+		for i, v := range adj {
+			wt := matrix.Dist(1)
+			if w != nil {
+				wt = w[i]
+			}
+			if nd := matrix.AddSat(dt, wt); nd < row[v] {
+				row[v] = nd
+				if !sc.inQueue[v] {
+					sc.inQueue[v] = true
+					q = append(q, v)
+				}
+			}
+		}
+	}
+	sc.queue = q[:0]
+	f.set(s)
+}

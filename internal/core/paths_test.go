@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parapsp/internal/gen"
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+func TestTrackPathsDistancesUnchanged(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(t, seed)
+		plain, err := Solve(g, ParAPSP, Options{Workers: 3})
+		if err != nil {
+			return false
+		}
+		tracked, err := Solve(g, ParAPSP, Options{Workers: 3, TrackPaths: true})
+		if err != nil {
+			return false
+		}
+		if tracked.Next == nil {
+			return false
+		}
+		return tracked.D.Equal(plain.D)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathsVerifyOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(t, seed)
+		res, err := Solve(g, ParAPSP, Options{Workers: 3, TrackPaths: true})
+		if err != nil {
+			return false
+		}
+		n := int32(g.N())
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 20; trial++ {
+			s, v := rng.Int31n(n), rng.Int31n(n)
+			if err := res.Next.Verify(g, res.D, s, v); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathsAllPairsSmall(t *testing.T) {
+	g, err := gen.BarabasiAlbert(80, 3, 5, gen.Weighting{Min: 1, Max: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{SeqBasic, SeqOptimized, ParAlg1, ParAlg2, ParAPSP} {
+		res, err := Solve(g, alg, Options{Workers: 3, TrackPaths: true})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		for s := int32(0); s < 80; s++ {
+			for v := int32(0); v < 80; v++ {
+				if err := res.Next.Verify(g, res.D, s, v); err != nil {
+					t.Fatalf("%v: %v", alg, err)
+				}
+			}
+		}
+	}
+}
+
+func TestPathEndpoints(t *testing.T) {
+	g, err := graph.FromPairs(4, false, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(g, SeqBasic, Options{TrackPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Next.Path(0, 3)
+	want := []int32{0, 1, 2, 3}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+	if got := res.Next.Path(2, 2); len(got) != 1 || got[0] != 2 {
+		t.Errorf("self path = %v", got)
+	}
+	if got := res.Next.Path(3, 0); got != nil {
+		t.Errorf("unreachable path = %v", got)
+	}
+}
+
+func TestPathPicksShortestOfAlternatives(t *testing.T) {
+	// 0->3 direct weight 10 vs 0->1->2->3 weight 3.
+	g, err := graph.FromEdges(4, false, []graph.Edge{
+		{From: 0, To: 3, W: 10},
+		{From: 0, To: 1, W: 1},
+		{From: 1, To: 2, W: 1},
+		{From: 2, To: 3, W: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(g, ParAPSP, Options{Workers: 2, TrackPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D.At(0, 3) != 3 {
+		t.Fatalf("distance = %d", res.D.At(0, 3))
+	}
+	p := res.Next.Path(0, 3)
+	if len(p) != 4 {
+		t.Fatalf("path = %v, want the 4-vertex route", p)
+	}
+}
+
+func TestTrackPathsRejectedForAdaptive(t *testing.T) {
+	g, _ := graph.FromPairs(2, true, [][2]int32{{0, 1}})
+	if _, err := Solve(g, SeqAdaptive, Options{TrackPaths: true}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("SeqAdaptive+TrackPaths error = %v", err)
+	}
+}
+
+func TestTrackPathsDoublesMemoryBound(t *testing.T) {
+	g, err := gen.BarabasiAlbert(100, 2, 6, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100x100x4 = 40 kB for distances; the bound below admits distances
+	// alone but not distances + next hops.
+	bound := uint64(60000)
+	if _, err := Solve(g, ParAPSP, Options{MaxMemBytes: bound}); err != nil {
+		t.Fatalf("plain solve rejected: %v", err)
+	}
+	if _, err := Solve(g, ParAPSP, Options{MaxMemBytes: bound, TrackPaths: true}); !errors.Is(err, ErrMemory) {
+		t.Errorf("tracked solve accepted: %v", err)
+	}
+}
+
+func TestNextHopAccessors(t *testing.T) {
+	nh := newNextHop(3)
+	if nh.N() != 3 {
+		t.Errorf("N = %d", nh.N())
+	}
+	if nh.At(1, 2) != -1 {
+		t.Errorf("fresh At = %d, want -1", nh.At(1, 2))
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	g, err := gen.BarabasiAlbert(50, 2, 7, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(g, SeqBasic, Options{TrackPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a distance: Verify must notice the mismatch.
+	var s, v int32 = 0, 1
+	if res.D.At(int(s), int(v)) == matrix.Inf {
+		t.Skip("vertex 1 unreachable on this seed")
+	}
+	res.D.Set(int(s), int(v), res.D.At(int(s), int(v))+1)
+	if err := res.Next.Verify(g, res.D, s, v); err == nil {
+		t.Error("Verify accepted a corrupted distance")
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+	"parapsp/internal/sched"
+)
+
+// SubsetResult holds shortest-path rows for a subset of sources: the
+// memory-bounded variant of APSP for graphs whose full n*n matrix would
+// not fit (the paper's own experiments were capped by the 256 GB of
+// Machine-II; subset solves are how a user works beyond that cap).
+type SubsetResult struct {
+	// Sources are the solved source vertices, in the order their rows
+	// appear.
+	Sources []int32
+	rowIdx  map[int32]int
+	n       int
+	rows    []matrix.Dist // len(Sources) * n, row-major
+}
+
+// Row returns the distance row of source s (aliasing internal storage),
+// or nil if s was not in the solved subset.
+func (r *SubsetResult) Row(s int32) []matrix.Dist {
+	i, ok := r.rowIdx[s]
+	if !ok {
+		return nil
+	}
+	return r.rows[i*r.n : (i+1)*r.n]
+}
+
+// At returns the distance from source s to v; it panics if s was not
+// solved (use Row to probe membership).
+func (r *SubsetResult) At(s, v int32) matrix.Dist {
+	row := r.Row(s)
+	if row == nil {
+		panic(fmt.Sprintf("core: source %d not in subset", s))
+	}
+	return row[v]
+}
+
+// MemBytes reports the payload size of the subset rows.
+func (r *SubsetResult) MemBytes() uint64 { return uint64(len(r.rows)) * 4 }
+
+// SolveSubset computes exact single-source rows for the given sources only,
+// with the same modified-Dijkstra + row-reuse machinery as the full solver:
+// a search may fold in the completed row of any other *subset* source.
+// Sources are deduplicated and processed in descending degree order (the
+// optimized ordering restricted to the subset). Memory is
+// O(len(sources) * n) instead of O(n^2).
+func SolveSubset(g *graph.Graph, sources []int32, opts Options) (*SubsetResult, error) {
+	n := g.N()
+	uniq := make([]int32, 0, len(sources))
+	seen := make(map[int32]bool, len(sources))
+	for _, s := range sources {
+		if s < 0 || int(s) >= n {
+			return nil, fmt.Errorf("%w: source %d out of range [0,%d)", ErrInvalid, s, n)
+		}
+		if !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	k := len(uniq)
+	if opts.MaxMemBytes != 0 {
+		if need := uint64(k) * uint64(n) * 4; need > opts.MaxMemBytes {
+			return nil, fmt.Errorf("%w: need %d bytes for %d rows, bound %d", ErrMemory, need, k, opts.MaxMemBytes)
+		}
+	}
+
+	// Descending degree order within the subset, ties by vertex id —
+	// the same heuristic as the full optimized algorithm.
+	sort.SliceStable(uniq, func(a, b int) bool {
+		da, db := g.OutDegree(uniq[a]), g.OutDegree(uniq[b])
+		if da != db {
+			return da > db
+		}
+		return uniq[a] < uniq[b]
+	})
+
+	res := &SubsetResult{
+		Sources: uniq,
+		rowIdx:  make(map[int32]int, k),
+		n:       n,
+		rows:    make([]matrix.Dist, k*n),
+	}
+	for i, s := range uniq {
+		res.rowIdx[s] = i
+	}
+	for i := range res.rows {
+		res.rows[i] = matrix.Inf
+	}
+
+	workers := sched.Workers(opts.Workers)
+	f := newFlags(n)
+	scratches := make([]*scratch, workers)
+	sched.ParallelWorkers(k, workers, sched.DynamicCyclic, func(w, i int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = newScratch(n)
+			scratches[w] = sc
+		}
+		subsetDijkstra(g, uniq[i], res, f, sc, opts)
+	})
+	return res, nil
+}
+
+// subsetDijkstra is the modified Dijkstra over a SubsetResult: identical to
+// modifiedDijkstra except that completed rows are looked up through the
+// subset's row index (flags are only ever set for subset sources, so a
+// flagged vertex always has a row).
+func subsetDijkstra(g *graph.Graph, s int32, res *SubsetResult, f *flags, sc *scratch, opts Options) {
+	row := res.Row(s)
+	row[s] = 0
+	dedup := !opts.PaperQueue
+	reuse := !opts.DisableRowReuse
+
+	q := sc.queue[:0]
+	q = append(q, s)
+	if dedup {
+		sc.inQueue[s] = true
+	}
+	head := 0
+	for head < len(q) {
+		t := q[head]
+		head++
+		if head > 1024 && head*2 >= len(q) {
+			q = q[:copy(q, q[head:])]
+			head = 0
+		}
+		if dedup {
+			sc.inQueue[t] = false
+		}
+		dt := row[t]
+
+		if reuse && t != s && f.done(t) {
+			rt := res.Row(t)
+			for v, dtv := range rt {
+				if dtv == matrix.Inf {
+					continue
+				}
+				if nd := matrix.AddSat(dt, dtv); nd < row[v] {
+					row[v] = nd
+				}
+			}
+			continue
+		}
+
+		adj, w := g.NeighborsW(t)
+		for i, v := range adj {
+			wt := matrix.Dist(1)
+			if w != nil {
+				wt = w[i]
+			}
+			if nd := matrix.AddSat(dt, wt); nd < row[v] {
+				row[v] = nd
+				if !dedup {
+					q = append(q, v)
+				} else if !sc.inQueue[v] {
+					sc.inQueue[v] = true
+					q = append(q, v)
+				}
+			}
+		}
+	}
+	sc.queue = q[:0]
+	f.set(s)
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parapsp/internal/baseline"
+	"parapsp/internal/gen"
+	"parapsp/internal/graph"
+)
+
+func TestSolveSubsetMatchesFullRows(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(t, seed)
+		ref := baseline.FloydWarshall(g)
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(g.N())
+		sources := make([]int32, k)
+		for i := range sources {
+			sources[i] = int32(rng.Intn(g.N()))
+		}
+		res, err := SolveSubset(g, sources, Options{Workers: 3})
+		if err != nil {
+			return false
+		}
+		for _, s := range res.Sources {
+			row := res.Row(s)
+			for v := 0; v < g.N(); v++ {
+				if row[v] != ref.At(int(s), v) {
+					t.Logf("seed %d: row %d col %d: %d != %d", seed, s, v, row[v], ref.At(int(s), v))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSubsetDeduplicates(t *testing.T) {
+	g, err := gen.BarabasiAlbert(100, 2, 3, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveSubset(g, []int32{5, 5, 7, 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sources) != 2 {
+		t.Fatalf("sources = %v", res.Sources)
+	}
+}
+
+func TestSolveSubsetDegreeOrder(t *testing.T) {
+	g, err := gen.BarabasiAlbert(200, 3, 4, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveSubset(g, []int32{10, 20, 30, 40, 50}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Sources); i++ {
+		if g.OutDegree(res.Sources[i-1]) < g.OutDegree(res.Sources[i]) {
+			t.Fatalf("subset sources not degree-descending: %v", res.Sources)
+		}
+	}
+}
+
+func TestSolveSubsetErrors(t *testing.T) {
+	g, _ := graph.FromPairs(3, true, [][2]int32{{0, 1}})
+	if _, err := SolveSubset(g, []int32{5}, Options{}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("out-of-range source: %v", err)
+	}
+	if _, err := SolveSubset(g, []int32{-1}, Options{}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative source: %v", err)
+	}
+	if _, err := SolveSubset(g, []int32{0, 1}, Options{MaxMemBytes: 4}); !errors.Is(err, ErrMemory) {
+		t.Errorf("memory bound: %v", err)
+	}
+}
+
+func TestSolveSubsetAccessors(t *testing.T) {
+	g, err := graph.FromPairs(4, true, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveSubset(g, []int32{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.At(0, 3) != 3 {
+		t.Errorf("At(0,3) = %d", res.At(0, 3))
+	}
+	if res.Row(2) != nil {
+		t.Error("Row of unsolved source non-nil")
+	}
+	if res.MemBytes() != 16 {
+		t.Errorf("MemBytes = %d", res.MemBytes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("At on unsolved source did not panic")
+		}
+	}()
+	res.At(2, 0)
+}
+
+func TestSolveSubsetEmpty(t *testing.T) {
+	g, _ := graph.FromPairs(3, true, [][2]int32{{0, 1}})
+	res, err := SolveSubset(g, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sources) != 0 || res.MemBytes() != 0 {
+		t.Errorf("empty subset: %v", res.Sources)
+	}
+}
+
+func TestSolveSubsetAllSourcesEqualsFull(t *testing.T) {
+	g, err := gen.BarabasiAlbert(150, 3, 5, gen.Weighting{Min: 1, Max: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int32, g.N())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	sub, err := SolveSubset(g, all, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Solve(g, ParAPSP, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := int32(0); s < int32(g.N()); s++ {
+		row := sub.Row(s)
+		fullRow := full.D.Row(int(s))
+		for v := range row {
+			if row[v] != fullRow[v] {
+				t.Fatalf("row %d differs at %d", s, v)
+			}
+		}
+	}
+}
+
+func TestSolveSubsetRowReuseDisabled(t *testing.T) {
+	g, err := gen.BarabasiAlbert(100, 3, 6, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := SolveSubset(g, []int32{1, 2, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveSubset(g, []int32{1, 2, 3}, Options{DisableRowReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range a.Sources {
+		ra, rb := a.Row(s), b.Row(s)
+		for v := range ra {
+			if ra[v] != rb[v] {
+				t.Fatalf("reuse ablation changed subset row %d at %d", s, v)
+			}
+		}
+	}
+}

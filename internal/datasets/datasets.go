@@ -1,0 +1,241 @@
+// Package datasets catalogues the real-world graphs the paper evaluates on
+// (Table 2, plus the ca-HepPh graph of Section 3.2 and the soc-Pokec /
+// soc-LiveJournal1 graphs of Section 4.3) and synthesizes deterministic
+// scale-free stand-ins for them at any scale factor.
+//
+// The originals live in the SNAP and KONECT repositories, which are not
+// reachable from this offline environment, and the full-size runs need
+// 128-256 GB of RAM for the distance matrix. What the paper's algorithmic
+// comparisons depend on is the *shape* of the inputs — a power-law degree
+// distribution and the vertex/edge ratio — so the stand-ins are grown by
+// preferential attachment matched to each dataset's vertex count and mean
+// degree (see DESIGN.md, "Substitutions"). Real edge-list files can be
+// loaded with internal/gio and used with the same harness.
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"parapsp/internal/gen"
+	"parapsp/internal/graph"
+)
+
+// Info describes one catalogued dataset (numbers from the paper).
+type Info struct {
+	// Name as used in the paper.
+	Name string
+	// Directed is the input interpretation (Table 2 "Type").
+	Directed bool
+	// Vertices and Edges are the full-size counts reported in the paper.
+	Vertices int
+	// Edges counts arcs for directed graphs, undirected edges otherwise.
+	Edges int
+	// Source repository, for locating the original.
+	Source string
+	// InTable2 marks the five headline datasets of the evaluation.
+	InTable2 bool
+}
+
+// MeanDegree returns the dataset's mean out-degree (arcs per vertex).
+func (in Info) MeanDegree() float64 {
+	if in.Vertices == 0 {
+		return 0
+	}
+	m := float64(in.Edges)
+	if !in.Directed {
+		m *= 2 // undirected edges induce two arcs
+	}
+	return m / float64(in.Vertices)
+}
+
+// catalog lists every dataset the paper references, in paper order.
+var catalog = []Info{
+	{Name: "ego-Twitter", Directed: true, Vertices: 81306, Edges: 1768149, Source: "SNAP", InTable2: true},
+	{Name: "Livemocha", Directed: false, Vertices: 104103, Edges: 2193083, Source: "KONECT", InTable2: true},
+	{Name: "Flickr", Directed: false, Vertices: 105938, Edges: 2316948, Source: "KONECT", InTable2: true},
+	{Name: "WordNet", Directed: false, Vertices: 146005, Edges: 656999, Source: "KONECT", InTable2: true},
+	{Name: "sx-superuser", Directed: true, Vertices: 194085, Edges: 1443339, Source: "SNAP", InTable2: true},
+	{Name: "ca-HepPh", Directed: false, Vertices: 12008, Edges: 118521, Source: "SNAP"},
+	{Name: "soc-Pokec", Directed: true, Vertices: 1632803, Edges: 30622564, Source: "SNAP"},
+	{Name: "soc-LiveJournal1", Directed: true, Vertices: 4847571, Edges: 68993773, Source: "SNAP"},
+}
+
+// All returns the full catalogue.
+func All() []Info {
+	out := make([]Info, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// Table2 returns the five datasets of the paper's Table 2, in paper order.
+func Table2() []Info {
+	var out []Info
+	for _, in := range catalog {
+		if in.InTable2 {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// Get looks a dataset up by its paper name.
+func Get(name string) (Info, error) {
+	for _, in := range catalog {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	return Info{}, fmt.Errorf("datasets: unknown dataset %q", name)
+}
+
+// Names returns the catalogue names in paper order.
+func Names() []string {
+	out := make([]string, len(catalog))
+	for i, in := range catalog {
+		out[i] = in.Name
+	}
+	return out
+}
+
+// Synthesize grows a deterministic stand-in for the named dataset at the
+// given scale factor: n' = max(16, scale*Vertices) vertices with the
+// original mean degree. Undirected datasets become Barabási–Albert graphs;
+// directed datasets are grown the same way and then each edge is oriented
+// in a uniformly random single direction, which preserves the power-law
+// total-degree distribution and the arc count.
+func Synthesize(name string, scale float64, seed int64) (*graph.Graph, Info, error) {
+	in, err := Get(name)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	if scale <= 0 || scale > 1 {
+		return nil, Info{}, fmt.Errorf("datasets: scale %g outside (0, 1]", scale)
+	}
+	n := int(scale * float64(in.Vertices))
+	if n < 16 {
+		n = 16
+	}
+	// Attachment count reproducing the mean degree: for undirected BA each
+	// vertex adds mAtt edges (mean degree ~2*mAtt, matching 2E/V); for the
+	// directed variant each edge becomes one arc, so to match E arcs per V
+	// vertices we need mAtt = E/V edges before orientation.
+	var mAtt int
+	if in.Directed {
+		mAtt = int(math.Round(float64(in.Edges) / float64(in.Vertices)))
+	} else {
+		mAtt = int(math.Round(float64(in.Edges) / float64(in.Vertices)))
+	}
+	if mAtt < 1 {
+		mAtt = 1
+	}
+	g, err := gen.BarabasiAlbert(n, mAtt, seed, gen.Weighting{})
+	if err != nil {
+		return nil, Info{}, err
+	}
+	if in.Directed {
+		g, err = orientRandom(g, seed+1)
+		if err != nil {
+			return nil, Info{}, err
+		}
+	}
+	// Randomize vertex ids: preferential-attachment growth leaves the
+	// hubs at the lowest ids, which would make the identity source order
+	// accidentally degree-sorted and mask the paper's ordering effect.
+	// Real SNAP/KONECT ids carry no such correlation.
+	g, err = gen.Relabel(g, seed+2)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	return g, in, nil
+}
+
+// orientRandom converts an undirected graph into a directed one by giving
+// each edge a uniformly random direction.
+func orientRandom(g *graph.Graph, seed int64) (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(g.N(), false)
+	for u := int32(0); u < int32(g.N()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if v < u {
+				continue // visit each undirected edge once
+			}
+			if rng.Intn(2) == 0 {
+				if err := b.AddEdge(u, v); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := b.AddEdge(v, u); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// SynthesizeDegrees draws only a degree array shaped like the named
+// dataset at the given scale, without materializing a graph. The ordering
+// experiments on the multi-million-vertex graphs (Section 4.3's soc-Pokec
+// and soc-LiveJournal1 runs) only consume degrees, so this makes them
+// affordable at any size. Degrees follow a bounded discrete power law with
+// the dataset's mean degree.
+func SynthesizeDegrees(name string, scale float64, seed int64) ([]int, Info, error) {
+	in, err := Get(name)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	if scale <= 0 || scale > 1 {
+		return nil, Info{}, fmt.Errorf("datasets: scale %g outside (0, 1]", scale)
+	}
+	n := int(scale * float64(in.Vertices))
+	if n < 16 {
+		n = 16
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mean := in.MeanDegree()
+	// Power law with exponent ~2.5: mean = minDeg*(gamma-1)/(gamma-2).
+	const gamma = 2.5
+	minDeg := mean * (gamma - 2) / (gamma - 1)
+	if minDeg < 1 {
+		minDeg = 1
+	}
+	maxDeg := float64(n - 1)
+	degrees := make([]int, n)
+	for i := range degrees {
+		u := rng.Float64()
+		d := minDeg * math.Pow(1-u, -1/(gamma-1))
+		if d > maxDeg {
+			d = maxDeg
+		}
+		degrees[i] = int(d)
+	}
+	return degrees, in, nil
+}
+
+// ScaledSize reports the vertex count Synthesize would produce, letting
+// callers bound memory before building anything.
+func ScaledSize(name string, scale float64) (int, error) {
+	in, err := Get(name)
+	if err != nil {
+		return 0, err
+	}
+	if scale <= 0 || scale > 1 {
+		return 0, fmt.Errorf("datasets: scale %g outside (0, 1]", scale)
+	}
+	n := int(scale * float64(in.Vertices))
+	if n < 16 {
+		n = 16
+	}
+	return n, nil
+}
+
+// SortedByVertices returns the catalogue ordered by full-size vertex count,
+// used by reporting code.
+func SortedByVertices() []Info {
+	out := All()
+	sort.Slice(out, func(i, j int) bool { return out[i].Vertices < out[j].Vertices })
+	return out
+}

@@ -1,0 +1,200 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCatalogIntegrity(t *testing.T) {
+	if len(All()) != 8 {
+		t.Fatalf("catalogue size = %d, want 8", len(All()))
+	}
+	t2 := Table2()
+	if len(t2) != 5 {
+		t.Fatalf("Table2 size = %d, want 5", len(t2))
+	}
+	// Paper order and numbers.
+	want := []struct {
+		name     string
+		directed bool
+		v, e     int
+	}{
+		{"ego-Twitter", true, 81306, 1768149},
+		{"Livemocha", false, 104103, 2193083},
+		{"Flickr", false, 105938, 2316948},
+		{"WordNet", false, 146005, 656999},
+		{"sx-superuser", true, 194085, 1443339},
+	}
+	for i, w := range want {
+		in := t2[i]
+		if in.Name != w.name || in.Directed != w.directed || in.Vertices != w.v || in.Edges != w.e {
+			t.Errorf("Table2[%d] = %+v, want %+v", i, in, w)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	in, err := Get("WordNet")
+	if err != nil || in.Vertices != 146005 {
+		t.Fatalf("Get(WordNet) = %+v, %v", in, err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 8 || names[0] != "ego-Twitter" || names[5] != "ca-HepPh" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestMeanDegree(t *testing.T) {
+	in, _ := Get("WordNet") // undirected: 2*656999/146005 ~ 9.0
+	got := in.MeanDegree()
+	if math.Abs(got-2*656999.0/146005.0) > 1e-9 {
+		t.Errorf("WordNet mean degree = %g", got)
+	}
+	din, _ := Get("ego-Twitter") // directed: 1768149/81306 ~ 21.7
+	if math.Abs(din.MeanDegree()-1768149.0/81306.0) > 1e-9 {
+		t.Errorf("ego-Twitter mean degree = %g", din.MeanDegree())
+	}
+	if (Info{}).MeanDegree() != 0 {
+		t.Error("zero Info mean degree != 0")
+	}
+}
+
+func TestSynthesizeUndirected(t *testing.T) {
+	g, in, err := Synthesize("WordNet", 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Undirected() != true {
+		t.Error("WordNet stand-in not undirected")
+	}
+	wantN := int(0.01 * float64(in.Vertices))
+	if g.N() != wantN {
+		t.Errorf("N = %d, want %d", g.N(), wantN)
+	}
+	// Mean degree within 2x of the original (merges shrink it slightly).
+	mean := float64(g.NumArcs()) / float64(g.N())
+	if mean < in.MeanDegree()/2 || mean > in.MeanDegree()*2 {
+		t.Errorf("mean degree = %g, original %g", mean, in.MeanDegree())
+	}
+	// Heavy tail.
+	_, max := g.MinMaxDegree()
+	if max < 10 {
+		t.Errorf("max degree = %d; no tail", max)
+	}
+}
+
+func TestSynthesizeDirected(t *testing.T) {
+	g, in, err := Synthesize("ego-Twitter", 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Undirected() {
+		t.Error("ego-Twitter stand-in not directed")
+	}
+	mean := float64(g.NumArcs()) / float64(g.N())
+	if mean < in.MeanDegree()/3 || mean > in.MeanDegree()*1.5 {
+		t.Errorf("mean arcs/vertex = %g, original %g", mean, in.MeanDegree())
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a, _, err := Synthesize("Flickr", 0.005, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Synthesize("Flickr", 0.005, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumArcs() != b.NumArcs() {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	if _, _, err := Synthesize("nope", 0.1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	for _, s := range []float64{0, -1, 1.5} {
+		if _, _, err := Synthesize("WordNet", s, 1); err == nil {
+			t.Errorf("scale %g accepted", s)
+		}
+	}
+}
+
+func TestSynthesizeMinimumSize(t *testing.T) {
+	g, _, err := Synthesize("WordNet", 0.00001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 16 {
+		t.Errorf("tiny scale N = %d, want floor 16", g.N())
+	}
+}
+
+func TestSynthesizeDegrees(t *testing.T) {
+	deg, in, err := SynthesizeDegrees("soc-Pokec", 0.001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deg) != int(0.001*float64(in.Vertices)) {
+		t.Fatalf("len = %d", len(deg))
+	}
+	var sum, max float64
+	for _, d := range deg {
+		if d < 1 {
+			t.Fatalf("degree %d < 1", d)
+		}
+		sum += float64(d)
+		if float64(d) > max {
+			max = float64(d)
+		}
+	}
+	mean := sum / float64(len(deg))
+	if mean < in.MeanDegree()/3 || mean > in.MeanDegree()*3 {
+		t.Errorf("mean = %g, original %g", mean, in.MeanDegree())
+	}
+	if max < mean*5 {
+		t.Errorf("max = %g, mean = %g; no tail", max, mean)
+	}
+	if _, _, err := SynthesizeDegrees("nope", 0.1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, _, err := SynthesizeDegrees("WordNet", 0, 1); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestScaledSize(t *testing.T) {
+	n, err := ScaledSize("WordNet", 0.1)
+	if err != nil || n != 14600 {
+		t.Errorf("ScaledSize = %d, %v", n, err)
+	}
+	if _, err := ScaledSize("nope", 0.1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := ScaledSize("WordNet", 2); err == nil {
+		t.Error("scale 2 accepted")
+	}
+}
+
+func TestSortedByVertices(t *testing.T) {
+	s := SortedByVertices()
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Vertices > s[i].Vertices {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	if s[0].Name != "ca-HepPh" || s[len(s)-1].Name != "soc-LiveJournal1" {
+		t.Errorf("extremes = %s, %s", s[0].Name, s[len(s)-1].Name)
+	}
+}

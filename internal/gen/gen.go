@@ -1,0 +1,440 @@
+// Package gen provides deterministic random-graph generators for the
+// families the paper's background and evaluation rely on: Erdős–Rényi
+// random graphs and scale-free models (Barabási–Albert preferential
+// attachment, the Albert–Barabási local-events model, R-MAT, and a
+// power-law configuration model), plus Watts–Strogatz small-world graphs.
+//
+// The generators are the substitute for the paper's SNAP/KONECT datasets
+// (see DESIGN.md): what the algorithms' behaviour depends on — the
+// power-law degree distribution and the vertex/edge ratio — is reproduced
+// synthetically, at any scale, with a fixed seed for repeatability.
+package gen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+// Weighting describes optional random edge weights. The zero value means
+// an unweighted graph (every edge weight 1), which is the configuration of
+// all the paper's experiments. With Min/Max set, each input edge receives
+// an independent uniform weight in [Min, Max]; for undirected graphs both
+// arc directions share the weight.
+type Weighting struct {
+	Min, Max matrix.Dist
+}
+
+// ErrParams reports invalid generator parameters.
+var ErrParams = errors.New("gen: invalid parameters")
+
+func (w Weighting) validate() error {
+	if w.Min == 0 && w.Max == 0 {
+		return nil
+	}
+	if w.Min == 0 || w.Max < w.Min || w.Max == matrix.Inf {
+		return fmt.Errorf("%w: weighting [%d,%d]", ErrParams, w.Min, w.Max)
+	}
+	return nil
+}
+
+func (w Weighting) draw(rng *rand.Rand) matrix.Dist {
+	if w.Min == 0 && w.Max == 0 {
+		return 1
+	}
+	if w.Min == w.Max {
+		return w.Min
+	}
+	return w.Min + matrix.Dist(rng.Int63n(int64(w.Max-w.Min+1)))
+}
+
+// buildEdges assembles a graph from raw endpoint pairs, drawing weights.
+func buildEdges(n int, undirected bool, pairs [][2]int32, w Weighting, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(n, undirected)
+	for _, p := range pairs {
+		if err := b.AddWeighted(p[0], p[1], w.draw(rng)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// ErdosRenyiGNM returns a uniform random graph with n vertices and m
+// edge slots (Erdős–Rényi G(n,m)); duplicate draws and self-loops are
+// merged/dropped by construction, so the final edge count can be slightly
+// below m on dense parameters.
+func ErdosRenyiGNM(n, m int, undirected bool, seed int64, w Weighting) (*graph.Graph, error) {
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("%w: n=%d m=%d", ErrParams, n, m)
+	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return graph.FromPairs(n, undirected, nil)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([][2]int32, 0, m)
+	for i := 0; i < m; i++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n - 1))
+		if v >= u {
+			v++ // avoid self-loops without rejection sampling
+		}
+		pairs = append(pairs, [2]int32{u, v})
+	}
+	return buildEdges(n, undirected, pairs, w, rng)
+}
+
+// ErdosRenyiGNP returns a G(n,p) random graph using geometric skipping, so
+// generation is O(n + m) rather than O(n^2).
+func ErdosRenyiGNP(n int, p float64, undirected bool, seed int64, w Weighting) (*graph.Graph, error) {
+	if n < 0 || p < 0 || p > 1 {
+		return nil, fmt.Errorf("%w: n=%d p=%g", ErrParams, n, p)
+	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var pairs [][2]int32
+	if p > 0 {
+		logq := math.Log(1 - p)
+		emit := func(idx int64, decode func(int64) (int32, int32)) {
+			u, v := decode(idx)
+			pairs = append(pairs, [2]int32{u, v})
+		}
+		if undirected {
+			total := int64(n) * int64(n-1) / 2
+			skipScan(rng, total, p, logq, func(idx int64) {
+				emit(idx, func(k int64) (int32, int32) {
+					// Map k to the (u,v) pair with u < v in row-major order.
+					u := int64(0)
+					rowLen := int64(n - 1)
+					for k >= rowLen {
+						k -= rowLen
+						u++
+						rowLen--
+					}
+					return int32(u), int32(u + 1 + k)
+				})
+			})
+		} else {
+			total := int64(n) * int64(n-1)
+			skipScan(rng, total, p, logq, func(idx int64) {
+				emit(idx, func(k int64) (int32, int32) {
+					u := k / int64(n-1)
+					v := k % int64(n-1)
+					if v >= u {
+						v++
+					}
+					return int32(u), int32(v)
+				})
+			})
+		}
+	}
+	return buildEdges(n, undirected, pairs, w, rng)
+}
+
+// skipScan visits each index in [0,total) independently with probability p
+// by drawing geometric gaps.
+func skipScan(rng *rand.Rand, total int64, p float64, logq float64, visit func(int64)) {
+	if p >= 1 {
+		for i := int64(0); i < total; i++ {
+			visit(i)
+		}
+		return
+	}
+	idx := int64(-1)
+	for {
+		u := rng.Float64()
+		gap := int64(math.Floor(math.Log(1-u)/logq)) + 1
+		idx += gap
+		if idx >= total {
+			return
+		}
+		visit(idx)
+	}
+}
+
+// BarabasiAlbert returns an undirected scale-free graph grown by
+// preferential attachment (Barabási–Albert 1999): starting from a clique
+// of m+1 vertices, each new vertex attaches m edges to existing vertices
+// chosen proportionally to their current degree (repeated-endpoint list
+// sampling). The result has ~n*m edges and a power-law degree tail — the
+// distribution Figure 3 of the paper shows for WordNet.
+func BarabasiAlbert(n, m int, seed int64, w Weighting) (*graph.Graph, error) {
+	if n < 0 || m < 1 {
+		return nil, fmt.Errorf("%w: n=%d m=%d", ErrParams, n, m)
+	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	if n <= m+1 {
+		// Too small to grow: return a clique on n vertices.
+		return clique(n, seed, w)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// endpoints holds one entry per half-edge; sampling uniformly from it
+	// is sampling vertices proportionally to degree.
+	endpoints := make([]int32, 0, 2*n*m)
+	var pairs [][2]int32
+	for u := 0; u <= m; u++ {
+		for v := 0; v < u; v++ {
+			pairs = append(pairs, [2]int32{int32(u), int32(v)})
+			endpoints = append(endpoints, int32(u), int32(v))
+		}
+	}
+	// chosen is an order-preserving small set: iteration must follow
+	// insertion order, not Go's randomized map order, or the endpoints
+	// list (and with it every later preferential draw) would differ
+	// between runs with the same seed.
+	chosen := make([]int32, 0, m)
+	for u := m + 1; u < n; u++ {
+		chosen = chosen[:0]
+		for len(chosen) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, t)
+			}
+		}
+		for _, t := range chosen {
+			pairs = append(pairs, [2]int32{int32(u), t})
+			endpoints = append(endpoints, int32(u), t)
+		}
+	}
+	return buildEdges(n, true, pairs, w, rng)
+}
+
+func clique(n int, seed int64, w Weighting) (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var pairs [][2]int32
+	for u := 0; u < n; u++ {
+		for v := 0; v < u; v++ {
+			pairs = append(pairs, [2]int32{int32(u), int32(v)})
+		}
+	}
+	return buildEdges(n, true, pairs, w, rng)
+}
+
+// ABLocalEvents returns a graph grown by the Albert–Barabási local-events
+// model (Albert & Barabási 2000, reference [2] of the paper): at each
+// step, with probability pAdd m new edges are added between preferentially
+// chosen endpoints, with probability qRewire m existing edges are rewired
+// to preferential targets, and otherwise a new vertex joins with m
+// preferential edges. Vertices are added until n is reached.
+// Requires pAdd + qRewire < 1.
+func ABLocalEvents(n, m int, pAdd, qRewire float64, seed int64, w Weighting) (*graph.Graph, error) {
+	if n < 0 || m < 1 || pAdd < 0 || qRewire < 0 || pAdd+qRewire >= 1 {
+		return nil, fmt.Errorf("%w: n=%d m=%d p=%g q=%g", ErrParams, n, m, pAdd, qRewire)
+	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	if n <= m+1 {
+		return clique(n, seed, w)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	endpoints := make([]int32, 0, 4*n*m)
+	var pairs [][2]int32
+	addEdge := func(u, v int32) {
+		pairs = append(pairs, [2]int32{u, v})
+		endpoints = append(endpoints, u, v)
+	}
+	for u := 0; u <= m; u++ {
+		for v := 0; v < u; v++ {
+			addEdge(int32(u), int32(v))
+		}
+	}
+	next := int32(m + 1)
+	for next < int32(n) {
+		r := rng.Float64()
+		switch {
+		case r < pAdd && len(endpoints) > 0:
+			// Add m edges between a random vertex and preferential targets.
+			for i := 0; i < m; i++ {
+				u := int32(rng.Intn(int(next)))
+				v := endpoints[rng.Intn(len(endpoints))]
+				if u != v {
+					addEdge(u, v)
+				}
+			}
+		case r < pAdd+qRewire && len(pairs) > m:
+			// Rewire m random edges to preferential targets.
+			for i := 0; i < m; i++ {
+				e := rng.Intn(len(pairs))
+				v := endpoints[rng.Intn(len(endpoints))]
+				if pairs[e][0] != v {
+					pairs[e][1] = v
+				}
+			}
+		default:
+			// Grow: new vertex with m preferential edges.
+			u := next
+			next++
+			seen := map[int32]bool{}
+			for len(seen) < m {
+				t := endpoints[rng.Intn(len(endpoints))]
+				if t != u && !seen[t] {
+					seen[t] = true
+					addEdge(u, t)
+				}
+			}
+		}
+	}
+	return buildEdges(n, true, pairs, w, rng)
+}
+
+// WattsStrogatz returns a small-world graph (Watts & Strogatz 1998,
+// reference [18] of the paper): a ring lattice where each vertex connects
+// to its k nearest neighbours (k even), with each edge rewired to a
+// uniform random target with probability beta.
+func WattsStrogatz(n, k int, beta float64, seed int64, w Weighting) (*graph.Graph, error) {
+	if n < 0 || k < 0 || k%2 != 0 || k >= n && n > 0 || beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("%w: n=%d k=%d beta=%g", ErrParams, n, k, beta)
+	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var pairs [][2]int32
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := int32((u + j) % n)
+			if rng.Float64() < beta {
+				// Rewire to a uniform non-self target.
+				t := int32(rng.Intn(n - 1))
+				if t >= int32(u) {
+					t++
+				}
+				v = t
+			}
+			pairs = append(pairs, [2]int32{int32(u), v})
+		}
+	}
+	return buildEdges(n, true, pairs, w, rng)
+}
+
+// RMAT returns a recursive-matrix (R-MAT) graph with 2^scale vertices and
+// m directed edge draws, partition probabilities (a, b, c, d) summing to 1.
+// R-MAT produces skewed in- and out-degree distributions and is the
+// stand-in for the paper's *directed* datasets (ego-Twitter, sx-superuser).
+func RMAT(scale uint, m int, a, b, c, d float64, undirected bool, seed int64, w Weighting) (*graph.Graph, error) {
+	if scale > 30 || m < 0 || a < 0 || b < 0 || c < 0 || d < 0 {
+		return nil, fmt.Errorf("%w: scale=%d m=%d", ErrParams, scale, m)
+	}
+	if s := a + b + c + d; math.Abs(s-1) > 1e-9 {
+		return nil, fmt.Errorf("%w: partition probabilities sum to %g", ErrParams, s)
+	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	n := 1 << scale
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([][2]int32, 0, m)
+	for i := 0; i < m; i++ {
+		var u, v int32
+		for bit := scale; bit > 0; bit-- {
+			r := rng.Float64()
+			half := int32(1) << (bit - 1)
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= half
+			case r < a+b+c:
+				u |= half
+			default:
+				u |= half
+				v |= half
+			}
+		}
+		if u != v {
+			pairs = append(pairs, [2]int32{u, v})
+		}
+	}
+	return buildEdges(n, undirected, pairs, w, rng)
+}
+
+// PowerLawConfiguration returns a graph whose degree sequence is drawn
+// from a discrete power law with the given exponent gamma (> 1) and
+// minimum degree, paired by the configuration model (uniform stub
+// matching). Self-loops and multi-edges arising from the matching are
+// dropped/merged, so realized degrees can dip slightly below the drawn
+// sequence. This generator lets the dataset stand-ins match a measured
+// degree exponent directly.
+func PowerLawConfiguration(n int, gamma float64, minDeg int, undirected bool, seed int64, w Weighting) (*graph.Graph, error) {
+	if n < 0 || gamma <= 1 || minDeg < 1 {
+		return nil, fmt.Errorf("%w: n=%d gamma=%g minDeg=%d", ErrParams, n, gamma, minDeg)
+	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	maxDeg := n - 1
+	if maxDeg < minDeg {
+		maxDeg = minDeg
+	}
+	stubs := make([]int32, 0, n*minDeg*2)
+	for v := 0; v < n; v++ {
+		// Inverse-CDF sampling of a bounded discrete power law.
+		u := rng.Float64()
+		deg := int(float64(minDeg) * math.Pow(1-u, -1/(gamma-1)))
+		if deg > maxDeg {
+			deg = maxDeg
+		}
+		for i := 0; i < deg; i++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	if len(stubs)%2 == 1 {
+		stubs = stubs[:len(stubs)-1]
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	pairs := make([][2]int32, 0, len(stubs)/2)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		pairs = append(pairs, [2]int32{stubs[i], stubs[i+1]})
+	}
+	return buildEdges(n, undirected, pairs, w, rng)
+}
+
+// Relabel returns a copy of g with vertex ids renamed by a uniform random
+// permutation. Growth models like preferential attachment put the oldest —
+// and therefore highest-degree — vertices at the lowest ids, so an
+// untreated BA graph is "accidentally presorted": the identity source
+// order of the basic APSP algorithm would already approximate the degree
+// order, hiding the very effect the paper's optimized ordering exists to
+// produce. Real SNAP/KONECT ids carry no such correlation, and neither do
+// relabeled stand-ins.
+func Relabel(g *graph.Graph, seed int64) (*graph.Graph, error) {
+	n := g.N()
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	b := graph.NewBuilder(n, g.Undirected())
+	for u := int32(0); u < int32(n); u++ {
+		adj, w := g.NeighborsW(u)
+		for i, v := range adj {
+			if g.Undirected() && v < u {
+				continue // emit each undirected edge once
+			}
+			wt := matrix.Dist(1)
+			if w != nil {
+				wt = w[i]
+			}
+			if err := b.AddWeighted(int32(perm[u]), int32(perm[v]), wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,421 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+func checkValid(t *testing.T) func(*graph.Graph, error) *graph.Graph {
+	return func(g *graph.Graph, err error) *graph.Graph {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+}
+
+func TestErdosRenyiGNM(t *testing.T) {
+	g := checkValid(t)(ErdosRenyiGNM(100, 300, true, 1, Weighting{}))
+	if g.N() != 100 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Some duplicates may merge, but the bulk must survive.
+	if g.NumEdges() < 250 || g.NumEdges() > 300 {
+		t.Errorf("edges = %d, want ~300", g.NumEdges())
+	}
+	if g.Weighted() {
+		t.Error("unweighted request produced weighted graph")
+	}
+	// No self loops.
+	for v := int32(0); v < int32(g.N()); v++ {
+		for _, u := range g.Neighbors(v) {
+			if u == v {
+				t.Fatalf("self loop at %d", v)
+			}
+		}
+	}
+}
+
+func TestErdosRenyiGNMDeterministic(t *testing.T) {
+	a := checkValid(t)(ErdosRenyiGNM(50, 100, false, 42, Weighting{}))
+	b := checkValid(t)(ErdosRenyiGNM(50, 100, false, 42, Weighting{}))
+	if a.NumArcs() != b.NumArcs() {
+		t.Fatal("same seed, different graphs")
+	}
+	for v := int32(0); v < 50; v++ {
+		av, bv := a.Neighbors(v), b.Neighbors(v)
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatal("same seed, different adjacency")
+			}
+		}
+	}
+	c := checkValid(t)(ErdosRenyiGNM(50, 100, false, 43, Weighting{}))
+	if a.NumArcs() == c.NumArcs() {
+		// Edge counts could coincide; compare adjacency of vertex 0 too.
+		same := len(a.Neighbors(0)) == len(c.Neighbors(0))
+		if same {
+			for i, v := range a.Neighbors(0) {
+				if c.Neighbors(0)[i] != v {
+					same = false
+					break
+				}
+			}
+		}
+		if same && a.NumArcs() > 10 {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestErdosRenyiGNMErrors(t *testing.T) {
+	if _, err := ErdosRenyiGNM(-1, 5, true, 1, Weighting{}); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := ErdosRenyiGNM(5, -1, true, 1, Weighting{}); err == nil {
+		t.Error("negative m accepted")
+	}
+}
+
+func TestErdosRenyiTinyGraphs(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		g := checkValid(t)(ErdosRenyiGNM(n, 10, true, 1, Weighting{}))
+		if g.N() != n || g.NumArcs() != 0 {
+			t.Errorf("n=%d: N=%d arcs=%d", n, g.N(), g.NumArcs())
+		}
+	}
+}
+
+func TestErdosRenyiGNP(t *testing.T) {
+	n, p := 200, 0.05
+	g := checkValid(t)(ErdosRenyiGNP(n, p, true, 7, Weighting{}))
+	expected := p * float64(n) * float64(n-1) / 2
+	got := float64(g.NumEdges())
+	if got < expected*0.6 || got > expected*1.4 {
+		t.Errorf("edges = %g, expected ~%g", got, expected)
+	}
+	g0 := checkValid(t)(ErdosRenyiGNP(50, 0, false, 7, Weighting{}))
+	if g0.NumArcs() != 0 {
+		t.Errorf("p=0 arcs = %d", g0.NumArcs())
+	}
+	g1 := checkValid(t)(ErdosRenyiGNP(20, 1, false, 7, Weighting{}))
+	if g1.NumArcs() != 20*19 {
+		t.Errorf("p=1 directed arcs = %d, want %d", g1.NumArcs(), 20*19)
+	}
+	if _, err := ErdosRenyiGNP(10, 1.5, true, 1, Weighting{}); err == nil {
+		t.Error("p>1 accepted")
+	}
+}
+
+func TestErdosRenyiGNPUndirectedComplete(t *testing.T) {
+	g := checkValid(t)(ErdosRenyiGNP(10, 1, true, 1, Weighting{}))
+	if g.NumEdges() != 45 {
+		t.Errorf("complete K10 edges = %d, want 45", g.NumEdges())
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	n, m := 500, 3
+	g := checkValid(t)(BarabasiAlbert(n, m, 11, Weighting{}))
+	if g.N() != n {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !g.Undirected() {
+		t.Error("BA graph not undirected")
+	}
+	// Edge count: m(m+1)/2 seed clique + (n-m-1)*m growth, minus merges.
+	want := int64(m*(m+1)/2 + (n-m-1)*m)
+	if g.NumEdges() < want*9/10 || g.NumEdges() > want {
+		t.Errorf("edges = %d, want ~%d", g.NumEdges(), want)
+	}
+	// Scale-free signature: max degree far above the minimum.
+	min, max := g.MinMaxDegree()
+	if min < 1 {
+		t.Errorf("min degree = %d, want >= 1", min)
+	}
+	if max < 10*m {
+		t.Errorf("max degree = %d; expected a heavy tail (>= %d)", max, 10*m)
+	}
+}
+
+func TestBarabasiAlbertSmall(t *testing.T) {
+	// n <= m+1 degenerates to a clique.
+	g := checkValid(t)(BarabasiAlbert(4, 5, 1, Weighting{}))
+	if g.NumEdges() != 6 {
+		t.Errorf("K4 edges = %d, want 6", g.NumEdges())
+	}
+	if _, err := BarabasiAlbert(10, 0, 1, Weighting{}); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestABLocalEvents(t *testing.T) {
+	g := checkValid(t)(ABLocalEvents(300, 2, 0.2, 0.2, 5, Weighting{}))
+	if g.N() != 300 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.NumEdges() < 300 {
+		t.Errorf("edges = %d, suspiciously few", g.NumEdges())
+	}
+	if _, err := ABLocalEvents(10, 2, 0.6, 0.5, 1, Weighting{}); err == nil {
+		t.Error("p+q >= 1 accepted")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	n, k := 100, 4
+	g := checkValid(t)(WattsStrogatz(n, k, 0.1, 3, Weighting{}))
+	if g.N() != n {
+		t.Fatalf("N = %d", g.N())
+	}
+	// nk/2 edge draws; rewiring can collide so allow small shrink.
+	want := int64(n * k / 2)
+	if g.NumEdges() < want*95/100 || g.NumEdges() > want {
+		t.Errorf("edges = %d, want ~%d", g.NumEdges(), want)
+	}
+	// beta = 0: pure ring lattice, every degree exactly k.
+	ring := checkValid(t)(WattsStrogatz(50, 4, 0, 3, Weighting{}))
+	min, max := ring.MinMaxDegree()
+	if min != 4 || max != 4 {
+		t.Errorf("ring lattice degrees = [%d,%d], want [4,4]", min, max)
+	}
+	if _, err := WattsStrogatz(10, 3, 0.1, 1, Weighting{}); err == nil {
+		t.Error("odd k accepted")
+	}
+	if _, err := WattsStrogatz(10, 10, 0.1, 1, Weighting{}); err == nil {
+		t.Error("k >= n accepted")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := checkValid(t)(RMAT(8, 2000, 0.57, 0.19, 0.19, 0.05, false, 9, Weighting{}))
+	if g.N() != 256 {
+		t.Fatalf("N = %d, want 256", g.N())
+	}
+	if g.NumArcs() < 1000 {
+		t.Errorf("arcs = %d, too many merged", g.NumArcs())
+	}
+	// Skewed out-degrees.
+	_, max := g.MinMaxDegree()
+	if max < 20 {
+		t.Errorf("max out-degree = %d; expected skew", max)
+	}
+	if _, err := RMAT(4, 10, 0.5, 0.5, 0.5, 0.5, false, 1, Weighting{}); err == nil {
+		t.Error("probabilities summing to 2 accepted")
+	}
+	if _, err := RMAT(31, 10, 0.25, 0.25, 0.25, 0.25, false, 1, Weighting{}); err == nil {
+		t.Error("scale 31 accepted")
+	}
+}
+
+func TestPowerLawConfiguration(t *testing.T) {
+	g := checkValid(t)(PowerLawConfiguration(1000, 2.5, 2, true, 13, Weighting{}))
+	if g.N() != 1000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	min, max := g.MinMaxDegree()
+	if max < 20 {
+		t.Errorf("max degree = %d; expected heavy tail", max)
+	}
+	_ = min
+	if _, err := PowerLawConfiguration(10, 1.0, 2, true, 1, Weighting{}); err == nil {
+		t.Error("gamma <= 1 accepted")
+	}
+	if _, err := PowerLawConfiguration(10, 2.5, 0, true, 1, Weighting{}); err == nil {
+		t.Error("minDeg = 0 accepted")
+	}
+}
+
+func TestWeighting(t *testing.T) {
+	g, err := ErdosRenyiGNM(50, 200, true, 21, Weighting{Min: 3, Max: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("weighted request produced unweighted graph")
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		_, w := g.NeighborsW(v)
+		for _, x := range w {
+			if x < 3 || x > 9 {
+				t.Fatalf("weight %d out of [3,9]", x)
+			}
+		}
+	}
+	if _, err := ErdosRenyiGNM(10, 5, true, 1, Weighting{Min: 5, Max: 2}); err == nil {
+		t.Error("inverted weight range accepted")
+	}
+	if _, err := ErdosRenyiGNM(10, 5, true, 1, Weighting{Min: 0, Max: 2}); err == nil {
+		t.Error("zero min weight accepted")
+	}
+	if _, err := ErdosRenyiGNM(10, 5, true, 1, Weighting{Min: 1, Max: matrix.Inf}); err == nil {
+		t.Error("Inf max weight accepted")
+	}
+}
+
+func TestWeightingFixed(t *testing.T) {
+	g, err := ErdosRenyiGNM(20, 40, true, 2, Weighting{Min: 7, Max: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		_, w := g.NeighborsW(v)
+		for _, x := range w {
+			if x != 7 {
+				t.Fatalf("weight %d, want 7", x)
+			}
+		}
+	}
+}
+
+// The power-law tail is what drives the paper's lock-contention findings;
+// sanity-check that BA's degree histogram is heavy-tailed: the top 1% of
+// vertices hold a disproportionate share of the arcs.
+func TestBarabasiAlbertHeavyTail(t *testing.T) {
+	g := checkValid(t)(BarabasiAlbert(2000, 4, 17, Weighting{}))
+	degs := g.Degrees()
+	// Sum of top-20 degrees vs total.
+	top := make([]int, len(degs))
+	copy(top, degs)
+	// simple selection of 20 largest
+	sum20 := 0
+	for k := 0; k < 20; k++ {
+		bi := 0
+		for i, d := range top {
+			if d > top[bi] {
+				bi = i
+			}
+		}
+		sum20 += top[bi]
+		top[bi] = -1
+	}
+	total := 0
+	for _, d := range degs {
+		total += d
+	}
+	share := float64(sum20) / float64(total)
+	if share < 0.05 {
+		t.Errorf("top-20 degree share = %g; expected heavy tail (>= 0.05)", share)
+	}
+	if math.IsNaN(share) {
+		t.Fatal("empty graph")
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	g := checkValid(t)(BarabasiAlbert(400, 3, 21, Weighting{}))
+	r := checkValid(t)(Relabel(g, 5))
+	if r.N() != g.N() || r.NumArcs() != g.NumArcs() {
+		t.Fatalf("relabel changed size: %v -> %v", g, r)
+	}
+	// The degree multiset must be preserved.
+	gh, rh := g.DegreeHistogram(), r.DegreeHistogram()
+	if len(gh) != len(rh) {
+		t.Fatalf("degree histograms differ in length: %d vs %d", len(gh), len(rh))
+	}
+	for d := range gh {
+		if gh[d] != rh[d] {
+			t.Fatalf("degree histogram differs at %d: %d vs %d", d, gh[d], rh[d])
+		}
+	}
+}
+
+func TestRelabelBreaksIdDegreeCorrelation(t *testing.T) {
+	// BA puts hubs at low ids; after relabeling the mean degree of the
+	// first 5% of ids should be close to the global mean, not far above.
+	g := checkValid(t)(BarabasiAlbert(2000, 3, 22, Weighting{}))
+	r := checkValid(t)(Relabel(g, 6))
+	head := 100
+	meanHead := func(gr *graph.Graph) float64 {
+		s := 0
+		for v := 0; v < head; v++ {
+			s += gr.OutDegree(int32(v))
+		}
+		return float64(s) / float64(head)
+	}
+	global := float64(g.NumArcs()) / float64(g.N())
+	if meanHead(g) < 3*global {
+		t.Skipf("BA head not hub-heavy on this seed (%.1f vs %.1f)", meanHead(g), global)
+	}
+	if meanHead(r) > 2*global {
+		t.Errorf("relabeled head still hub-heavy: %.1f vs global %.1f", meanHead(r), global)
+	}
+}
+
+func TestRelabelWeightedDirected(t *testing.T) {
+	g, err := ErdosRenyiGNM(100, 300, false, 31, Weighting{Min: 2, Max: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := checkValid(t)(Relabel(g, 7))
+	if !r.Weighted() || r.Undirected() {
+		t.Fatalf("relabel lost flags: weighted=%v undirected=%v", r.Weighted(), r.Undirected())
+	}
+	if r.NumArcs() != g.NumArcs() {
+		t.Errorf("arcs %d -> %d", g.NumArcs(), r.NumArcs())
+	}
+	// Weight multiset preserved.
+	sumW := func(gr *graph.Graph) uint64 {
+		var s uint64
+		for v := int32(0); v < int32(gr.N()); v++ {
+			_, w := gr.NeighborsW(v)
+			for _, x := range w {
+				s += uint64(x)
+			}
+		}
+		return s
+	}
+	if sumW(g) != sumW(r) {
+		t.Error("weight multiset changed")
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	// Regression: the growth step once iterated a Go map, whose
+	// randomized order leaked into the preferential-attachment draws and
+	// made "seeded" graphs differ between runs.
+	a := checkValid(t)(BarabasiAlbert(500, 3, 77, Weighting{}))
+	for trial := 0; trial < 3; trial++ {
+		b := checkValid(t)(BarabasiAlbert(500, 3, 77, Weighting{}))
+		if a.NumArcs() != b.NumArcs() {
+			t.Fatal("same seed, different arc counts")
+		}
+		for v := int32(0); v < int32(a.N()); v++ {
+			av, bv := a.Neighbors(v), b.Neighbors(v)
+			if len(av) != len(bv) {
+				t.Fatalf("same seed, different degree at %d", v)
+			}
+			for i := range av {
+				if av[i] != bv[i] {
+					t.Fatalf("same seed, different adjacency at %d", v)
+				}
+			}
+		}
+	}
+}
+
+func TestABLocalEventsDeterministic(t *testing.T) {
+	a := checkValid(t)(ABLocalEvents(300, 2, 0.2, 0.2, 55, Weighting{}))
+	b := checkValid(t)(ABLocalEvents(300, 2, 0.2, 0.2, 55, Weighting{}))
+	if a.NumArcs() != b.NumArcs() {
+		t.Fatal("same seed, different graphs")
+	}
+	for v := int32(0); v < int32(a.N()); v++ {
+		av, bv := a.Neighbors(v), b.Neighbors(v)
+		if len(av) != len(bv) {
+			t.Fatalf("degree differs at %d", v)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("adjacency differs at %d", v)
+			}
+		}
+	}
+}

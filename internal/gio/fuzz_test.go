@@ -1,0 +1,45 @@
+package gio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList asserts that arbitrary input never panics the parser
+// and that whatever parses successfully round-trips through the writer.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"), true, false)
+	f.Add([]byte("# comment\n% comment\n10\t20\n"), false, false)
+	f.Add([]byte("1 2 7\n2 3 1\n"), false, true)
+	f.Add([]byte(""), true, true)
+	f.Add([]byte("a b c\n"), false, false)
+	f.Add([]byte("9999999999999999999999 1\n"), false, false)
+	f.Add([]byte("1 1\n"), true, false)
+	f.Add([]byte("-5 3\n"), false, false)
+	f.Fuzz(func(t *testing.T, data []byte, undirected, weighted bool) {
+		opts := Options{Undirected: undirected, Weighted: weighted}
+		res, err := ReadEdgeList(bytes.NewReader(data), opts)
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		if err := res.Graph.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v", err)
+		}
+		if len(res.Labels) != res.Graph.N() {
+			t.Fatalf("labels %d != vertices %d", len(res.Labels), res.Graph.N())
+		}
+		// Round trip: what we wrote must parse back to the same shape.
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, res.Graph, res.Labels); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		back, err := ReadEdgeList(strings.NewReader(buf.String()), opts)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v\noutput:\n%s", err, buf.String())
+		}
+		if back.Graph.NumArcs() != res.Graph.NumArcs() {
+			t.Fatalf("round trip arcs %d -> %d", res.Graph.NumArcs(), back.Graph.NumArcs())
+		}
+	})
+}

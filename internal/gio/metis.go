@@ -1,0 +1,170 @@
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+// ReadMETIS parses a graph in the METIS/Chaco adjacency format used by
+// partitioner tool chains: a header "n m [fmt]" followed by one line per
+// vertex listing its (1-based) neighbours, optionally interleaved with
+// edge weights when fmt has the 1-bit set (001 or 011). Vertex-weight
+// flags (01x) are accepted and the weights skipped. '%' lines are
+// comments. METIS graphs are undirected; each edge appears in both
+// endpoint lines and is emitted once here.
+func ReadMETIS(r io.Reader) (*Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	var n, m int64
+	ncon := int64(0)     // vertex weights per vertex
+	edgeWeights := false // edge weights present
+	haveHeader := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || len(fields) > 4 {
+			return nil, fmt.Errorf("%w: bad METIS header %q", ErrFormat, line)
+		}
+		var err1, err2 error
+		n, err1 = strconv.ParseInt(fields[0], 10, 32)
+		m, err2 = strconv.ParseInt(fields[1], 10, 64)
+		if err1 != nil || err2 != nil || n < 0 || m < 0 {
+			return nil, fmt.Errorf("%w: bad METIS header %q", ErrFormat, line)
+		}
+		if len(fields) >= 3 {
+			f := fields[2]
+			if len(f) > 3 {
+				return nil, fmt.Errorf("%w: bad METIS fmt %q", ErrFormat, f)
+			}
+			for len(f) < 3 {
+				f = "0" + f
+			}
+			if f[0] != '0' {
+				return nil, fmt.Errorf("%w: METIS fmt %q (vertex sizes) unsupported", ErrFormat, fields[2])
+			}
+			if f[1] == '1' {
+				ncon = 1
+			}
+			edgeWeights = f[2] == '1'
+		}
+		if len(fields) == 4 {
+			v, err := strconv.ParseInt(fields[3], 10, 32)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("%w: bad ncon %q", ErrFormat, fields[3])
+			}
+			ncon = v
+		}
+		haveHeader = true
+		break
+	}
+	if !haveHeader {
+		return nil, fmt.Errorf("%w: missing METIS header", ErrFormat)
+	}
+
+	b := graph.NewBuilder(int(n), true)
+	if edgeWeights {
+		b.ForceWeighted()
+	}
+	v := int32(0)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "%") {
+			continue
+		}
+		if v >= int32(n) {
+			if line != "" {
+				return nil, fmt.Errorf("%w: more vertex lines than header's n=%d", ErrFormat, n)
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		idx := int(ncon) // skip vertex weights
+		if len(fields) < idx {
+			return nil, fmt.Errorf("%w: vertex %d line too short for %d vertex weights", ErrFormat, v+1, ncon)
+		}
+		for idx < len(fields) {
+			u, err := strconv.ParseInt(fields[idx], 10, 32)
+			if err != nil || u < 1 || u > n {
+				return nil, fmt.Errorf("%w: vertex %d: bad neighbour %q", ErrFormat, v+1, fields[idx])
+			}
+			idx++
+			w := matrix.Dist(1)
+			if edgeWeights {
+				if idx >= len(fields) {
+					return nil, fmt.Errorf("%w: vertex %d: missing edge weight", ErrFormat, v+1)
+				}
+				wv, err := strconv.ParseUint(fields[idx], 10, 32)
+				if err != nil || wv == 0 || matrix.Dist(wv) == matrix.Inf {
+					return nil, fmt.Errorf("%w: vertex %d: bad edge weight %q", ErrFormat, v+1, fields[idx])
+				}
+				w = matrix.Dist(wv)
+				idx++
+			}
+			// Each undirected edge appears twice; keep the copy from its
+			// lower endpoint (self-loops are invalid in METIS but the
+			// builder would drop them anyway).
+			if int32(u-1) >= v {
+				if err := b.AddWeighted(v, int32(u-1), w); err != nil {
+					return nil, err
+				}
+			}
+		}
+		v++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if v != int32(n) {
+		return nil, fmt.Errorf("%w: header promises %d vertices, found %d lines", ErrFormat, n, v)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("%w: header promises %d edges, graph has %d", ErrFormat, m, g.NumEdges())
+	}
+	labels := make([]int64, g.N())
+	for i := range labels {
+		labels[i] = int64(i) + 1 // METIS labels are 1-based
+	}
+	return &Result{Graph: g, Labels: labels}, nil
+}
+
+// WriteMETIS writes an undirected graph in METIS format. Directed graphs
+// are rejected (the format cannot represent them).
+func WriteMETIS(w io.Writer, g *graph.Graph) error {
+	if !g.Undirected() {
+		return fmt.Errorf("gio: METIS format requires an undirected graph")
+	}
+	bw := bufio.NewWriter(w)
+	format := "000"
+	if g.Weighted() {
+		format = "001"
+	}
+	fmt.Fprintf(bw, "%d %d %s\n", g.N(), g.NumEdges(), format)
+	for v := int32(0); v < int32(g.N()); v++ {
+		adj, wts := g.NeighborsW(v)
+		for i, u := range adj {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%d", u+1)
+			if g.Weighted() {
+				fmt.Fprintf(bw, " %d", wts[i])
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,151 @@
+package gio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"parapsp/internal/gen"
+)
+
+// The example graph from the METIS manual: 7 vertices, 11 edges.
+const metisSample = `% example from the manual
+7 11
+5 3 2
+1 3 4
+5 4 2 1
+2 3 6 7
+1 3 6
+5 4 7
+6 4
+`
+
+func TestReadMETISSample(t *testing.T) {
+	res, err := ReadMETIS(strings.NewReader(metisSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	if g.N() != 7 || g.NumEdges() != 11 || !g.Undirected() || g.Weighted() {
+		t.Fatalf("graph = %v weighted=%v", g, g.Weighted())
+	}
+	// Spot-check adjacency of vertex 0 (METIS vertex 1): {5,3,2} -> {4,2,1}.
+	adj := g.Neighbors(0)
+	want := map[int32]bool{4: true, 2: true, 1: true}
+	if len(adj) != 3 {
+		t.Fatalf("deg(0) = %d", len(adj))
+	}
+	for _, u := range adj {
+		if !want[u] {
+			t.Errorf("unexpected neighbour %d", u)
+		}
+	}
+	if res.Labels[0] != 1 || res.Labels[6] != 7 {
+		t.Errorf("labels = %v", res.Labels)
+	}
+}
+
+func TestReadMETISEdgeWeights(t *testing.T) {
+	src := "2 1 001\n2 7\n1 7\n"
+	res, err := ReadMETIS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Graph.Weighted() {
+		t.Fatal("not weighted")
+	}
+	_, w := res.Graph.NeighborsW(0)
+	if w[0] != 7 {
+		t.Errorf("weight = %d", w[0])
+	}
+}
+
+func TestReadMETISVertexWeightsSkipped(t *testing.T) {
+	// fmt 010: one vertex weight per line, skipped.
+	src := "3 2 010\n9 2\n5 1 3\n1 2\n"
+	res, err := ReadMETIS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumEdges() != 2 || res.Graph.Weighted() {
+		t.Fatalf("edges=%d weighted=%v", res.Graph.NumEdges(), res.Graph.Weighted())
+	}
+}
+
+func TestReadMETISErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ""},
+		{"bad header", "x y\n"},
+		{"vertex sizes", "2 1 100\n2\n1\n"},
+		{"neighbour zero", "2 1\n0\n1\n"},
+		{"neighbour over", "2 1\n3\n1\n"},
+		{"missing weight", "2 1 001\n2\n1 5\n"},
+		{"zero weight", "2 1 001\n2 0\n1 0\n"},
+		{"too few lines", "3 1\n2\n1\n"},
+		{"too many lines", "1 0\n\n\n5\n"},
+		{"edge count mismatch", "2 5\n2\n1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadMETIS(strings.NewReader(c.src)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: err = %v, want ErrFormat", c.name, err)
+		}
+	}
+}
+
+func TestMETISRoundTrip(t *testing.T) {
+	g, err := gen.BarabasiAlbert(80, 3, 6, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumArcs() != g.NumArcs() || res.Graph.N() != g.N() {
+		t.Errorf("round trip %v -> %v", g, res.Graph)
+	}
+}
+
+func TestMETISRoundTripWeighted(t *testing.T) {
+	g, err := gen.ErdosRenyiGNM(40, 120, true, 7, gen.Weighting{Min: 2, Max: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := res.Graph
+	if !g2.Weighted() || g2.NumArcs() != g.NumArcs() {
+		t.Fatalf("weighted=%v arcs %d->%d", g2.Weighted(), g.NumArcs(), g2.NumArcs())
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		a1, w1 := g.NeighborsW(v)
+		a2, w2 := g2.NeighborsW(v)
+		for i := range a1 {
+			if a1[i] != a2[i] || w1[i] != w2[i] {
+				t.Fatalf("adjacency differs at %d", v)
+			}
+		}
+	}
+}
+
+func TestWriteMETISRejectsDirected(t *testing.T) {
+	g, err := gen.ErdosRenyiGNM(10, 20, false, 8, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err == nil {
+		t.Error("directed graph accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package graph
+
+import "testing"
+
+// FuzzBuilder feeds arbitrary edge bytes to the builder and asserts that
+// whatever builds successfully is a structurally valid CSR graph whose
+// degree accounting is internally consistent.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2}, uint8(4), true, false, false)
+	f.Add([]byte{0, 0}, uint8(1), false, true, false)
+	f.Add([]byte{3, 2, 2, 3, 3, 2}, uint8(5), true, false, true)
+	f.Add([]byte{}, uint8(0), false, false, false)
+	f.Fuzz(func(t *testing.T, data []byte, nRaw uint8, undirected, keepLoops, keepMulti bool) {
+		n := int(nRaw % 32)
+		b := NewBuilder(n, undirected)
+		if keepLoops {
+			b.KeepSelfLoops()
+		}
+		if keepMulti {
+			b.KeepParallelEdges()
+		}
+		added := 0
+		for i := 0; i+1 < len(data); i += 2 {
+			u, v := int32(data[i]), int32(data[i+1])
+			err := b.AddEdge(u, v)
+			inRange := int(u) < n && int(v) < n
+			if inRange && err != nil {
+				t.Fatalf("in-range edge (%d,%d) rejected: %v", u, v, err)
+			}
+			if !inRange && err == nil {
+				t.Fatalf("out-of-range edge (%d,%d) accepted", u, v)
+			}
+			if err == nil {
+				added++
+			}
+		}
+		if b.NumPending() != added {
+			t.Fatalf("pending %d != added %d", b.NumPending(), added)
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatalf("build failed on accepted edges: %v", err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("built graph invalid: %v", err)
+		}
+		// Degree sum equals arc count.
+		sum := int64(0)
+		for _, d := range g.Degrees() {
+			sum += int64(d)
+		}
+		if sum != g.NumArcs() {
+			t.Fatalf("degree sum %d != arcs %d", sum, g.NumArcs())
+		}
+		// Arc count cannot exceed what was added (after symmetrization).
+		limit := int64(added)
+		if undirected {
+			limit *= 2
+		}
+		if g.NumArcs() > limit {
+			t.Fatalf("arcs %d exceed input bound %d", g.NumArcs(), limit)
+		}
+		// Without loop/multi keeping, the graph is simple.
+		if !keepLoops {
+			for v := int32(0); v < int32(n); v++ {
+				for _, u := range g.Neighbors(v) {
+					if u == v {
+						t.Fatalf("self loop survived at %d", v)
+					}
+				}
+			}
+		}
+		if !keepMulti {
+			for v := int32(0); v < int32(n); v++ {
+				adj := g.Neighbors(v)
+				for i := 1; i < len(adj); i++ {
+					if adj[i] == adj[i-1] {
+						t.Fatalf("parallel arc survived at %d->%d", v, adj[i])
+					}
+				}
+			}
+		}
+	})
+}

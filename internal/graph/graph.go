@@ -1,0 +1,263 @@
+// Package graph provides the compressed-sparse-row (CSR) graph
+// representation shared by every algorithm in this repository, together
+// with construction, validation, and degree statistics.
+//
+// The paper's algorithms iterate outgoing adjacency lists of one vertex at
+// a time (the edge-relaxation loop of the modified Dijkstra procedure) and
+// read per-vertex degrees (the ordering procedures), so the representation
+// is optimized for exactly those two accesses: a flat offsets array and a
+// flat targets array, with an optional parallel weights array.
+package graph
+
+import (
+	"errors"
+	"fmt"
+
+	"parapsp/internal/matrix"
+)
+
+// Graph is an immutable CSR directed multigraph. Undirected input graphs
+// are stored with both edge directions materialized, which is how the
+// paper's C/OpenMP implementation treats the SNAP/KONECT undirected
+// datasets; Undirected records the input interpretation for reporting.
+//
+// Vertices are dense integers in [0, N()). Weights are optional: a nil
+// weights array means every edge has weight 1 (hop-count metric), which is
+// the configuration used for all of the paper's experiments.
+type Graph struct {
+	offsets    []int64 // len n+1; edge range of vertex v is [offsets[v], offsets[v+1])
+	targets    []int32 // len m (directed edge count after symmetrization)
+	weights    []matrix.Dist
+	undirected bool
+}
+
+// Errors returned by graph construction and validation.
+var (
+	ErrVertexRange = errors.New("graph: vertex id out of range")
+	ErrZeroWeight  = errors.New("graph: edge weight must be positive and finite")
+	ErrCorrupt     = errors.New("graph: corrupt CSR structure")
+)
+
+// Edge is a weighted directed edge used during construction.
+// For unweighted graphs use W == 1.
+type Edge struct {
+	From, To int32
+	W        matrix.Dist
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.offsets) - 1 }
+
+// NumArcs returns the number of stored directed arcs. For an undirected
+// graph this is twice the number of input edges (minus merged duplicates).
+func (g *Graph) NumArcs() int64 { return g.offsets[g.N()] }
+
+// NumEdges returns the edge count in the input's interpretation:
+// arcs for directed graphs, arcs/2 for undirected graphs.
+func (g *Graph) NumEdges() int64 {
+	if g.undirected {
+		return g.NumArcs() / 2
+	}
+	return g.NumArcs()
+}
+
+// Undirected reports whether the graph was built as undirected.
+func (g *Graph) Undirected() bool { return g.undirected }
+
+// Weighted reports whether the graph carries explicit edge weights.
+func (g *Graph) Weighted() bool { return g.weights != nil }
+
+// Neighbors returns the adjacency list of v as a slice aliasing internal
+// storage; callers must not modify it.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.targets[g.offsets[v]:g.offsets[v+1]]
+}
+
+// NeighborsW returns the adjacency list of v and the parallel weight slice.
+// The weight slice is nil for unweighted graphs (every edge weighs 1).
+func (g *Graph) NeighborsW(v int32) ([]int32, []matrix.Dist) {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	if g.weights == nil {
+		return g.targets[lo:hi], nil
+	}
+	return g.targets[lo:hi], g.weights[lo:hi]
+}
+
+// OutDegree returns the number of outgoing arcs of v. For undirected
+// graphs this equals the vertex degree, which is the quantity the paper's
+// ordering procedures sort by.
+func (g *Graph) OutDegree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Degrees returns a freshly allocated out-degree array.
+func (g *Graph) Degrees() []int {
+	d := make([]int, g.N())
+	for v := range d {
+		d[v] = g.OutDegree(int32(v))
+	}
+	return d
+}
+
+// MinMaxDegree returns the minimum and maximum out-degree.
+// Both are zero for an empty graph.
+func (g *Graph) MinMaxDegree() (min, max int) {
+	n := g.N()
+	if n == 0 {
+		return 0, 0
+	}
+	min, max = g.OutDegree(0), g.OutDegree(0)
+	for v := 1; v < n; v++ {
+		d := g.OutDegree(int32(v))
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return min, max
+}
+
+// DegreeHistogram returns hist where hist[d] is the number of vertices of
+// out-degree d; len(hist) is MaxDegree+1 (empty for an empty graph).
+// This regenerates the data behind the paper's Figure 3.
+func (g *Graph) DegreeHistogram() []int64 {
+	_, max := g.MinMaxDegree()
+	if g.N() == 0 {
+		return nil
+	}
+	hist := make([]int64, max+1)
+	for v := 0; v < g.N(); v++ {
+		hist[g.OutDegree(int32(v))]++
+	}
+	return hist
+}
+
+// Validate checks CSR structural invariants; it returns nil on a healthy
+// graph. It exists so that loaders and generators can assert their output
+// and so tests can fuzz construction.
+func (g *Graph) Validate() error {
+	n := g.N()
+	if n < 0 {
+		return fmt.Errorf("%w: negative vertex count", ErrCorrupt)
+	}
+	if g.offsets[0] != 0 {
+		return fmt.Errorf("%w: offsets[0] != 0", ErrCorrupt)
+	}
+	for v := 0; v < n; v++ {
+		if g.offsets[v+1] < g.offsets[v] {
+			return fmt.Errorf("%w: offsets not monotone at %d", ErrCorrupt, v)
+		}
+	}
+	if g.offsets[n] != int64(len(g.targets)) {
+		return fmt.Errorf("%w: offsets[n]=%d != len(targets)=%d", ErrCorrupt, g.offsets[n], len(g.targets))
+	}
+	if g.weights != nil && len(g.weights) != len(g.targets) {
+		return fmt.Errorf("%w: weights length %d != targets length %d", ErrCorrupt, len(g.weights), len(g.targets))
+	}
+	for i, t := range g.targets {
+		if t < 0 || int(t) >= n {
+			return fmt.Errorf("%w: target %d at arc %d", ErrVertexRange, t, i)
+		}
+	}
+	if g.weights != nil {
+		for i, w := range g.weights {
+			if w == 0 || w == matrix.Inf {
+				return fmt.Errorf("%w: arc %d has weight %d", ErrZeroWeight, i, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Transpose returns the graph with every arc reversed. Weights follow
+// their arcs. The undirected flag is preserved (transposing an undirected
+// graph is a no-op up to adjacency ordering).
+func (g *Graph) Transpose() *Graph {
+	n := g.N()
+	counts := make([]int64, n+1)
+	for _, t := range g.targets {
+		counts[t+1]++
+	}
+	for v := 0; v < n; v++ {
+		counts[v+1] += counts[v]
+	}
+	targets := make([]int32, len(g.targets))
+	var weights []matrix.Dist
+	if g.weights != nil {
+		weights = make([]matrix.Dist, len(g.weights))
+	}
+	next := make([]int64, n)
+	copy(next, counts[:n])
+	for v := 0; v < n; v++ {
+		adj, w := g.NeighborsW(int32(v))
+		for i, t := range adj {
+			p := next[t]
+			next[t]++
+			targets[p] = int32(v)
+			if weights != nil {
+				weights[p] = w[i]
+			}
+		}
+	}
+	return &Graph{offsets: counts, targets: targets, weights: weights, undirected: g.undirected}
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	kind := "directed"
+	if g.undirected {
+		kind = "undirected"
+	}
+	return fmt.Sprintf("graph.Graph(%s, n=%d, m=%d)", kind, g.N(), g.NumEdges())
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices,
+// which must be distinct and in range; arcs are kept iff both endpoints
+// are selected. The second return value maps new ids to old ids
+// (newToOld[i] is the original id of new vertex i). The common use is
+// restricting APSP to the largest connected component, where most of the
+// full matrix would otherwise be Inf.
+func (g *Graph) InducedSubgraph(vertices []int32) (*Graph, []int32, error) {
+	oldToNew := make(map[int32]int32, len(vertices))
+	newToOld := make([]int32, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || int(v) >= g.N() {
+			return nil, nil, fmt.Errorf("%w: vertex %d", ErrVertexRange, v)
+		}
+		if _, dup := oldToNew[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in subgraph selection", v)
+		}
+		oldToNew[v] = int32(i)
+		newToOld[i] = v
+	}
+	b := NewBuilder(len(vertices), g.undirected)
+	for newU, oldU := range newToOld {
+		adj, wts := g.NeighborsW(oldU)
+		for i, oldV := range adj {
+			newV, ok := oldToNew[oldV]
+			if !ok {
+				continue
+			}
+			if g.undirected && newV < int32(newU) {
+				continue // emit each undirected edge once
+			}
+			w := matrix.Dist(1)
+			if wts != nil {
+				w = wts[i]
+			}
+			if err := b.AddWeighted(int32(newU), newV, w); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if g.weights != nil {
+		b.ForceWeighted()
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, newToOld, nil
+}

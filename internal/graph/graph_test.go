@@ -1,0 +1,425 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parapsp/internal/matrix"
+)
+
+func mustBuild(t *testing.T, n int, undirected bool, pairs [][2]int32) *Graph {
+	t.Helper()
+	g, err := FromPairs(n, undirected, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := mustBuild(t, 0, false, nil)
+	if g.N() != 0 || g.NumArcs() != 0 {
+		t.Fatalf("empty graph N=%d arcs=%d", g.N(), g.NumArcs())
+	}
+	if min, max := g.MinMaxDegree(); min != 0 || max != 0 {
+		t.Errorf("MinMaxDegree = %d,%d", min, max)
+	}
+	if h := g.DegreeHistogram(); h != nil {
+		t.Errorf("DegreeHistogram = %v", h)
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	g := mustBuild(t, 5, false, [][2]int32{{0, 1}})
+	if g.N() != 5 || g.NumArcs() != 1 {
+		t.Fatalf("N=%d arcs=%d", g.N(), g.NumArcs())
+	}
+	for v := int32(1); v < 5; v++ {
+		if g.OutDegree(v) != 0 {
+			t.Errorf("vertex %d degree %d, want 0", v, g.OutDegree(v))
+		}
+	}
+}
+
+func TestUndirectedSymmetry(t *testing.T) {
+	g := mustBuild(t, 4, true, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	if g.NumArcs() != 6 {
+		t.Fatalf("arcs = %d, want 6", g.NumArcs())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", g.NumEdges())
+	}
+	// each (u,v) arc must have a (v,u) arc
+	for v := int32(0); v < 4; v++ {
+		for _, w := range g.Neighbors(v) {
+			found := false
+			for _, x := range g.Neighbors(w) {
+				if x == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("arc (%d,%d) has no reverse", v, w)
+			}
+		}
+	}
+}
+
+func TestSelfLoopsDroppedByDefault(t *testing.T) {
+	g := mustBuild(t, 3, false, [][2]int32{{0, 0}, {0, 1}, {2, 2}})
+	if g.NumArcs() != 1 {
+		t.Fatalf("arcs = %d, want 1", g.NumArcs())
+	}
+}
+
+func TestSelfLoopsKept(t *testing.T) {
+	b := NewBuilder(3, false).KeepSelfLoops()
+	if err := b.AddEdge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumArcs() != 1 || g.Neighbors(0)[0] != 0 {
+		t.Fatalf("self loop missing: %v", g.Neighbors(0))
+	}
+}
+
+func TestParallelEdgesMergedMinWeight(t *testing.T) {
+	b := NewBuilder(2, false)
+	for _, w := range []matrix.Dist{5, 2, 9} {
+		if err := b.AddWeighted(0, 1, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumArcs() != 1 {
+		t.Fatalf("arcs = %d, want 1", g.NumArcs())
+	}
+	_, w := g.NeighborsW(0)
+	if w[0] != 2 {
+		t.Errorf("merged weight = %d, want 2", w[0])
+	}
+}
+
+func TestParallelEdgesKept(t *testing.T) {
+	b := NewBuilder(2, false).KeepParallelEdges()
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumArcs() != 2 {
+		t.Fatalf("arcs = %d, want 2", g.NumArcs())
+	}
+}
+
+func TestUndirectedDuplicateBothDirections(t *testing.T) {
+	// Adding both (0,1) and (1,0) to an undirected builder must still
+	// produce exactly one edge (two arcs).
+	g := mustBuild(t, 2, true, [][2]int32{{0, 1}, {1, 0}})
+	if g.NumArcs() != 2 {
+		t.Fatalf("arcs = %d, want 2", g.NumArcs())
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	b := NewBuilder(2, false)
+	if err := b.AddEdge(-1, 0); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("negative from: %v", err)
+	}
+	if err := b.AddEdge(0, 2); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("out of range to: %v", err)
+	}
+	if err := b.AddWeighted(0, 1, 0); !errors.Is(err, ErrZeroWeight) {
+		t.Errorf("zero weight: %v", err)
+	}
+	if err := b.AddWeighted(0, 1, matrix.Inf); !errors.Is(err, ErrZeroWeight) {
+		t.Errorf("inf weight: %v", err)
+	}
+}
+
+func TestWeightedFlag(t *testing.T) {
+	b := NewBuilder(2, false)
+	b.AddEdge(0, 1)
+	g, _ := b.Build()
+	if g.Weighted() {
+		t.Error("weight-1 graph reported weighted")
+	}
+	b2 := NewBuilder(2, false)
+	b2.AddWeighted(0, 1, 3)
+	g2, _ := b2.Build()
+	if !g2.Weighted() {
+		t.Error("weighted graph reported unweighted")
+	}
+	adj, w := g2.NeighborsW(0)
+	if len(adj) != 1 || w[0] != 3 {
+		t.Errorf("NeighborsW = %v %v", adj, w)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := mustBuild(t, 4, false, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}})
+	want := []int{3, 1, 0, 0}
+	got := g.Degrees()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("degree[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	min, max := g.MinMaxDegree()
+	if min != 0 || max != 3 {
+		t.Errorf("MinMax = %d,%d", min, max)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := mustBuild(t, 4, false, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}})
+	h := g.DegreeHistogram()
+	want := []int64{2, 1, 0, 1}
+	if len(h) != len(want) {
+		t.Fatalf("hist len = %d, want %d", len(h), len(want))
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("hist[%d] = %d, want %d", i, h[i], want[i])
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	b := NewBuilder(3, false)
+	b.AddWeighted(0, 1, 2)
+	b.AddWeighted(1, 2, 3)
+	b.AddWeighted(0, 2, 4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Transpose()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.OutDegree(2) != 2 || tr.OutDegree(0) != 0 {
+		t.Errorf("transpose degrees wrong: %d %d", tr.OutDegree(2), tr.OutDegree(0))
+	}
+	adj, w := tr.NeighborsW(1)
+	if len(adj) != 1 || adj[0] != 0 || w[0] != 2 {
+		t.Errorf("transpose adjacency of 1 = %v %v", adj, w)
+	}
+	// transposing twice must restore arc multiset
+	back := tr.Transpose()
+	if back.NumArcs() != g.NumArcs() {
+		t.Errorf("double transpose arcs = %d, want %d", back.NumArcs(), g.NumArcs())
+	}
+}
+
+func TestTransposeUndirectedDegreesStable(t *testing.T) {
+	g := mustBuild(t, 5, true, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	tr := g.Transpose()
+	for v := int32(0); v < 5; v++ {
+		if g.OutDegree(v) != tr.OutDegree(v) {
+			t.Errorf("vertex %d degree changed %d -> %d", v, g.OutDegree(v), tr.OutDegree(v))
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := mustBuild(t, 3, false, [][2]int32{{0, 1}, {1, 2}})
+	g.targets[0] = 99
+	if err := g.Validate(); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("Validate on corrupt targets = %v", err)
+	}
+	g2 := mustBuild(t, 3, false, [][2]int32{{0, 1}})
+	g2.offsets[1] = 5
+	if err := g2.Validate(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Validate on corrupt offsets = %v", err)
+	}
+}
+
+func TestString(t *testing.T) {
+	g := mustBuild(t, 3, true, [][2]int32{{0, 1}})
+	if s := g.String(); s != "graph.Graph(undirected, n=3, m=1)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestBuilderReusable(t *testing.T) {
+	b := NewBuilder(3, false)
+	b.AddEdge(0, 1)
+	g1, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AddEdge(1, 2)
+	g2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumArcs() != 1 || g2.NumArcs() != 2 {
+		t.Errorf("arcs = %d and %d, want 1 and 2", g1.NumArcs(), g2.NumArcs())
+	}
+}
+
+// Property: for random undirected simple graphs, sum of degrees == 2*edges
+// and adjacency is symmetric; CSR always validates.
+func TestRandomUndirectedProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := NewBuilder(n, true)
+		for i := 0; i < n*2; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if err := b.AddEdge(u, v); err != nil {
+				return false
+			}
+		}
+		g, err := b.Build()
+		if err != nil || g.Validate() != nil {
+			return false
+		}
+		sum := int64(0)
+		for _, d := range g.Degrees() {
+			sum += int64(d)
+		}
+		return sum == g.NumArcs() && g.NumArcs() == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: building from the same edges in any order yields identical CSR.
+func TestBuildOrderInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		var pairs [][2]int32
+		for i := 0; i < n; i++ {
+			pairs = append(pairs, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
+		}
+		g1, err := FromPairs(n, false, pairs)
+		if err != nil {
+			return false
+		}
+		rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		g2, err := FromPairs(n, false, pairs)
+		if err != nil {
+			return false
+		}
+		if g1.NumArcs() != g2.NumArcs() {
+			return false
+		}
+		for v := int32(0); v < int32(n); v++ {
+			a1, a2 := g1.Neighbors(v), g2.Neighbors(v)
+			if len(a1) != len(a2) {
+				return false
+			}
+			for i := range a1 {
+				if a1[i] != a2[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgesWeighted(t *testing.T) {
+	g, err := FromEdges(3, false, []Edge{{0, 1, 7}, {1, 2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() || g.NumArcs() != 2 {
+		t.Fatalf("FromEdges: weighted=%v arcs=%d", g.Weighted(), g.NumArcs())
+	}
+	if _, err := FromEdges(1, false, []Edge{{0, 5, 1}}); err == nil {
+		t.Error("FromEdges accepted out-of-range edge")
+	}
+}
+
+func TestForceWeighted(t *testing.T) {
+	b := NewBuilder(2, false).ForceWeighted()
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Error("ForceWeighted graph reported unweighted")
+	}
+	_, w := g.NeighborsW(0)
+	if len(w) != 1 || w[0] != 1 {
+		t.Errorf("weights = %v", w)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	// Path 0-1-2-3-4; select {1,2,3} -> path of length 2.
+	g := mustBuild(t, 5, true, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	sub, names, err := g.InducedSubgraph([]int32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("sub = %v", sub)
+	}
+	if names[0] != 1 || names[2] != 3 {
+		t.Errorf("names = %v", names)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Edges crossing the selection are dropped.
+	if sub.OutDegree(0) != 1 {
+		t.Errorf("deg(new 0) = %d, want 1", sub.OutDegree(0))
+	}
+}
+
+func TestInducedSubgraphWeightedDirected(t *testing.T) {
+	b := NewBuilder(4, false)
+	b.AddWeighted(0, 1, 5)
+	b.AddWeighted(1, 2, 7)
+	b.AddWeighted(2, 3, 9)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _, err := g.InducedSubgraph([]int32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Weighted() || sub.NumArcs() != 1 {
+		t.Fatalf("weighted=%v arcs=%d", sub.Weighted(), sub.NumArcs())
+	}
+	_, w := sub.NeighborsW(0)
+	if w[0] != 7 {
+		t.Errorf("weight = %d, want 7", w[0])
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := mustBuild(t, 3, true, [][2]int32{{0, 1}})
+	if _, _, err := g.InducedSubgraph([]int32{5}); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if _, _, err := g.InducedSubgraph([]int32{1, 1}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	sub, _, err := g.InducedSubgraph(nil)
+	if err != nil || sub.N() != 0 {
+		t.Errorf("empty selection: %v, %v", sub, err)
+	}
+}

@@ -1,0 +1,268 @@
+package matrix
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSat(t *testing.T) {
+	cases := []struct {
+		a, b, want Dist
+	}{
+		{0, 0, 0},
+		{1, 2, 3},
+		{Inf, 0, Inf},
+		{0, Inf, Inf},
+		{Inf, Inf, Inf},
+		{MaxFinite, 1, Inf},
+		{MaxFinite, 0, MaxFinite},
+		{math.MaxUint32 / 2, math.MaxUint32 / 2, math.MaxUint32 - 1},
+		{math.MaxUint32/2 + 1, math.MaxUint32 / 2, Inf},
+	}
+	for _, c := range cases {
+		if got := AddSat(c.a, c.b); got != c.want {
+			t.Errorf("AddSat(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAddSatProperties(t *testing.T) {
+	// Commutative, monotone, never less than either finite operand.
+	f := func(a, b uint32) bool {
+		x, y := Dist(a), Dist(b)
+		s := AddSat(x, y)
+		if s != AddSat(y, x) {
+			return false
+		}
+		if x != Inf && y != Inf && s != Inf {
+			return s >= x && s >= y
+		}
+		if x == Inf || y == Inf {
+			return s == Inf
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsInf(t *testing.T) {
+	if !IsInf(Inf) {
+		t.Error("IsInf(Inf) = false")
+	}
+	if IsInf(MaxFinite) || IsInf(0) {
+		t.Error("IsInf on finite value = true")
+	}
+}
+
+func TestNewIsAllInf(t *testing.T) {
+	m := New(5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) != Inf {
+				t.Fatalf("New matrix entry (%d,%d) = %d, want Inf", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewZero(t *testing.T) {
+	m := NewZero(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("NewZero entry (%d,%d) = %d", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestInitAPSP(t *testing.T) {
+	m := NewZero(6)
+	m.InitAPSP()
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			want := Inf
+			if i == j {
+				want = 0
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("InitAPSP entry (%d,%d) = %d, want %d", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestRowAliasesStorage(t *testing.T) {
+	m := New(3)
+	r := m.Row(1)
+	r[2] = 42
+	if m.At(1, 2) != 42 {
+		t.Error("Row does not alias matrix storage")
+	}
+	if len(r) != 3 || cap(r) != 3 {
+		t.Errorf("Row len/cap = %d/%d, want 3/3", len(r), cap(r))
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	m := New(4)
+	m.Set(2, 3, 7)
+	if m.At(2, 3) != 7 {
+		t.Errorf("At(2,3) = %d, want 7", m.At(2, 3))
+	}
+	if m.At(3, 2) != Inf {
+		t.Error("Set wrote the transposed entry")
+	}
+}
+
+func TestFillZeroSize(t *testing.T) {
+	m := New(0)
+	m.Fill(3) // must not panic
+	if m.N() != 0 {
+		t.Error("N of empty matrix != 0")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := New(3)
+	m.Set(0, 1, 9)
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Set(0, 1, 10)
+	if m.At(0, 1) != 9 {
+		t.Error("mutating clone changed original")
+	}
+}
+
+func TestEqualAndDiff(t *testing.T) {
+	a, b := New(3), New(3)
+	if !a.Equal(b) {
+		t.Fatal("fresh equal matrices reported unequal")
+	}
+	b.Set(1, 2, 5)
+	b.Set(2, 0, 6)
+	if a.Equal(b) {
+		t.Fatal("different matrices reported equal")
+	}
+	d, err := a.Diff(b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 || d[0] != [2]int{1, 2} || d[1] != [2]int{2, 0} {
+		t.Errorf("Diff = %v", d)
+	}
+	d, err = a.Diff(b, 1)
+	if err != nil || len(d) != 1 {
+		t.Errorf("Diff with max=1 returned %v, %v", d, err)
+	}
+	if _, err := a.Diff(New(4), 1); err != ErrDimension {
+		t.Errorf("Diff dimension mismatch error = %v", err)
+	}
+}
+
+func TestEqualDifferentSizes(t *testing.T) {
+	if New(2).Equal(New(3)) {
+		t.Error("matrices of different sizes reported equal")
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	if got := New(10).MemBytes(); got != 400 {
+		t.Errorf("MemBytes = %d, want 400", got)
+	}
+	if got := EstimateMemBytes(10); got != 400 {
+		t.Errorf("EstimateMemBytes = %d, want 400", got)
+	}
+	if got := EstimateMemBytes(200000); got != 160000000000 {
+		t.Errorf("EstimateMemBytes(200000) = %d", got)
+	}
+}
+
+func TestCountFinite(t *testing.T) {
+	m := New(4)
+	m.InitAPSP()
+	if got := m.CountFinite(); got != 4 {
+		t.Errorf("CountFinite after InitAPSP = %d, want 4", got)
+	}
+	m.Set(0, 1, 3)
+	if got := m.CountFinite(); got != 5 {
+		t.Errorf("CountFinite = %d, want 5", got)
+	}
+}
+
+func TestChecksumDistinguishes(t *testing.T) {
+	a, b := New(4), New(4)
+	a.InitAPSP()
+	b.InitAPSP()
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("equal matrices have different checksums")
+	}
+	b.Set(1, 1, 1)
+	if a.Checksum() == b.Checksum() {
+		t.Fatal("different matrices have equal checksums")
+	}
+}
+
+func TestChecksumOrderDependent(t *testing.T) {
+	a, b := New(2), New(2)
+	a.Set(0, 0, 1) // [1 inf / inf inf]
+	b.Set(0, 1, 1) // [inf 1 / inf inf]
+	if a.Checksum() == b.Checksum() {
+		t.Error("checksum ignores entry positions")
+	}
+}
+
+func TestStringSmall(t *testing.T) {
+	m := New(2)
+	m.InitAPSP()
+	m.Set(0, 1, 3)
+	want := "0 3\ninf 0\n"
+	if got := m.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestStringLargeSummarized(t *testing.T) {
+	m := New(100)
+	s := m.String()
+	if !strings.Contains(s, "n=100") {
+		t.Errorf("large String() = %q", s)
+	}
+	if len(s) > 200 {
+		t.Errorf("large String() too long: %d bytes", len(s))
+	}
+}
+
+func TestFillProperty(t *testing.T) {
+	f := func(v uint32, dim uint8) bool {
+		n := int(dim % 20)
+		m := New(n)
+		m.Fill(Dist(v))
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if m.At(i, j) != Dist(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package oracle provides a landmark-based approximate distance oracle:
+// the standard answer to "the graph is too big for O(n^2) APSP but I need
+// fast distance queries" — the regime just past the memory wall that caps
+// the paper's experiments (sx-superuser already needs 160 GB).
+//
+// The oracle picks k landmarks (highest-degree vertices by default — the
+// same hub intuition as the paper's ordering), computes their exact
+// shortest-path rows with the subset solver (which reuses rows among the
+// landmarks exactly like ParAPSP), and answers queries by the triangle
+// inequality:
+//
+//	upper(u,v) = min over L of d(u,L) + d(L,v)
+//	lower(u,v) = max over L of the one-sided triangle differences
+//
+// For undirected graphs d(u,L) comes from L's row; for directed graphs
+// the oracle also computes landmark rows on the transpose so both d(u,L)
+// and d(L,v) are exact. Memory is O(k*n) instead of O(n^2).
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"parapsp/internal/core"
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+// Oracle answers approximate distance queries from landmark rows.
+type Oracle struct {
+	landmarks []int32
+	// from[i][v] = d(landmark_i, v); to[i][v] = d(v, landmark_i).
+	// For undirected graphs they alias the same rows.
+	from, to [][]matrix.Dist
+	n        int
+	directed bool
+}
+
+// Options configures Build. The zero value picks 16 highest-degree
+// landmarks with a single worker.
+type Options struct {
+	// Landmarks is the number of landmarks k (default 16, clamped to n).
+	Landmarks int
+	// Workers parallelizes the landmark SSSP runs.
+	Workers int
+	// Seed reserved for future randomized strategies (unused by the
+	// degree strategy).
+	Seed int64
+}
+
+// Build selects landmarks and computes their exact rows.
+func Build(g *graph.Graph, opts Options) (*Oracle, error) {
+	n := g.N()
+	k := opts.Landmarks
+	if k <= 0 {
+		k = 16
+	}
+	if k > n {
+		k = n
+	}
+
+	// Highest-degree landmarks: on scale-free graphs the hubs lie on most
+	// shortest paths, which keeps the triangle upper bound tight.
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return g.OutDegree(idx[a]) > g.OutDegree(idx[b])
+	})
+	landmarks := make([]int32, k)
+	copy(landmarks, idx[:k])
+
+	sub, err := core.SolveSubset(g, landmarks, core.Options{Workers: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	o := &Oracle{landmarks: landmarks, n: n, directed: !g.Undirected()}
+	o.from = make([][]matrix.Dist, k)
+	for i, L := range landmarks {
+		o.from[i] = sub.Row(L)
+	}
+	if g.Undirected() {
+		o.to = o.from
+	} else {
+		// d(v, L) = d_transpose(L, v).
+		tr := g.Transpose()
+		rsub, err := core.SolveSubset(tr, landmarks, core.Options{Workers: opts.Workers})
+		if err != nil {
+			return nil, err
+		}
+		o.to = make([][]matrix.Dist, k)
+		for i, L := range landmarks {
+			o.to[i] = rsub.Row(L)
+		}
+	}
+	return o, nil
+}
+
+// Landmarks returns the chosen landmark vertices (descending degree).
+func (o *Oracle) Landmarks() []int32 {
+	out := make([]int32, len(o.landmarks))
+	copy(out, o.landmarks)
+	return out
+}
+
+// MemBytes reports the oracle's row storage.
+func (o *Oracle) MemBytes() uint64 {
+	per := uint64(len(o.landmarks)) * uint64(o.n) * 4
+	if len(o.to) > 0 && len(o.from) > 0 && &o.to[0][0] != &o.from[0][0] {
+		return 2 * per
+	}
+	return per
+}
+
+// Bounds returns lower and upper bounds on d(u, v). Inf/Inf means no
+// landmark connects the pair (they may still be connected through
+// non-landmark paths, so Inf upper bounds are inconclusive for
+// reachability). u == v returns (0, 0).
+func (o *Oracle) Bounds(u, v int32) (lower, upper matrix.Dist) {
+	if u == v {
+		return 0, 0
+	}
+	lower, upper = 0, matrix.Inf
+	for i := range o.landmarks {
+		du := o.to[i][u]   // d(u, L)
+		dv := o.from[i][v] // d(L, v)
+		if du != matrix.Inf && dv != matrix.Inf {
+			if s := matrix.AddSat(du, dv); s < upper {
+				upper = s
+			}
+		}
+		// Lower bounds from the triangle inequality. With directed
+		// distances only the one-sided forms are valid:
+		//   d(u,L) <= d(u,v) + d(v,L)  =>  d(u,v) >= d(u,L) - d(v,L)
+		//   d(L,v) <= d(L,u) + d(u,v)  =>  d(u,v) >= d(L,v) - d(L,u)
+		// Undirected symmetry upgrades both to absolute differences.
+		dvl := o.to[i][v] // d(v, L)
+		if du != matrix.Inf && dvl != matrix.Inf {
+			var diff matrix.Dist
+			if du > dvl {
+				diff = du - dvl
+			} else if !o.directed {
+				diff = dvl - du
+			}
+			if diff > lower {
+				lower = diff
+			}
+		}
+		dlu := o.from[i][u] // d(L, u)
+		if dlu != matrix.Inf && dv != matrix.Inf {
+			var diff matrix.Dist
+			if dv > dlu {
+				diff = dv - dlu
+			} else if !o.directed {
+				diff = dlu - dv
+			}
+			if diff > lower {
+				lower = diff
+			}
+		}
+	}
+	if lower > upper {
+		// Possible only when no landmark connects the pair (upper = Inf
+		// stays) — keep bounds consistent for callers.
+		lower = upper
+	}
+	return lower, upper
+}
+
+// Estimate returns the upper bound, the conventional landmark estimate.
+func (o *Oracle) Estimate(u, v int32) matrix.Dist {
+	_, up := o.Bounds(u, v)
+	return up
+}
+
+// String describes the oracle.
+func (o *Oracle) String() string {
+	return fmt.Sprintf("oracle.Oracle(k=%d, n=%d, %d KiB)", len(o.landmarks), o.n, o.MemBytes()>>10)
+}

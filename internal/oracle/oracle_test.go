@@ -1,0 +1,217 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parapsp/internal/baseline"
+	"parapsp/internal/gen"
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+// TestBoundsSandwichTruth is the oracle's soundness property: for every
+// pair, lower <= d(u,v) <= upper (with Inf handled as +infinity).
+func TestBoundsSandwichTruth(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		m := rng.Intn(4 * n)
+		directed := rng.Intn(2) == 0
+		var w gen.Weighting
+		if rng.Intn(2) == 0 {
+			w = gen.Weighting{Min: 1, Max: 9}
+		}
+		g, err := gen.ErdosRenyiGNM(n, m, !directed, seed, w)
+		if err != nil {
+			return false
+		}
+		truth := baseline.FloydWarshall(g)
+		o, err := Build(g, Options{Landmarks: 1 + rng.Intn(6), Workers: 2})
+		if err != nil {
+			return false
+		}
+		for u := int32(0); u < int32(n); u++ {
+			for v := int32(0); v < int32(n); v++ {
+				lo, hi := o.Bounds(u, v)
+				d := truth.At(int(u), int(v))
+				if d != matrix.Inf && (lo > d || hi < d) {
+					t.Logf("seed %d: d(%d,%d)=%d outside [%d,%d]", seed, u, v, d, lo, hi)
+					return false
+				}
+				if d == matrix.Inf && hi != matrix.Inf {
+					t.Logf("seed %d: unreachable pair (%d,%d) got finite upper %d", seed, u, v, hi)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateTightOnScaleFree(t *testing.T) {
+	g, err := gen.BarabasiAlbert(800, 3, 5, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := baseline.BFSAPSP(g)
+	o, err := Build(g, Options{Landmarks: 16, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hub landmarks sit on most shortest paths of a BA graph: the upper
+	// bound should be within +2 hops of the truth on average.
+	var slack, count float64
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		u, v := int32(rng.Intn(800)), int32(rng.Intn(800))
+		if u == v {
+			continue
+		}
+		d := truth.At(int(u), int(v))
+		est := o.Estimate(u, v)
+		if est < d {
+			t.Fatalf("estimate %d below truth %d", est, d)
+		}
+		slack += float64(est - d)
+		count++
+	}
+	if mean := slack / count; mean > 1.0 {
+		t.Errorf("mean upper-bound slack = %.2f hops; landmarks not effective", mean)
+	}
+}
+
+func TestExactWhenEndpointIsLandmark(t *testing.T) {
+	g, err := gen.BarabasiAlbert(200, 3, 6, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := baseline.BFSAPSP(g)
+	o, err := Build(g, Options{Landmarks: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, L := range o.Landmarks() {
+		for v := int32(0); v < int32(g.N()); v++ {
+			lo, hi := o.Bounds(L, v)
+			d := truth.At(int(L), int(v))
+			if lo != d || hi != d {
+				t.Fatalf("landmark query (%d,%d): bounds [%d,%d] truth %d", L, v, lo, hi, d)
+			}
+		}
+	}
+}
+
+func TestLandmarksAreHubs(t *testing.T) {
+	g, err := gen.BarabasiAlbert(300, 3, 7, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Build(g, Options{Landmarks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := o.Landmarks()
+	if len(ls) != 5 {
+		t.Fatalf("landmarks = %v", ls)
+	}
+	// Every landmark's degree must be >= every non-landmark's degree.
+	minL := 1 << 30
+	for _, L := range ls {
+		if d := g.OutDegree(L); d < minL {
+			minL = d
+		}
+	}
+	chosen := map[int32]bool{}
+	for _, L := range ls {
+		chosen[L] = true
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		if !chosen[v] && g.OutDegree(v) > minL {
+			t.Fatalf("non-landmark %d has degree %d > weakest landmark %d", v, g.OutDegree(v), minL)
+		}
+	}
+}
+
+func TestDirectedAsymmetry(t *testing.T) {
+	// 0 -> 1 -> 2: oracle with landmark coverage must respect direction.
+	g, err := graph.FromPairs(3, false, [][2]int32{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Build(g, Options{Landmarks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := o.Estimate(0, 2); est != 2 {
+		t.Errorf("forward estimate = %d, want 2", est)
+	}
+	if _, hi := o.Bounds(2, 0); hi != matrix.Inf {
+		t.Errorf("backward upper bound = %d, want Inf", hi)
+	}
+}
+
+func TestSelfAndDefaults(t *testing.T) {
+	g, err := gen.BarabasiAlbert(100, 2, 8, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Landmarks()) != 16 {
+		t.Errorf("default landmark count = %d", len(o.Landmarks()))
+	}
+	if lo, hi := o.Bounds(7, 7); lo != 0 || hi != 0 {
+		t.Errorf("self bounds = [%d,%d]", lo, hi)
+	}
+	if o.MemBytes() != 16*100*4 {
+		t.Errorf("MemBytes = %d", o.MemBytes())
+	}
+	if o.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestKClampedToN(t *testing.T) {
+	g, err := graph.FromPairs(3, true, [][2]int32{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Build(g, Options{Landmarks: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Landmarks()) != 3 {
+		t.Errorf("clamped landmarks = %d", len(o.Landmarks()))
+	}
+	// With every vertex a landmark, bounds are exact everywhere.
+	truth := baseline.FloydWarshall(g)
+	for u := int32(0); u < 3; u++ {
+		for v := int32(0); v < 3; v++ {
+			lo, hi := o.Bounds(u, v)
+			if lo != truth.At(int(u), int(v)) || hi != truth.At(int(u), int(v)) {
+				t.Errorf("full-landmark bounds not exact at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestDirectedMemBytesDoubled(t *testing.T) {
+	g, err := gen.ErdosRenyiGNM(50, 200, false, 9, gen.Weighting{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Build(g, Options{Landmarks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.MemBytes() != 2*4*50*4 {
+		t.Errorf("directed MemBytes = %d", o.MemBytes())
+	}
+}

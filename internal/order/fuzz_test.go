@@ -1,0 +1,66 @@
+package order
+
+import (
+	"testing"
+)
+
+// FuzzOrderings feeds arbitrary key bytes to every ordering procedure and
+// asserts the exactness/permutation postconditions hold (or the input is
+// rejected) — never a panic, never a corrupt permutation.
+func FuzzOrderings(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0, 0, 0}, uint8(2))
+	f.Add([]byte{255, 0, 127, 3, 3}, uint8(4))
+	f.Add([]byte{1}, uint8(16))
+	f.Fuzz(func(t *testing.T, data []byte, workers uint8) {
+		keys := make([]int, len(data))
+		for i, b := range data {
+			keys[i] = int(b)
+		}
+		w := int(workers%16) + 1
+		for _, proc := range []Procedure{Identity, Selection, SeqBucket, ParBucketsProc, ParMaxProc, MultiListsProc} {
+			got, err := Run(proc, keys, Config{Workers: w})
+			if err != nil {
+				t.Fatalf("%v rejected non-negative keys: %v", proc, err)
+			}
+			if !IsPermutation(got, len(keys)) {
+				t.Fatalf("%v: not a permutation", proc)
+			}
+			switch proc {
+			case Selection, SeqBucket, ParMaxProc, MultiListsProc:
+				if !SortedByKeysDesc(keys, got) {
+					t.Fatalf("%v: not exactly descending", proc)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCountingSorts checks the general-purpose sorts against each other.
+func FuzzCountingSorts(f *testing.F) {
+	f.Add([]byte{5, 1, 5, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys := make([]int, len(data))
+		for i, b := range data {
+			keys[i] = int(b)
+		}
+		desc, err := CountingSortDesc(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asc, err := CountingSortAsc(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsPermutation(desc, len(keys)) || !IsPermutation(asc, len(keys)) {
+			t.Fatal("not permutations")
+		}
+		// asc is desc reversed at the key level.
+		for i := range desc {
+			if keys[desc[i]] != keys[asc[len(asc)-1-i]] {
+				t.Fatalf("asc/desc key sequences inconsistent at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package order
+
+import "parapsp/internal/sched"
+
+// MultiLists is Algorithm 7, the paper's final ordering procedure and the
+// one embedded in ParAPSP: an exact, lock-free, parallel descending
+// counting sort.
+//
+// Phase 1 (lines 3-8): each worker owns a private list of buckets
+// (bucketLists[worker][key]) and scatters its statically assigned slice of
+// vertices into them — no shared state, hence no locks. The static (block)
+// split mirrors the paper's plain "#pragma omp for".
+//
+// Offsets (line 9): a sequential sweep over (key desc, worker asc)
+// computes each local bucket's start position in the global order array —
+// an exclusive prefix sum over bucket sizes.
+//
+// Phase 2 (lines 10-20): local buckets are copied to their precomputed,
+// pairwise-disjoint destinations. Buckets of keys below parRatio*max —
+// which hold ~99% of the vertices of a power-law graph — are copied by
+// their owning workers in parallel; the sparse high-key buckets are copied
+// sequentially, which the paper prefers to avoid false sharing on the many
+// nearly-empty high-degree ranges.
+//
+// The output is deterministic for fixed (keys, workers): key descending,
+// ties broken by worker id then by vertex id within a worker's block.
+func MultiLists(keys []int, workers int, parRatio float64) []int32 {
+	n := len(keys)
+	if n == 0 {
+		return []int32{}
+	}
+	workers = sched.Workers(workers)
+	_, max := minMaxKey(keys)
+
+	// Phase 1: per-worker private bucket lists.
+	bucketLists := make([][][]int32, workers)
+	sched.ParallelWorkers(n, workers, sched.Block, func(w, i int) {
+		if bucketLists[w] == nil {
+			bucketLists[w] = make([][]int32, max+1)
+		}
+		k := keys[i]
+		bucketLists[w][k] = append(bucketLists[w][k], int32(i))
+	})
+
+	// Offsets: start position of every (worker, key) bucket in the global
+	// order, walking keys high to low and workers in id order.
+	orderPos := make([][]int32, workers)
+	for w := range orderPos {
+		orderPos[w] = make([]int32, max+1)
+	}
+	pos := int32(0)
+	for k := max; k >= 0; k-- {
+		for w := 0; w < workers; w++ {
+			orderPos[w][k] = pos
+			if bucketLists[w] != nil {
+				pos += int32(len(bucketLists[w][k]))
+			}
+		}
+	}
+
+	order := make([]int32, n)
+	lowMax := int(float64(max) * parRatio)
+
+	// Phase 2a: low-key buckets in parallel. Destination ranges are
+	// disjoint by construction, so no synchronization is needed.
+	sched.ParallelWorkers(workers, workers, sched.Block, func(_, w int) {
+		if bucketLists[w] == nil {
+			return
+		}
+		for k := 0; k <= lowMax; k++ {
+			copy(order[orderPos[w][k]:], bucketLists[w][k])
+		}
+	})
+
+	// Phase 2b: high-key buckets sequentially (line 20).
+	for k := lowMax + 1; k <= max; k++ {
+		for w := 0; w < workers; w++ {
+			if bucketLists[w] == nil {
+				continue
+			}
+			copy(order[orderPos[w][k]:], bucketLists[w][k])
+		}
+	}
+	return order
+}
+
+// CountingSortDesc returns the permutation of [0, len(keys)) that arranges
+// keys in non-increasing order, stably (equal keys keep index order). It is
+// the general-purpose sequential form of the package's ordering machinery,
+// offered because — as the paper notes — the procedure "can be used in
+// general parallel sorting problems when keys are in limited ranges".
+// Keys must be non-negative.
+func CountingSortDesc(keys []int) ([]int32, error) {
+	if err := checkKeys(keys); err != nil {
+		return nil, err
+	}
+	return SequentialBucket(keys), nil
+}
+
+// CountingSortAsc is CountingSortDesc with ascending output, equally stable.
+func CountingSortAsc(keys []int) ([]int32, error) {
+	if err := checkKeys(keys); err != nil {
+		return nil, err
+	}
+	desc := SequentialBucket(keys)
+	n := len(desc)
+	asc := make([]int32, n)
+	// Reverse the key blocks while preserving stability within each block.
+	for i := 0; i < n; {
+		j := i
+		for j < n && keys[desc[j]] == keys[desc[i]] {
+			j++
+		}
+		copy(asc[n-j:], desc[i:j])
+		i = j
+	}
+	return asc, nil
+}
+
+// ParallelCountingSortDesc is the general-purpose parallel form: MultiLists
+// with the paper's parRatio, validated keys, and a normalized worker count.
+func ParallelCountingSortDesc(keys []int, workers int) ([]int32, error) {
+	if err := checkKeys(keys); err != nil {
+		return nil, err
+	}
+	return MultiLists(keys, workers, 0.1), nil
+}
+
+// SortedByKeysDesc reports whether perm is a permutation of [0, len(keys))
+// whose key sequence is non-increasing — the postcondition of every exact
+// ordering procedure. Tests and benchmark self-checks use it.
+func SortedByKeysDesc(keys []int, perm []int32) bool {
+	if len(perm) != len(keys) {
+		return false
+	}
+	seen := make([]bool, len(keys))
+	for i, v := range perm {
+		if v < 0 || int(v) >= len(keys) || seen[v] {
+			return false
+		}
+		seen[v] = true
+		if i > 0 && keys[perm[i-1]] < keys[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPermutation reports whether perm is a permutation of [0, n).
+func IsPermutation(perm []int32, n int) bool {
+	if len(perm) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || int(v) >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

@@ -1,0 +1,247 @@
+// Package order implements the vertex-ordering procedures from the paper:
+// the O(n^2) partial selection sort Peng et al.'s optimized algorithm uses
+// (Algorithm 3 lines 6-12), and the ladder of bucket-based replacements the
+// paper develops in Section 4 — ParBuckets (Algorithm 5), ParMax
+// (Algorithm 6), and MultiLists (Algorithm 7) — culminating in the exact,
+// lock-free, parallel descending-degree ordering used by ParAPSP.
+//
+// Every procedure returns a permutation of the vertex ids [0, n) arranged
+// in (exactly or approximately, see each function) non-increasing order of
+// the supplied keys. For the APSP algorithms the keys are vertex degrees,
+// but as the paper notes the procedures are general: the package also
+// exposes them as general-purpose counting sorts for bounded integer keys
+// (see CountingSortDesc and ParallelCountingSortDesc).
+package order
+
+import (
+	"fmt"
+
+	"parapsp/internal/sched"
+)
+
+// Procedure identifies one of the ordering algorithms.
+type Procedure int
+
+const (
+	// Identity performs no ordering: sources are issued as 0,1,...,n-1.
+	// It is the ordering used by the *basic* algorithm (ParAlg1).
+	Identity Procedure = iota
+	// Selection is the paper's original O(n^2) partial selection sort.
+	Selection
+	// SeqBucket is an exact sequential counting sort, the natural
+	// single-thread member of the bucket family.
+	SeqBucket
+	// ParBucketsProc is Algorithm 5: a fixed number of degree-range
+	// buckets filled in parallel under per-bucket locks. Approximate.
+	ParBucketsProc
+	// ParMaxProc is Algorithm 6: one bucket per degree value, high-degree
+	// vertices bucketed in parallel under locks, the low-degree mass
+	// appended sequentially. Exact.
+	ParMaxProc
+	// MultiListsProc is Algorithm 7: per-worker bucket lists merged by
+	// precomputed offsets. Exact and lock-free. This is the procedure
+	// inside ParAPSP.
+	MultiListsProc
+)
+
+// String returns the paper's name for the procedure.
+func (p Procedure) String() string {
+	switch p {
+	case Identity:
+		return "identity"
+	case Selection:
+		return "selection"
+	case SeqBucket:
+		return "seq-bucket"
+	case ParBucketsProc:
+		return "par-buckets"
+	case ParMaxProc:
+		return "par-max"
+	case MultiListsProc:
+		return "multi-lists"
+	default:
+		return fmt.Sprintf("Procedure(%d)", int(p))
+	}
+}
+
+// Valid reports whether p names a known procedure.
+func (p Procedure) Valid() bool { return p >= Identity && p <= MultiListsProc }
+
+// ParseProcedure maps a name (as printed by String) to a Procedure.
+func ParseProcedure(name string) (Procedure, error) {
+	for p := Identity; p <= MultiListsProc; p++ {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("order: unknown procedure %q", name)
+}
+
+// Config carries the tuning constants of the procedures; zero fields take
+// the paper's defaults (see Default).
+type Config struct {
+	// Workers is the parallelism of the parallel procedures.
+	Workers int
+	// Ratio is Algorithm 3's r: the fraction of leading positions the
+	// selection sort settles exactly. The paper runs with r = 1.0.
+	Ratio float64
+	// BucketRanges is ParBuckets' number of degree ranges (the paper's
+	// "100 widths", giving BucketRanges+1 buckets). The paper also
+	// ablates 1000.
+	BucketRanges int
+	// Threshold is ParMax's parallel/sequential split as a fraction of
+	// the maximum degree. The paper uses 0.01 (degrees in the top 99% of
+	// the range are bucketed in parallel).
+	Threshold float64
+	// ParRatio is MultiLists' phase-2 split: degree buckets below
+	// ParRatio*max are merged in parallel, the rest sequentially.
+	// The paper uses 0.1.
+	ParRatio float64
+}
+
+// Default returns the paper's configuration at the given worker count.
+func Default(workers int) Config {
+	return Config{Workers: workers, Ratio: 1.0, BucketRanges: 100, Threshold: 0.01, ParRatio: 0.1}
+}
+
+// normalized fills zero fields with defaults.
+func (c Config) normalized() Config {
+	d := Default(c.Workers)
+	if c.Ratio == 0 {
+		c.Ratio = d.Ratio
+	}
+	if c.BucketRanges == 0 {
+		c.BucketRanges = d.BucketRanges
+	}
+	if c.Threshold == 0 {
+		c.Threshold = d.Threshold
+	}
+	if c.ParRatio == 0 {
+		c.ParRatio = d.ParRatio
+	}
+	c.Workers = sched.Workers(c.Workers)
+	return c
+}
+
+// Run executes procedure p over the key array (vertex degrees in the APSP
+// setting) and returns the source order. Keys must be non-negative.
+func Run(p Procedure, keys []int, cfg Config) ([]int32, error) {
+	if err := checkKeys(keys); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalized()
+	switch p {
+	case Identity:
+		out := make([]int32, len(keys))
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out, nil
+	case Selection:
+		return SelectionSort(keys, cfg.Ratio), nil
+	case SeqBucket:
+		return SequentialBucket(keys), nil
+	case ParBucketsProc:
+		return ParBuckets(keys, cfg.Workers, cfg.BucketRanges), nil
+	case ParMaxProc:
+		return ParMax(keys, cfg.Workers, cfg.Threshold), nil
+	case MultiListsProc:
+		return MultiLists(keys, cfg.Workers, cfg.ParRatio), nil
+	default:
+		return nil, fmt.Errorf("order: invalid procedure %d", int(p))
+	}
+}
+
+func checkKeys(keys []int) error {
+	for i, k := range keys {
+		if k < 0 {
+			return fmt.Errorf("order: negative key %d at index %d", k, i)
+		}
+	}
+	return nil
+}
+
+func maxKey(keys []int) int {
+	max := 0
+	for _, k := range keys {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+func minMaxKey(keys []int) (min, max int) {
+	if len(keys) == 0 {
+		return 0, 0
+	}
+	min, max = keys[0], keys[0]
+	for _, k := range keys[1:] {
+		if k < min {
+			min = k
+		}
+		if k > max {
+			max = k
+		}
+	}
+	return
+}
+
+// SelectionSort is the ordering step of the paper's Algorithm 3
+// (lines 4-12), kept byte-for-byte faithful to the pseudocode: an O(r*n^2)
+// partial selection sort that settles the first ceil(r*n) positions of the
+// order array in exactly descending key order. With r = 1.0 the whole
+// array is exactly ordered. This is the procedure whose cost dominates the
+// parallel overhead of ParAlg2 (Table 1: ~46 s on WordNet regardless of
+// thread count, because it is inherently sequential).
+func SelectionSort(keys []int, r float64) []int32 {
+	n := len(keys)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	if r <= 0 {
+		return order
+	}
+	limit := int(r * float64(n))
+	if limit > n {
+		limit = n
+	}
+	for i := 0; i < limit; i++ {
+		for j := i + 1; j < n; j++ {
+			if keys[order[j]] > keys[order[i]] {
+				order[j], order[i] = order[i], order[j]
+			}
+		}
+	}
+	return order
+}
+
+// SequentialBucket is an exact descending counting sort: one bucket per key
+// value, single-threaded. It is the O(n) sequential baseline the parallel
+// procedures are compared against, and the procedure's within-key order is
+// by increasing vertex id (stable).
+func SequentialBucket(keys []int) []int32 {
+	n := len(keys)
+	order := make([]int32, n)
+	if n == 0 {
+		return order
+	}
+	max := maxKey(keys)
+	counts := make([]int32, max+2)
+	for _, k := range keys {
+		counts[k]++
+	}
+	// Exclusive prefix over descending keys: start position of key k.
+	start := make([]int32, max+1)
+	pos := int32(0)
+	for k := max; k >= 0; k-- {
+		start[k] = pos
+		pos += counts[k]
+	}
+	for i, k := range keys {
+		order[start[k]] = int32(i)
+		start[k]++
+	}
+	return order
+}

@@ -1,0 +1,401 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// exactProcs lists the procedures guaranteed to produce an exact
+// descending-key permutation.
+var exactProcs = []Procedure{Selection, SeqBucket, ParMaxProc, MultiListsProc}
+
+func randKeys(rng *rand.Rand, n, maxKey int) []int {
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = rng.Intn(maxKey + 1)
+	}
+	return keys
+}
+
+// powerLawKeys approximates a scale-free degree array: most keys tiny,
+// a few large — the distribution that drives the paper's contention story.
+func powerLawKeys(rng *rand.Rand, n, maxKey int) []int {
+	keys := make([]int, n)
+	for i := range keys {
+		u := rng.Float64()
+		k := int(float64(maxKey) * u * u * u * u)
+		keys[i] = k
+	}
+	return keys
+}
+
+func TestExactProceduresSortDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, proc := range exactProcs {
+		for _, n := range []int{0, 1, 2, 10, 100, 1000} {
+			for _, workers := range []int{1, 2, 4, 7} {
+				keys := randKeys(rng, n, 50)
+				got, err := Run(proc, keys, Config{Workers: workers})
+				if err != nil {
+					t.Fatalf("%v: %v", proc, err)
+				}
+				if !SortedByKeysDesc(keys, got) {
+					t.Fatalf("%v n=%d w=%d: output not a descending permutation", proc, n, workers)
+				}
+			}
+		}
+	}
+}
+
+func TestIdentityOrder(t *testing.T) {
+	got, err := Run(Identity, []int{5, 1, 9}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if int(v) != i {
+			t.Fatalf("identity order = %v", got)
+		}
+	}
+}
+
+func TestParBucketsIsPermutationAndBucketMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 50, 2000} {
+		for _, workers := range []int{1, 3, 8} {
+			keys := powerLawKeys(rng, n, 400)
+			got := ParBuckets(keys, workers, 100)
+			if !IsPermutation(got, n) {
+				t.Fatalf("ParBuckets n=%d w=%d: not a permutation", n, workers)
+			}
+			// Bucket-granular monotonicity: bin indices must be
+			// non-increasing along the output even though raw keys need not.
+			min, max := minMaxKey(keys)
+			for i := 1; i < len(got); i++ {
+				b0 := FindBin(keys[got[i-1]], min, max, 100)
+				b1 := FindBin(keys[got[i]], min, max, 100)
+				if b1 > b0 {
+					t.Fatalf("bucket order violated at %d: bins %d then %d", i, b0, b1)
+				}
+			}
+		}
+	}
+}
+
+func TestParBucketsApproximateOnly(t *testing.T) {
+	// With two distinct keys falling in the same bucket, ParBuckets may
+	// interleave them; verify the documented *approximation* actually
+	// occurs for some input, i.e. we are not accidentally exact.
+	keys := make([]int, 1000)
+	for i := range keys {
+		keys[i] = i % 7 // max 6 < 100 ranges, but FindBin spreads over bins
+	}
+	// keys 0..6, min=0 max=6; FindBin(k) = 100*k/6: distinct per key, so
+	// this case IS exact. Construct a genuinely colliding case instead:
+	keys2 := make([]int, 1000)
+	for i := range keys2 {
+		keys2[i] = i % 607 // many distinct keys > 101 buckets
+	}
+	got := ParBuckets(keys2, 1, 100)
+	exact := SortedByKeysDesc(keys2, got)
+	if exact {
+		t.Error("ParBuckets with colliding keys produced an exact order; approximation property lost")
+	}
+	if !IsPermutation(got, len(keys2)) {
+		t.Error("ParBuckets output is not a permutation")
+	}
+}
+
+func TestFindBin(t *testing.T) {
+	cases := []struct {
+		key, min, max, ranges, want int
+	}{
+		{0, 0, 100, 100, 0},
+		{100, 0, 100, 100, 100},
+		{50, 0, 100, 100, 50},
+		{5, 5, 5, 100, 0},     // max == min
+		{7, 5, 9, 100, 50},    // (7-5)/(9-5) = 0.5
+		{9, 5, 9, 100, 100},   // inclusive max
+		{333, 0, 1000, 10, 3}, // coarse ranges
+	}
+	for _, c := range cases {
+		if got := FindBin(c.key, c.min, c.max, c.ranges); got != c.want {
+			t.Errorf("FindBin(%d,%d,%d,%d) = %d, want %d", c.key, c.min, c.max, c.ranges, got, c.want)
+		}
+	}
+}
+
+func TestFindBinRangeProperty(t *testing.T) {
+	f := func(k, mn, mx uint16, r uint8) bool {
+		min, max := int(mn), int(mx)
+		if min > max {
+			min, max = max, min
+		}
+		key := min + int(k)%(max-min+1)
+		ranges := 1 + int(r)
+		bin := FindBin(key, min, max, ranges)
+		return bin >= 0 && bin <= ranges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectionPartialRatio(t *testing.T) {
+	keys := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	// r = 0.3 settles the first 3 positions exactly.
+	got := SelectionSort(keys, 0.3)
+	if !IsPermutation(got, len(keys)) {
+		t.Fatal("not a permutation")
+	}
+	want := []int{9, 6, 5} // top three keys
+	for i := 0; i < 3; i++ {
+		if keys[got[i]] != want[i] {
+			t.Errorf("position %d key = %d, want %d", i, keys[got[i]], want[i])
+		}
+	}
+	// r <= 0 leaves identity.
+	id := SelectionSort(keys, 0)
+	for i, v := range id {
+		if int(v) != i {
+			t.Fatalf("r=0 order = %v", id)
+		}
+	}
+	// r > 1 clamps.
+	full := SelectionSort(keys, 2.5)
+	if !SortedByKeysDesc(keys, full) {
+		t.Error("r=2.5 did not fully sort")
+	}
+}
+
+func TestSequentialBucketStable(t *testing.T) {
+	keys := []int{5, 3, 5, 3, 5}
+	got := SequentialBucket(keys)
+	want := []int32{0, 2, 4, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SequentialBucket = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMultiListsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := powerLawKeys(rng, 5000, 300)
+	a := MultiLists(keys, 4, 0.1)
+	b := MultiLists(keys, 4, 0.1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("MultiLists not deterministic at %d", i)
+		}
+	}
+}
+
+func TestMultiListsTieBreakByWorkerThenIndex(t *testing.T) {
+	// All equal keys, 2 workers, block split: output must be 0..n-1.
+	keys := make([]int, 10)
+	got := MultiLists(keys, 2, 0.1)
+	for i, v := range got {
+		if int(v) != i {
+			t.Fatalf("tie-break order = %v", got)
+		}
+	}
+}
+
+func TestMultiListsParRatioExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	keys := randKeys(rng, 1000, 200)
+	for _, ratio := range []float64{0, 0.0001, 0.5, 1.0} {
+		got := MultiLists(keys, 3, ratio)
+		if !SortedByKeysDesc(keys, got) {
+			t.Fatalf("parRatio=%v: not exact", ratio)
+		}
+	}
+}
+
+func TestMultiListsMoreWorkersThanKeys(t *testing.T) {
+	keys := []int{2, 1, 3}
+	got := MultiLists(keys, 16, 0.1)
+	if !SortedByKeysDesc(keys, got) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParMaxThresholdExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	keys := powerLawKeys(rng, 2000, 500)
+	for _, th := range []float64{0, 0.01, 0.5, 1.0} {
+		got := ParMax(keys, 4, th)
+		if !SortedByKeysDesc(keys, got) {
+			t.Fatalf("threshold=%v: not exact", th)
+		}
+	}
+}
+
+func TestAllZeroKeys(t *testing.T) {
+	keys := make([]int, 100)
+	for _, proc := range exactProcs {
+		got, err := Run(proc, keys, Config{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsPermutation(got, 100) {
+			t.Fatalf("%v: not a permutation on all-zero keys", proc)
+		}
+	}
+	got := ParBuckets(keys, 4, 100)
+	if !IsPermutation(got, 100) {
+		t.Fatal("ParBuckets: not a permutation on all-zero keys")
+	}
+}
+
+func TestNegativeKeysRejected(t *testing.T) {
+	for _, proc := range []Procedure{Selection, SeqBucket, ParBucketsProc, ParMaxProc, MultiListsProc} {
+		if _, err := Run(proc, []int{1, -2, 3}, Config{}); err == nil {
+			t.Errorf("%v accepted negative keys", proc)
+		}
+	}
+	if _, err := CountingSortDesc([]int{-1}); err == nil {
+		t.Error("CountingSortDesc accepted negative keys")
+	}
+	if _, err := CountingSortAsc([]int{-1}); err == nil {
+		t.Error("CountingSortAsc accepted negative keys")
+	}
+	if _, err := ParallelCountingSortDesc([]int{-1}, 2); err == nil {
+		t.Error("ParallelCountingSortDesc accepted negative keys")
+	}
+}
+
+func TestRunInvalidProcedure(t *testing.T) {
+	if _, err := Run(Procedure(99), []int{1}, Config{}); err == nil {
+		t.Error("Run accepted invalid procedure")
+	}
+}
+
+func TestCountingSortAsc(t *testing.T) {
+	keys := []int{5, 3, 5, 3, 0}
+	got, err := CountingSortAsc(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{4, 1, 3, 0, 2} // stable ascending
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CountingSortAsc = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCountingSortsEmpty(t *testing.T) {
+	if got, err := CountingSortDesc(nil); err != nil || len(got) != 0 {
+		t.Errorf("Desc(nil) = %v, %v", got, err)
+	}
+	if got, err := CountingSortAsc(nil); err != nil || len(got) != 0 {
+		t.Errorf("Asc(nil) = %v, %v", got, err)
+	}
+}
+
+func TestParallelCountingSortDescMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		keys := randKeys(rng, 1+rng.Intn(500), 64)
+		par, err := ParallelCountingSortDesc(keys, 1+rng.Intn(6))
+		if err != nil {
+			return false
+		}
+		return SortedByKeysDesc(keys, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcedureStringsRoundTrip(t *testing.T) {
+	for p := Identity; p <= MultiListsProc; p++ {
+		got, err := ParseProcedure(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip of %v failed: %v, %v", p, got, err)
+		}
+		if !p.Valid() {
+			t.Errorf("%v invalid", p)
+		}
+	}
+	if _, err := ParseProcedure("nope"); err == nil {
+		t.Error("ParseProcedure accepted unknown name")
+	}
+	if Procedure(42).Valid() {
+		t.Error("Procedure(42) valid")
+	}
+	if Procedure(42).String() != "Procedure(42)" {
+		t.Errorf("unknown String = %q", Procedure(42).String())
+	}
+}
+
+func TestSortedByKeysDescValidation(t *testing.T) {
+	keys := []int{3, 2, 1}
+	if SortedByKeysDesc(keys, []int32{0, 1}) {
+		t.Error("accepted short perm")
+	}
+	if SortedByKeysDesc(keys, []int32{0, 0, 1}) {
+		t.Error("accepted duplicate")
+	}
+	if SortedByKeysDesc(keys, []int32{2, 1, 0}) {
+		t.Error("accepted ascending keys")
+	}
+	if !SortedByKeysDesc(keys, []int32{0, 1, 2}) {
+		t.Error("rejected valid descending perm")
+	}
+	if SortedByKeysDesc(keys, []int32{0, 1, 5}) {
+		t.Error("accepted out-of-range entry")
+	}
+}
+
+func TestIsPermutation(t *testing.T) {
+	if !IsPermutation([]int32{2, 0, 1}, 3) {
+		t.Error("valid permutation rejected")
+	}
+	if IsPermutation([]int32{0, 0, 1}, 3) {
+		t.Error("duplicate accepted")
+	}
+	if IsPermutation([]int32{0, 1}, 3) {
+		t.Error("short accepted")
+	}
+	if IsPermutation([]int32{0, 1, 3}, 3) {
+		t.Error("out of range accepted")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := Default(8)
+	if c.Workers != 8 || c.Ratio != 1.0 || c.BucketRanges != 100 || c.Threshold != 0.01 || c.ParRatio != 0.1 {
+		t.Errorf("Default = %+v", c)
+	}
+}
+
+// Property: all exact procedures agree with each other up to key sequence.
+func TestExactProceduresAgreeOnKeySequence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		keys := randKeys(rng, 1+rng.Intn(300), 40)
+		ref, err := Run(SeqBucket, keys, Config{})
+		if err != nil {
+			return false
+		}
+		for _, proc := range exactProcs {
+			got, err := Run(proc, keys, Config{Workers: 3})
+			if err != nil {
+				return false
+			}
+			for i := range got {
+				if keys[got[i]] != keys[ref[i]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

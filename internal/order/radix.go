@@ -1,0 +1,86 @@
+package order
+
+import (
+	"errors"
+
+	"parapsp/internal/sched"
+)
+
+// errKeyRange reports a key outside the 31-bit range the radix sort
+// supports.
+var errKeyRange = errors.New("order: radix sort keys must fit in 31 bits")
+
+// radixBits is the digit width of the parallel radix sort: 8-bit digits
+// give 256 buckets per pass, four passes for 32-bit keys.
+const radixBits = 8
+
+// ParallelRadixSortDesc extends the package's general-sorting machinery
+// beyond the "keys in limited ranges" restriction the paper states for
+// MultiLists: a parallel LSD radix sort over 32-bit non-negative keys,
+// stable, returning the permutation that arranges keys in non-increasing
+// order. Each pass is a MultiLists-style two-phase counting step — private
+// per-worker histograms, an offset prefix sweep, then a lock-free
+// scatter — so the technique is the paper's, applied per digit.
+func ParallelRadixSortDesc(keys []int, workers int) ([]int32, error) {
+	if err := checkKeys(keys); err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		if k > 1<<31-1 {
+			return nil, errKeyRange
+		}
+	}
+	n := len(keys)
+	workers = sched.Workers(workers)
+	cur := make([]int32, n)
+	for i := range cur {
+		cur[i] = int32(i)
+	}
+	if n == 0 {
+		return cur, nil
+	}
+	max := maxKey(keys)
+	nxt := make([]int32, n)
+
+	const radix = 1 << radixBits
+	// Per-worker, per-digit histograms; hist[w][d].
+	hist := make([][]int32, workers)
+	for w := range hist {
+		hist[w] = make([]int32, radix)
+	}
+
+	for shift := 0; max>>shift > 0 || shift == 0; shift += radixBits {
+		for w := range hist {
+			clear(hist[w])
+		}
+		// Phase 1: private histograms over block-partitioned input.
+		sched.ParallelWorkers(n, workers, sched.Block, func(w, i int) {
+			d := (keys[cur[i]] >> shift) & (radix - 1)
+			hist[w][d]++
+		})
+		// Offsets: descending digit order (for a descending sort every
+		// pass must place larger digits first), workers in block order to
+		// preserve stability.
+		pos := int32(0)
+		start := make([][]int32, workers)
+		for w := range start {
+			start[w] = make([]int32, radix)
+		}
+		for d := radix - 1; d >= 0; d-- {
+			for w := 0; w < workers; w++ {
+				start[w][d] = pos
+				pos += hist[w][d]
+			}
+		}
+		// Phase 2: stable scatter. Each worker walks its own block in
+		// order and writes to disjoint, precomputed regions.
+		sched.ParallelWorkers(n, workers, sched.Block, func(w, i int) {
+			d := (keys[cur[i]] >> shift) & (radix - 1)
+			p := start[w][d]
+			start[w][d]++
+			nxt[p] = cur[i]
+		})
+		cur, nxt = nxt, cur
+	}
+	return cur, nil
+}

@@ -1,0 +1,124 @@
+package order
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRadixSortSmall(t *testing.T) {
+	keys := []int{300, 5, 300, 70000, 0, 5}
+	got, err := ParallelRadixSortDesc(keys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SortedByKeysDesc(keys, got) {
+		t.Fatalf("not descending: %v", got)
+	}
+	// Stability: equal keys keep index order.
+	want := []int32{3, 0, 2, 1, 5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRadixSortEmptyAndSingle(t *testing.T) {
+	if got, err := ParallelRadixSortDesc(nil, 4); err != nil || len(got) != 0 {
+		t.Errorf("empty: %v, %v", got, err)
+	}
+	got, err := ParallelRadixSortDesc([]int{42}, 4)
+	if err != nil || len(got) != 1 || got[0] != 0 {
+		t.Errorf("single: %v, %v", got, err)
+	}
+}
+
+func TestRadixSortRejectsBadKeys(t *testing.T) {
+	if _, err := ParallelRadixSortDesc([]int{-1}, 2); err == nil {
+		t.Error("negative key accepted")
+	}
+	if _, err := ParallelRadixSortDesc([]int{1 << 31}, 2); err == nil {
+		t.Error("32-bit key accepted")
+	}
+}
+
+func TestRadixSortAllEqual(t *testing.T) {
+	keys := make([]int, 1000)
+	for i := range keys {
+		keys[i] = 7
+	}
+	got, err := ParallelRadixSortDesc(keys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if int(v) != i {
+			t.Fatalf("equal keys broke stability at %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestRadixSortMatchesStdlib(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(2000)
+		keys := make([]int, n)
+		for i := range keys {
+			switch rng.Intn(3) {
+			case 0:
+				keys[i] = rng.Intn(10) // heavy ties
+			case 1:
+				keys[i] = rng.Intn(1 << 16)
+			default:
+				keys[i] = rng.Intn(1 << 31)
+			}
+		}
+		workers := 1 + rng.Intn(8)
+		got, err := ParallelRadixSortDesc(keys, workers)
+		if err != nil {
+			return false
+		}
+		if !SortedByKeysDesc(keys, got) {
+			return false
+		}
+		// Stability against a stable stdlib reference.
+		ref := make([]int, n)
+		for i := range ref {
+			ref[i] = i
+		}
+		sort.SliceStable(ref, func(a, b int) bool { return keys[ref[a]] > keys[ref[b]] })
+		for i := range ref {
+			if int(got[i]) != ref[i] {
+				t.Logf("seed %d: stability mismatch at %d", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadixSortWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]int, 5000)
+	for i := range keys {
+		keys[i] = rng.Intn(1 << 20)
+	}
+	a, err := ParallelRadixSortDesc(keys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParallelRadixSortDesc(keys, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("worker counts disagree at %d", i)
+		}
+	}
+}

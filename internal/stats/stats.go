@@ -1,0 +1,116 @@
+// Package stats provides the small statistical toolkit behind the
+// empirical-complexity experiment: Peng et al. support their O(n^2.4)
+// claim with a linear regression of log runtime against log problem size,
+// and the harness's "complexity" experiment repeats that fit on this
+// implementation.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrFit reports an input unsuitable for regression.
+var ErrFit = errors.New("stats: need at least two distinct finite points")
+
+// LinearFit performs ordinary least squares of y on x and returns the
+// slope, intercept, and coefficient of determination R^2.
+func LinearFit(xs, ys []float64) (slope, intercept, r2 float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0, ErrFit
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			return 0, 0, 0, ErrFit
+		}
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, ErrFit
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		// All y equal: the fit is exact (horizontal line).
+		return slope, intercept, 1, nil
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return slope, intercept, r2, nil
+}
+
+// PowerLawFit fits y = a * x^b by least squares in log-log space and
+// returns the exponent b, coefficient a, and the R^2 of the log-log fit.
+// All inputs must be strictly positive.
+func PowerLawFit(xs, ys []float64) (exponent, coefficient, r2 float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0, ErrFit
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, 0, ErrFit
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	slope, intercept, r2, err := LinearFit(lx, ly)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return slope, math.Exp(intercept), r2, nil
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation (NaN for fewer than two
+// points).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// GeoMean returns the geometric mean of strictly positive values
+// (NaN otherwise), the right aggregate for speedup ratios.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Errorf("fit = %g, %g, %g", slope, intercept, r2)
+	}
+}
+
+func TestLinearFitHorizontal(t *testing.T) {
+	slope, intercept, r2, err := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope != 0 || intercept != 5 || r2 != 1 {
+		t.Errorf("horizontal fit = %g, %g, %g", slope, intercept, r2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("vertical data accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1, math.Inf(1)}, []float64{1, 2}); err == nil {
+		t.Error("Inf accepted")
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 3*x-7+rng.NormFloat64())
+	}
+	slope, intercept, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-3) > 0.05 || math.Abs(intercept+7) > 3 {
+		t.Errorf("noisy fit slope=%g intercept=%g", slope, intercept)
+	}
+	if r2 < 0.99 {
+		t.Errorf("R2 = %g", r2)
+	}
+}
+
+func TestPowerLawFitExact(t *testing.T) {
+	// y = 0.5 * x^2.4, the paper's empirical complexity shape.
+	var xs, ys []float64
+	for _, x := range []float64{100, 200, 400, 800, 1600} {
+		xs = append(xs, x)
+		ys = append(ys, 0.5*math.Pow(x, 2.4))
+	}
+	b, a, r2, err := PowerLawFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-2.4) > 1e-9 || math.Abs(a-0.5) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Errorf("power fit = %g, %g, %g", b, a, r2)
+	}
+}
+
+func TestPowerLawFitRejectsNonPositive(t *testing.T) {
+	if _, _, _, err := PowerLawFit([]float64{1, 0}, []float64{1, 2}); err == nil {
+		t.Error("zero x accepted")
+	}
+	if _, _, _, err := PowerLawFit([]float64{1, 2}, []float64{-1, 2}); err == nil {
+		t.Error("negative y accepted")
+	}
+}
+
+func TestPowerLawFitRecoversRandomExponent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := 0.5 + 3*rng.Float64()
+		a := 0.1 + rng.Float64()
+		var xs, ys []float64
+		for x := 10.0; x <= 10000; x *= 2 {
+			xs = append(xs, x)
+			ys = append(ys, a*math.Pow(x, b))
+		}
+		gb, ga, r2, err := PowerLawFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(gb-b) < 1e-6 && math.Abs(ga-a) < 1e-6 && r2 > 0.999999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %g", m)
+	}
+	if s := Stddev(xs); math.Abs(s-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("stddev = %g", s)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Stddev([]float64{1})) {
+		t.Error("degenerate inputs not NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4, 16}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean = %g", g)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) || !math.IsNaN(GeoMean(nil)) {
+		t.Error("invalid geomean inputs not NaN")
+	}
+}
