@@ -30,6 +30,7 @@ func main() {
 		runs    = flag.Int("runs", 1, "repetitions per measurement (paper: 10)")
 		seed    = flag.Int64("seed", 42, "random seed for the synthetic datasets")
 		maxMem  = flag.Uint64("maxmem-mb", 4096, "distance-matrix memory bound in MiB")
+		bjson   = flag.String("benchjson", "", "write the kernels experiment report as JSON to this path and exit")
 	)
 	flag.Parse()
 
@@ -50,6 +51,14 @@ func main() {
 		Runs:        *runs,
 		Seed:        *seed,
 		MaxMemBytes: *maxMem << 20,
+	}
+
+	if *bjson != "" {
+		if err := bench.WriteKernelReport(*bjson, cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *bjson)
+		return
 	}
 
 	if *exps == "all" {

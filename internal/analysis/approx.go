@@ -17,7 +17,10 @@ import (
 // On complex networks the bounds usually meet after a few sweeps — this
 // is what makes diameter queries affordable on graphs whose O(n^2) matrix
 // does not fit, complementing the exact APSP path of the library.
-// It returns (0, 0) for empty or edgeless graphs.
+// Disconnected graphs get one sweep series per weak component (the
+// diameter — the largest finite distance — may live in any of them); the
+// returned bounds cover the worst component. It returns (0, 0) for empty
+// or edgeless graphs.
 func DiameterBounds(g *graph.Graph, sweeps int) (lower, upper matrix.Dist) {
 	n := g.N()
 	if n == 0 {
@@ -71,44 +74,60 @@ func DiameterBounds(g *graph.Graph, sweeps int) (lower, upper matrix.Dist) {
 		return far, ecc
 	}
 
-	// Start from the highest-degree vertex, the heuristic that works best
-	// on power-law graphs (it sits near the core).
-	start := int32(0)
-	best := -1
+	// One sweep series per weak component, each started from the
+	// component's highest-degree vertex — the heuristic that works best on
+	// power-law graphs (it sits near the core). A single component's
+	// bounds say nothing about the others, and the diameter may live in
+	// any of them.
+	comp := Components(g)
+	starts := map[int]int32{}
 	for v := 0; v < n; v++ {
-		if d := g.OutDegree(int32(v)); d > best {
-			best = d
-			start = int32(v)
+		c := comp[v]
+		if s, ok := starts[c]; !ok || g.OutDegree(int32(v)) > g.OutDegree(s) {
+			starts[c] = int32(v)
 		}
 	}
 
-	lower, upper = 0, matrix.Inf
-	u, _ := bfs(start)
-	for s := 0; s < sweeps; s++ {
-		w, ecc := bfs(u)
-		if ecc > lower {
-			lower = ecc
+	sweep := func(start int32) (lo, up matrix.Dist) {
+		lo, up = 0, matrix.Inf
+		u, _ := bfs(start)
+		for s := 0; s < sweeps; s++ {
+			w, ecc := bfs(u)
+			if ecc > lo {
+				lo = ecc
+			}
+			// Walk to the middle of the u-w path and bound from there:
+			// diameter <= 2 * ecc(middle).
+			mid := w
+			for step := matrix.Dist(0); step < ecc/2; step++ {
+				mid = parent[mid]
+			}
+			_, midEcc := bfs(mid)
+			if ub := 2 * midEcc; ub < up {
+				up = ub
+			}
+			if up < lo {
+				up = lo // bounds from disjoint sweeps may cross; clamp
+			}
+			if lo == up {
+				break
+			}
+			u = w
 		}
-		// Walk to the middle of the u-w path and bound from there:
-		// diameter <= 2 * ecc(middle).
-		mid := w
-		for step := matrix.Dist(0); step < ecc/2; step++ {
-			mid = parent[mid]
+		if up == matrix.Inf {
+			up = lo
 		}
-		_, midEcc := bfs(mid)
-		if ub := 2 * midEcc; ub < upper {
-			upper = ub
-		}
-		if upper < lower {
-			upper = lower // bounds from disjoint sweeps may cross; clamp
-		}
-		if lower == upper {
-			break
-		}
-		u = w
+		return lo, up
 	}
-	if upper == matrix.Inf {
-		upper = lower
+
+	for _, start := range starts {
+		lo, up := sweep(start)
+		if lo > lower {
+			lower = lo
+		}
+		if up > upper {
+			upper = up
+		}
 	}
 	return lower, upper
 }

@@ -519,12 +519,74 @@ func TestCountersAddAndZeroRate(t *testing.T) {
 	if a.FoldRate() != 0 {
 		t.Error("zero counters fold rate non-zero")
 	}
-	a.Add(Counters{Pops: 2, Folds: 1, FoldUpdates: 3, EdgeScans: 4, EdgeUpdates: 5, Enqueues: 6})
+	a.Add(Counters{Pops: 2, Folds: 1, FoldUpdates: 3, FoldBatches: 7, FoldsSkipped: 8,
+		FoldEntriesSkipped: 9, EdgeScans: 4, EdgeUpdates: 5, Enqueues: 6})
 	a.Add(Counters{Pops: 2, Folds: 1})
 	if a.Pops != 4 || a.Folds != 2 || a.FoldUpdates != 3 || a.EdgeScans != 4 || a.EdgeUpdates != 5 || a.Enqueues != 6 {
 		t.Errorf("Add = %+v", a)
 	}
+	if a.FoldBatches != 7 || a.FoldsSkipped != 8 || a.FoldEntriesSkipped != 9 {
+		t.Errorf("Add kernel counters = %+v", a)
+	}
 	if a.FoldRate() != 0.5 {
 		t.Errorf("fold rate = %g", a.FoldRate())
+	}
+}
+
+func TestFoldBatchingParallel(t *testing.T) {
+	// The batched solver defers completed rows discovered during a
+	// relaxation and drains them back-to-back; on a scale-free graph with
+	// several workers racing to publish rows, drains must happen and the
+	// solution must still be exact. (Run under -race this also exercises
+	// the row+summary publication protocol.)
+	g, err := gen.BarabasiAlbert(300, 3, 21, gen.Weighting{Min: 1, Max: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := baseline.DijkstraAPSP(g)
+	res, err := Solve(g, ParAPSP, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.D.Equal(ref) {
+		t.Error("batched parallel solve differs from baseline")
+	}
+	st := res.Stats
+	if st.FoldBatches == 0 {
+		t.Errorf("no fold batches recorded: %+v", st)
+	}
+	if st.Folds < st.FoldBatches {
+		t.Errorf("folds %d below batches %d", st.Folds, st.FoldBatches)
+	}
+}
+
+func TestFoldSkipSinkRows(t *testing.T) {
+	// Directed star into a sink: vertex 0 has no outgoing edges, so its
+	// completed row is finite only at the diagonal. Every later search
+	// reaches 0, finds it done, and must skip the fold outright (the
+	// summary proves it a no-op) — and still compute exact distances.
+	const k = 8
+	edges := make([]graph.Edge, 0, k)
+	for i := int32(1); i <= k; i++ {
+		edges = append(edges, graph.Edge{From: i, To: 0, W: 1})
+	}
+	g, err := graph.FromEdges(k+1, false, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := baseline.BFSAPSP(g)
+	res, err := Solve(g, SeqBasic, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.D.Equal(ref) {
+		t.Error("solve with skipped folds differs from baseline")
+	}
+	st := res.Stats
+	if st.FoldsSkipped < k {
+		t.Errorf("FoldsSkipped = %d, want >= %d (one per source reaching the sink)", st.FoldsSkipped, k)
+	}
+	if st.FoldEntriesSkipped == 0 {
+		t.Errorf("FoldEntriesSkipped = 0: %+v", st)
 	}
 }

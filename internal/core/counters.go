@@ -11,17 +11,31 @@ package core
 // configuration of every paper experiment); the paths/heap variants leave
 // them zero.
 type Counters struct {
-	// Pops is the number of queue extractions across all sources.
+	// Pops is the number of queue extractions across all sources,
+	// including fold-queue drains.
 	Pops int64
 	// Folds is the number of completed-row combines (Algorithm 1's
 	// lines 6-11 taken); FoldUpdates counts the entries they improved.
 	Folds       int64
 	FoldUpdates int64
+	// FoldBatches is the number of back-to-back fold drains: the batched
+	// solver defers completed rows discovered during one relaxation and
+	// sweeps them consecutively while the destination row is cache-hot,
+	// so Folds/FoldBatches is the mean rows folded per drain.
+	FoldBatches int64
+	// FoldsSkipped counts completed rows that were not swept at all
+	// because their summary showed no finite entry besides the diagonal
+	// (the fold is then a provable no-op). FoldEntriesSkipped counts the
+	// Inf entries the sparse-aware kernels avoided touching in the rows
+	// that were swept, via the finite span or explicit index list.
+	FoldsSkipped       int64
+	FoldEntriesSkipped int64
 	// EdgeScans is the number of arcs examined in the relaxation loop;
 	// EdgeUpdates counts the relaxations that improved a distance.
 	EdgeScans   int64
 	EdgeUpdates int64
-	// Enqueues is the number of queue insertions (excluding sources).
+	// Enqueues is the number of queue insertions (excluding sources),
+	// counting both the vertex FIFO and the pending-fold queue.
 	Enqueues int64
 }
 
@@ -30,6 +44,9 @@ func (c *Counters) Add(o Counters) {
 	c.Pops += o.Pops
 	c.Folds += o.Folds
 	c.FoldUpdates += o.FoldUpdates
+	c.FoldBatches += o.FoldBatches
+	c.FoldsSkipped += o.FoldsSkipped
+	c.FoldEntriesSkipped += o.FoldEntriesSkipped
 	c.EdgeScans += o.EdgeScans
 	c.EdgeUpdates += o.EdgeUpdates
 	c.Enqueues += o.Enqueues

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"parapsp/internal/graph"
+	"parapsp/internal/kernel"
 	"parapsp/internal/matrix"
 )
 
@@ -11,12 +12,13 @@ import (
 // flags.done(t) == true means the full SSSP row of t is final and will
 // never be written again, so any other search may fold it in.
 //
-// Publication protocol: the owner of source t writes its whole row, then
-// calls set(t) — an atomic store. A reader that observes done(t) == true
-// via the atomic load is therefore guaranteed (Go memory model: the store
-// is a release, the load an acquire) to see every row entry. This is what
-// makes the parallel algorithms produce the exact sequential solution
-// without locking the matrix.
+// Publication protocol: the owner of source t writes its whole row (and
+// its finite-entry summary, see matrix.SummarizeRow), then calls set(t) —
+// an atomic store. A reader that observes done(t) == true via the atomic
+// load is therefore guaranteed (Go memory model: the store is a release,
+// the load an acquire) to see every row entry and the summary. This is
+// what makes the parallel algorithms produce the exact sequential
+// solution without locking the matrix.
 type flags struct {
 	v []atomic.Uint32
 }
@@ -26,122 +28,226 @@ func newFlags(n int) *flags { return &flags{v: make([]atomic.Uint32, n)} }
 func (f *flags) done(t int32) bool { return f.v[t].Load() != 0 }
 func (f *flags) set(t int32)       { f.v[t].Store(1) }
 
+// queueCompactMin is the minimum consumed-prefix length before the FIFO
+// queue is compacted in place. Compaction reclaims the dead prefix so the
+// backing array grows with the high-water mark of *pending* vertices, not
+// with total enqueues; the threshold keeps the copy amortized (a prefix
+// is only reclaimed once it is at least as long as the live suffix, and
+// never for trivially small queues).
+const queueCompactMin = 1024
+
 // scratch is the per-worker reusable state of one modified-Dijkstra run:
-// the FIFO vertex queue and (in dedup mode) the queue-membership bitmap.
-// Reusing it across the worker's sources removes per-source allocation,
-// which would otherwise dominate small-graph runs.
+// the FIFO vertex queue, the pending-fold queue, the queue-membership
+// bitmap (shared by both queues in dedup mode), and the improved-vertex
+// buffer the relaxation kernels append into. Reusing it across the
+// worker's sources removes per-source allocation, which would otherwise
+// dominate small-graph runs.
 type scratch struct {
-	queue   []int32
-	inQueue []bool
-	stats   Counters
+	queue    []int32
+	folds    []int32
+	improved []int32
+	inQueue  []bool
+	stats    Counters
 }
 
 func newScratch(n int) *scratch {
 	return &scratch{queue: make([]int32, 0, 64), inQueue: make([]bool, n)}
 }
 
+// foldRow folds the completed row t (published in D) into row at offset
+// dt — D[s,v] <- min(D[s,v], dt + D[t,v]) — dispatching on t's
+// finite-entry summary: a row whose only finite entry is the diagonal is
+// skipped outright (dt + 0 == dt == row[t] already), a sparse row is
+// gathered through its finite-index list, and a dense row is swept over
+// its finite span only. Rows without a current summary (never the case
+// for rows published by this package, which summarize before setting the
+// flag) fall back to a full-width sweep.
+func foldRow(D *matrix.Matrix, row []matrix.Dist, t int32, dt matrix.Dist, st *Counters) {
+	rt := D.Row(int(t))
+	sum, ok := D.Summary(int(t))
+	if !ok {
+		st.FoldUpdates += kernel.FoldRow(row, rt, dt)
+		return
+	}
+	if sum.Finite <= 1 {
+		st.FoldsSkipped++
+		st.FoldEntriesSkipped += int64(len(rt))
+		return
+	}
+	if idx := D.FiniteIndex(int(t)); idx != nil {
+		st.FoldEntriesSkipped += int64(len(rt) - len(idx))
+		st.FoldUpdates += kernel.FoldRowIndexed(row, rt, dt, idx)
+		return
+	}
+	lo, hi := int(sum.Lo), int(sum.Hi)
+	st.FoldEntriesSkipped += int64(len(rt) - (hi - lo))
+	if sum.Finite == sum.Hi-sum.Lo && dt <= matrix.Inf-sum.Max {
+		// Fully finite span and no sum can reach Inf: the pure
+		// add/compare sweep needs neither the Inf check nor the clamp.
+		st.FoldUpdates += kernel.FoldRowNoSat(row[lo:hi], rt[lo:hi], dt)
+		return
+	}
+	st.FoldUpdates += kernel.FoldRow(row[lo:hi], rt[lo:hi], dt)
+}
+
 // modifiedDijkstra is Algorithm 1: a label-correcting single-source search
 // from s into row D[s], reusing any completed row it encounters.
 //
 // The procedure maintains a FIFO queue of vertices whose tentative distance
-// improved. When a dequeued vertex t already has a final row (flag[t] set),
-// the whole row is folded in — D[s,v] <- min(D[s,v], D[s,t]+D[t,v]) — and
-// t's edges are NOT expanded: row t already dominates every continuation
+// improved. When a vertex t already has a final row (flag[t] set), the
+// whole row is folded in — D[s,v] <- min(D[s,v], D[s,t]+D[t,v]) — and t's
+// edges are NOT expanded: row t already dominates every continuation
 // through t, including continuations of the vertices the fold just
 // improved, so fold improvements need no re-enqueue. Otherwise t's
 // outgoing edges are relaxed and improved endpoints are enqueued
 // (lines 13-18). The search terminates because weights are positive and
 // each enqueue requires a strict distance decrease.
 //
-// In dedup mode (the default) a vertex already in the queue is not
-// enqueued twice — the classic SPFA refinement, which changes no distances
-// because a queued vertex is processed with its latest tentative distance
-// anyway. With opts.PaperQueue the duplicate enqueues of the pseudocode
-// are kept verbatim.
+// Unlike the pseudocode, completed rows are not folded at pop time:
+// improved vertices whose row is already final are routed to a separate
+// pending-fold queue, and all pending folds are drained back-to-back
+// before edge relaxation resumes. The destination row stays cache-hot
+// across the consecutive sweeps, and the relaxation loop never alternates
+// with row-sized streaming reads. The label-correcting fixpoint is
+// order-independent, so deferring folds changes no distances: a deferred
+// fold still runs with t's latest tentative distance, and any vertex
+// improved after being queued is simply processed with its newer value.
+//
+// A vertex already in either queue is not enqueued twice — the classic
+// SPFA refinement, which changes no distances because a queued vertex is
+// processed with its latest tentative distance anyway. With
+// opts.PaperQueue the duplicate enqueues and fold-at-pop of the
+// pseudocode are kept verbatim (see paperDijkstra).
 func modifiedDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *scratch, opts Options) {
+	if opts.PaperQueue {
+		paperDijkstra(g, s, D, f, sc, opts)
+		return
+	}
 	row := D.Row(int(s))
 	row[s] = 0 // line 2 (idempotent after InitAPSP)
-
-	dedup := !opts.PaperQueue
 	reuse := !opts.DisableRowReuse
 
 	q := sc.queue[:0]
 	q = append(q, s)
-	if dedup {
-		sc.inQueue[s] = true
+	sc.inQueue[s] = true
+	folds := sc.folds[:0]
+	head := 0
+	st := &sc.stats
+	for head < len(q) || len(folds) > 0 {
+		// Drain every pending completed row back-to-back into the (hot)
+		// destination row. Fold improvements never enqueue (see above),
+		// so the batch cannot grow while it drains.
+		if len(folds) > 0 {
+			st.FoldBatches++
+			for _, t := range folds {
+				sc.inQueue[t] = false
+				st.Pops++
+				st.Folds++
+				foldRow(D, row, t, row[t], st)
+			}
+			folds = folds[:0]
+			continue
+		}
+
+		t := q[head]
+		head++
+		// Reclaim consumed prefix occasionally so the backing array does
+		// not grow with total enqueues.
+		if head > queueCompactMin && head*2 >= len(q) {
+			q = q[:copy(q, q[head:])]
+			head = 0
+		}
+		if reuse && t != s && f.done(t) {
+			// t's row became final after t was queued: reroute it to the
+			// fold queue (inQueue stays set until the drain).
+			folds = append(folds, t)
+			continue
+		}
+		sc.inQueue[t] = false
+		st.Pops++
+		dt := row[t]
+
+		// Lines 13-18: relax t's outgoing edges.
+		adj, w := g.NeighborsW(t)
+		st.EdgeScans += int64(len(adj))
+		imp := sc.improved[:0]
+		if w == nil {
+			// Unweighted fast path: every edge weighs 1.
+			imp = kernel.RelaxUnweighted(row, adj, matrix.AddSat(dt, 1), imp)
+		} else {
+			imp = kernel.RelaxWeighted(row, adj, w, dt, imp)
+		}
+		st.EdgeUpdates += int64(len(imp))
+		for _, v := range imp {
+			if sc.inQueue[v] {
+				continue
+			}
+			sc.inQueue[v] = true
+			st.Enqueues++
+			if reuse && f.done(v) {
+				folds = append(folds, v)
+			} else {
+				q = append(q, v)
+			}
+		}
+		sc.improved = imp[:0]
 	}
+	sc.queue = q[:0]
+	sc.folds = folds[:0]
+	D.SummarizeRow(int(s))
+	f.set(s) // line 21: publish the completed row (and its summary)
+}
+
+// paperDijkstra is the pseudocode-verbatim queue discipline, kept for the
+// ablation-queue experiment: no membership dedup (a vertex is enqueued
+// once per improvement) and completed rows are folded at pop time rather
+// than batched. The inner loops still run through the kernels — they are
+// observationally identical to the scalar element loops, so the ablation
+// isolates the queue discipline alone.
+func paperDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *scratch, opts Options) {
+	row := D.Row(int(s))
+	row[s] = 0
+	reuse := !opts.DisableRowReuse
+
+	q := sc.queue[:0]
+	q = append(q, s)
 	head := 0
 	st := &sc.stats
 	for head < len(q) {
 		t := q[head]
 		head++
 		st.Pops++
-		// Reclaim consumed prefix occasionally so the backing array does
-		// not grow with total enqueues.
-		if head > 1024 && head*2 >= len(q) {
+		if head > queueCompactMin && head*2 >= len(q) {
 			q = q[:copy(q, q[head:])]
 			head = 0
-		}
-		if dedup {
-			sc.inQueue[t] = false
 		}
 		dt := row[t]
 
 		if reuse && t != s && f.done(t) {
 			// Lines 6-11: fold in the completed row of t.
 			st.Folds++
-			rt := D.Row(int(t))
-			for v, dtv := range rt {
-				if dtv == matrix.Inf {
-					continue
-				}
-				if nd := matrix.AddSat(dt, dtv); nd < row[v] {
-					row[v] = nd
-					st.FoldUpdates++
-				}
-			}
+			foldRow(D, row, t, dt, st)
 			continue
 		}
 
-		// Lines 13-18: relax t's outgoing edges.
 		adj, w := g.NeighborsW(t)
 		st.EdgeScans += int64(len(adj))
+		imp := sc.improved[:0]
 		if w == nil {
-			// Unweighted fast path: every edge weighs 1.
-			nd := matrix.AddSat(dt, 1)
-			for _, v := range adj {
-				if nd < row[v] {
-					row[v] = nd
-					st.EdgeUpdates++
-					if !dedup {
-						q = append(q, v)
-						st.Enqueues++
-					} else if !sc.inQueue[v] {
-						sc.inQueue[v] = true
-						q = append(q, v)
-						st.Enqueues++
-					}
-				}
-			}
+			imp = kernel.RelaxUnweighted(row, adj, matrix.AddSat(dt, 1), imp)
 		} else {
-			for i, v := range adj {
-				if nd := matrix.AddSat(dt, w[i]); nd < row[v] {
-					row[v] = nd
-					st.EdgeUpdates++
-					if !dedup {
-						q = append(q, v)
-						st.Enqueues++
-					} else if !sc.inQueue[v] {
-						sc.inQueue[v] = true
-						q = append(q, v)
-						st.Enqueues++
-					}
-				}
-			}
+			imp = kernel.RelaxWeighted(row, adj, w, dt, imp)
 		}
+		st.EdgeUpdates += int64(len(imp))
+		for _, v := range imp {
+			q = append(q, v)
+			st.Enqueues++
+		}
+		sc.improved = imp[:0]
 	}
 	sc.queue = q[:0]
-	f.set(s) // line 21: publish the completed row
+	D.SummarizeRow(int(s))
+	f.set(s)
 }
 
 // runAdaptive implements Peng et al.'s adaptive optimization as described
@@ -189,7 +295,10 @@ func runAdaptive(g *graph.Graph, D *matrix.Matrix, opts Options) []int32 {
 }
 
 // adaptiveDijkstra is modifiedDijkstra with reuse accounting: each fold of
-// a completed row t increments reused[t].
+// a completed row t increments reused[t]. It shares the fold kernel
+// dispatch and queue compaction of the main solver but not the fold
+// batching — the adaptive variant is sequential by construction, so there
+// is no published-mid-relaxation row to defer.
 func adaptiveDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *scratch, reused []int64, opts Options) {
 	row := D.Row(int(s))
 	row[s] = 0
@@ -197,39 +306,37 @@ func adaptiveDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *s
 	q = append(q, s)
 	sc.inQueue[s] = true
 	head := 0
+	st := &sc.stats
 	for head < len(q) {
 		t := q[head]
 		head++
+		if head > queueCompactMin && head*2 >= len(q) {
+			q = q[:copy(q, q[head:])]
+			head = 0
+		}
 		sc.inQueue[t] = false
 		dt := row[t]
 		if !opts.DisableRowReuse && t != s && f.done(t) {
 			reused[t]++
-			rt := D.Row(int(t))
-			for v, dtv := range rt {
-				if dtv == matrix.Inf {
-					continue
-				}
-				if nd := matrix.AddSat(dt, dtv); nd < row[v] {
-					row[v] = nd
-				}
-			}
+			foldRow(D, row, t, dt, st)
 			continue
 		}
 		adj, w := g.NeighborsW(t)
-		for i, v := range adj {
-			wt := matrix.Dist(1)
-			if w != nil {
-				wt = w[i]
-			}
-			if nd := matrix.AddSat(dt, wt); nd < row[v] {
-				row[v] = nd
-				if !sc.inQueue[v] {
-					sc.inQueue[v] = true
-					q = append(q, v)
-				}
+		imp := sc.improved[:0]
+		if w == nil {
+			imp = kernel.RelaxUnweighted(row, adj, matrix.AddSat(dt, 1), imp)
+		} else {
+			imp = kernel.RelaxWeighted(row, adj, w, dt, imp)
+		}
+		for _, v := range imp {
+			if !sc.inQueue[v] {
+				sc.inQueue[v] = true
+				q = append(q, v)
 			}
 		}
+		sc.improved = imp[:0]
 	}
 	sc.queue = q[:0]
+	D.SummarizeRow(int(s))
 	f.set(s)
 }

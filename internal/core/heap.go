@@ -96,8 +96,20 @@ func modifiedDijkstraHeap(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, s
 		sc.touched = append(sc.touched, t)
 
 		if reuse && t != s && f.done(t) {
+			// The re-push of improved vertices keeps this loop scalar
+			// (the fold kernels update distances only), but the
+			// finite-span summary still narrows the sweep to the
+			// published row's non-Inf region.
 			rt := D.Row(int(t))
-			for v, dtv := range rt {
+			lo, hi := 0, len(rt)
+			if sum, ok := D.Summary(int(t)); ok {
+				if sum.Finite <= 1 {
+					continue // only the diagonal: dt+0 cannot improve row[t]
+				}
+				lo, hi = int(sum.Lo), int(sum.Hi)
+			}
+			for v := lo; v < hi; v++ {
+				dtv := rt[v]
 				if dtv == matrix.Inf {
 					continue
 				}
@@ -131,5 +143,6 @@ func modifiedDijkstraHeap(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, s
 			}
 		}
 	}
+	D.SummarizeRow(int(s))
 	f.set(s)
 }

@@ -134,7 +134,7 @@ func modifiedDijkstraPaths(g *graph.Graph, s int32, D *matrix.Matrix, nh *NextHo
 	for head < len(q) {
 		t := q[head]
 		head++
-		if head > 1024 && head*2 >= len(q) {
+		if head > queueCompactMin && head*2 >= len(q) {
 			q = q[:copy(q, q[head:])]
 			head = 0
 		}
@@ -144,9 +144,21 @@ func modifiedDijkstraPaths(g *graph.Graph, s int32, D *matrix.Matrix, nh *NextHo
 		dt := row[t]
 
 		if reuse && t != s && f.done(t) {
+			// The per-entry next-hop write keeps this loop scalar (the
+			// fold kernels update distances only), but the finite-span
+			// summary still narrows the sweep to the published row's
+			// non-Inf region.
 			rt := D.Row(int(t))
+			lo, hi := 0, len(rt)
+			if sum, ok := D.Summary(int(t)); ok {
+				if sum.Finite <= 1 {
+					continue // only the diagonal: dt+0 cannot improve row[t]
+				}
+				lo, hi = int(sum.Lo), int(sum.Hi)
+			}
 			hopToT := next[t]
-			for v, dtv := range rt {
+			for v := lo; v < hi; v++ {
+				dtv := rt[v]
 				if dtv == matrix.Inf {
 					continue
 				}
@@ -181,5 +193,6 @@ func modifiedDijkstraPaths(g *graph.Graph, s int32, D *matrix.Matrix, nh *NextHo
 		}
 	}
 	sc.queue = q[:0]
+	D.SummarizeRow(int(s))
 	f.set(s)
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"parapsp/internal/graph"
+	"parapsp/internal/kernel"
 	"parapsp/internal/matrix"
 	"parapsp/internal/sched"
 )
@@ -127,7 +128,7 @@ func subsetDijkstra(g *graph.Graph, s int32, res *SubsetResult, f *flags, sc *sc
 	for head < len(q) {
 		t := q[head]
 		head++
-		if head > 1024 && head*2 >= len(q) {
+		if head > queueCompactMin && head*2 >= len(q) {
 			q = q[:copy(q, q[head:])]
 			head = 0
 		}
@@ -137,34 +138,29 @@ func subsetDijkstra(g *graph.Graph, s int32, res *SubsetResult, f *flags, sc *sc
 		dt := row[t]
 
 		if reuse && t != s && f.done(t) {
-			rt := res.Row(t)
-			for v, dtv := range rt {
-				if dtv == matrix.Inf {
-					continue
-				}
-				if nd := matrix.AddSat(dt, dtv); nd < row[v] {
-					row[v] = nd
-				}
-			}
+			// Subset rows live outside the Matrix, so there is no
+			// finite-span summary to dispatch on; the blocked kernel
+			// sweeps the full row.
+			kernel.FoldRow(row, res.Row(t), dt)
 			continue
 		}
 
 		adj, w := g.NeighborsW(t)
-		for i, v := range adj {
-			wt := matrix.Dist(1)
-			if w != nil {
-				wt = w[i]
-			}
-			if nd := matrix.AddSat(dt, wt); nd < row[v] {
-				row[v] = nd
-				if !dedup {
-					q = append(q, v)
-				} else if !sc.inQueue[v] {
-					sc.inQueue[v] = true
-					q = append(q, v)
-				}
+		imp := sc.improved[:0]
+		if w == nil {
+			imp = kernel.RelaxUnweighted(row, adj, matrix.AddSat(dt, 1), imp)
+		} else {
+			imp = kernel.RelaxWeighted(row, adj, w, dt, imp)
+		}
+		for _, v := range imp {
+			if !dedup {
+				q = append(q, v)
+			} else if !sc.inQueue[v] {
+				sc.inQueue[v] = true
+				q = append(q, v)
 			}
 		}
+		sc.improved = imp[:0]
 	}
 	sc.queue = q[:0]
 	f.set(s)

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"parapsp/internal/graph"
+	"parapsp/internal/kernel"
 	"parapsp/internal/matrix"
 	"parapsp/internal/order"
 )
@@ -180,17 +181,10 @@ func localDijkstra(g *graph.Graph, s int32, row []matrix.Dist, avail []atomic.Po
 
 		if t != s {
 			if rp := avail[t].Load(); rp != nil {
-				rt := *rp
-				// Fold in the complete row of t. &row[0] == &rt[0] can
-				// not happen: a node never revisits its own source.
-				for v, dtv := range rt {
-					if dtv == matrix.Inf {
-						continue
-					}
-					if nd := matrix.AddSat(dt, dtv); nd < row[v] {
-						row[v] = nd
-					}
-				}
+				// Fold in the complete row of t via the blocked kernel.
+				// &row[0] == &rt[0] can not happen: a node never revisits
+				// its own source.
+				kernel.FoldRow(row, *rp, dt)
 				if owned[t] {
 					atomic.AddInt64(&stats.LocalFolds, 1)
 				} else {

@@ -1,0 +1,130 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"parapsp/internal/matrix"
+)
+
+// The fold microbenchmarks measure the steady-state cost of the hot path:
+// sweeping completed rows against a destination row that rarely improves
+// (after the first few folds of a search almost every min is a no-op, so
+// the scan — not the store — dominates). Each iteration folds a different
+// source row, exactly as the solver does when it drains a fold batch; a
+// single reused row would let the branch predictor memorize its Inf
+// pattern and hide the misprediction cost that makes the scalar loop
+// slow in practice. Row shapes:
+//
+//   Dense    — every entry finite: a completed row of a connected graph.
+//   PowerLaw — ~30% finite, scattered: a row published mid-run, where the
+//              Inf-skip branch of the scalar loop mispredicts hardest.
+//   Sparse   — ~2% finite: a small component's row, where the indexed
+//              gather kernel touches almost nothing.
+
+const (
+	benchRowLen = 4096
+	benchRowRot = 16 // distinct source rows cycled per benchmark
+)
+
+type benchRow struct {
+	src []matrix.Dist
+	idx []int32
+}
+
+func benchRows(density float64) (dst []matrix.Dist, rows []benchRow) {
+	rng := rand.New(rand.NewSource(42))
+	dst = make([]matrix.Dist, benchRowLen)
+	for i := range dst {
+		dst[i] = matrix.Dist(1 + rng.Intn(4)) // already small: folds no-op
+	}
+	rows = make([]benchRow, benchRowRot)
+	for k := range rows {
+		src := make([]matrix.Dist, benchRowLen)
+		for i := range src {
+			if rng.Float64() < density {
+				src[i] = matrix.Dist(1 + rng.Intn(1000))
+			} else {
+				src[i] = matrix.Inf
+			}
+		}
+		rows[k] = benchRow{src: src, idx: finiteIndex(src)}
+	}
+	return dst, rows
+}
+
+func benchFold(b *testing.B, density float64, fold func(dst []matrix.Dist, r benchRow) int64) {
+	dst, rows := benchRows(density)
+	b.SetBytes(benchRowLen * 4)
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += fold(dst, rows[i%benchRowRot])
+	}
+	_ = sink
+}
+
+func BenchmarkFoldRowDenseRef(b *testing.B) {
+	benchFold(b, 1.0, func(d []matrix.Dist, r benchRow) int64 { return FoldRowRef(d, r.src, 7) })
+}
+
+func BenchmarkFoldRowDense(b *testing.B) {
+	benchFold(b, 1.0, func(d []matrix.Dist, r benchRow) int64 { return FoldRow(d, r.src, 7) })
+}
+
+func BenchmarkFoldRowDenseNoSat(b *testing.B) {
+	// The solver proves dense rows unsaturated via the summary Max and
+	// runs this loop instead; see core.foldRow.
+	benchFold(b, 1.0, func(d []matrix.Dist, r benchRow) int64 { return FoldRowNoSat(d, r.src, 7) })
+}
+
+func BenchmarkFoldRowPowerLawRef(b *testing.B) {
+	benchFold(b, 0.3, func(d []matrix.Dist, r benchRow) int64 { return FoldRowRef(d, r.src, 7) })
+}
+
+func BenchmarkFoldRowPowerLaw(b *testing.B) {
+	benchFold(b, 0.3, func(d []matrix.Dist, r benchRow) int64 { return FoldRow(d, r.src, 7) })
+}
+
+func BenchmarkFoldRowSparseRef(b *testing.B) {
+	benchFold(b, 0.02, func(d []matrix.Dist, r benchRow) int64 { return FoldRowRef(d, r.src, 7) })
+}
+
+func BenchmarkFoldRowSparseIndexed(b *testing.B) {
+	benchFold(b, 0.02, func(d []matrix.Dist, r benchRow) int64 { return FoldRowIndexed(d, r.src, 7, r.idx) })
+}
+
+func benchRelaxSetup() (row []matrix.Dist, adj []int32, w []matrix.Dist) {
+	rng := rand.New(rand.NewSource(43))
+	row = make([]matrix.Dist, benchRowLen)
+	for i := range row {
+		row[i] = matrix.Dist(1 + rng.Intn(4))
+	}
+	adj = make([]int32, 256)
+	w = make([]matrix.Dist, len(adj))
+	for i := range adj {
+		adj[i] = int32(rng.Intn(benchRowLen))
+		w[i] = 1 + matrix.Dist(rng.Intn(16))
+	}
+	return row, adj, w
+}
+
+func BenchmarkRelaxUnweighted(b *testing.B) {
+	row, adj, _ := benchRelaxSetup()
+	var imp []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imp = RelaxUnweighted(row, adj, 2, imp[:0])
+	}
+	_ = imp
+}
+
+func BenchmarkRelaxWeighted(b *testing.B) {
+	row, adj, w := benchRelaxSetup()
+	var imp []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imp = RelaxWeighted(row, adj, w, 2, imp[:0])
+	}
+	_ = imp
+}

@@ -1,0 +1,70 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"parapsp/internal/matrix"
+)
+
+// FuzzFoldRow asserts FoldRow == FoldRowRef on arbitrary rows decoded
+// from the fuzzer's byte stream. The decoder biases entries toward the
+// values where the branchless saturating add could diverge from
+// matrix.AddSat: Inf, MaxFinite, and sums that land exactly on or just
+// past Inf.
+func FuzzFoldRow(f *testing.F) {
+	// Seeds: all-Inf, all-finite, saturation-boundary mixes.
+	f.Add([]byte{}, uint32(0))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, uint32(1))
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0}, uint32(1<<31))
+	f.Add([]byte{0xFE, 0xFF, 0xFF, 0xFF, 0x00, 0x00, 0x00, 0x00}, uint32(0xFFFFFFFE))
+	f.Fuzz(func(t *testing.T, data []byte, base32 uint32) {
+		base := matrix.Dist(base32)
+		n := len(data) / 8
+		src := make([]matrix.Dist, n)
+		dst := make([]matrix.Dist, n)
+		for i := 0; i < n; i++ {
+			src[i] = decodeDist(binary.LittleEndian.Uint32(data[i*8:]))
+			dst[i] = decodeDist(binary.LittleEndian.Uint32(data[i*8+4:]))
+		}
+
+		want := append([]matrix.Dist(nil), dst...)
+		wantUpd := FoldRowRef(want, src, base)
+
+		got := append([]matrix.Dist(nil), dst...)
+		if upd := FoldRow(got, src, base); upd != wantUpd {
+			t.Fatalf("FoldRow updates = %d, ref = %d (base=%d src=%v)", upd, wantUpd, base, src)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("FoldRow dst[%d] = %d, ref = %d (base=%d src=%d)", i, got[i], want[i], base, src[i])
+			}
+		}
+
+		// The indexed kernel over the finite positions must agree too.
+		idx := finiteIndex(src)
+		got = append(got[:0], dst...)
+		if upd := FoldRowIndexed(got, src, base, idx); upd != wantUpd {
+			t.Fatalf("FoldRowIndexed updates = %d, ref = %d", upd, wantUpd)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("FoldRowIndexed dst[%d] = %d, ref = %d", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// decodeDist maps a raw fuzz word onto the distance domain with the
+// hazardous values over-represented: one in four words becomes Inf, one
+// in eight a near-MaxFinite saturation-boundary value.
+func decodeDist(raw uint32) matrix.Dist {
+	switch raw % 8 {
+	case 0, 4:
+		return matrix.Inf
+	case 1:
+		return matrix.MaxFinite - matrix.Dist(raw%16)
+	default:
+		return matrix.Dist(raw / 8)
+	}
+}

@@ -1,0 +1,155 @@
+// Package kernel holds the tight min-plus inner loops of the APSP hot
+// path: the row fold D[s,v] <- min(D[s,v], D[s,t]+D[t,v]) of Algorithm 1
+// and the edge-relaxation sweep. Profiling shows ParAPSP spends most of
+// its time in these two loops on power-law graphs, so they are written
+// the way the Go compiler optimizes best:
+//
+//   - fixed-width blocks via slice-to-array-pointer conversions, which
+//     prove lengths to the compiler and eliminate per-element bounds
+//     checks (the same pattern as internal/matrix's blocked helpers);
+//   - a branchless saturating add (wrap-detect + conditional move)
+//     instead of the Inf-skip branch, which mispredicts badly on rows
+//     with scattered Inf holes;
+//   - a sparse gather variant driven by the per-row finite-index summary
+//     internal/matrix maintains, so folding a mostly-Inf row touches only
+//     its finite entries.
+//
+// Every kernel is observationally identical to its scalar reference in
+// ref.go; the differential and fuzz tests in this package, plus the
+// checksum-equality cross-validation of all six algorithms, enforce that
+// the paper-fidelity contract is untouched.
+package kernel
+
+import "parapsp/internal/matrix"
+
+// blockWidth is the unroll width of the blocked kernels: eight 4-byte
+// Dist entries, a 32-byte chunk.
+const blockWidth = 8
+
+// addSat is the branchless saturating add: base + v clamped to Inf.
+// Correctness of the wrap test: if the 32-bit sum does not wrap it is
+// >= v, so nd < v exactly when the true sum exceeded MaxUint32; the only
+// unwrapped sum that must clamp is MaxUint32 == Inf itself, which already
+// equals Inf. The compiler lowers the conditional to a CMOV, so the loop
+// body has no data-dependent branch.
+func addSat(base, v matrix.Dist) matrix.Dist {
+	nd := base + v
+	if nd < v {
+		nd = matrix.Inf
+	}
+	return nd
+}
+
+// FoldRow performs dst[j] = min(dst[j], sat(base+src[j])) over all j and
+// returns the number of entries it improved. len(dst) must be at least
+// len(src); only the first len(src) entries are folded. dst and src must
+// not partially overlap (exact aliasing is harmless; the APSP solvers
+// always pass distinct rows).
+//
+// The store into dst stays conditional on purpose: in the hot path most
+// folds improve only a few entries, and an unconditional min-store would
+// dirty the whole destination row every fold.
+func FoldRow(dst, src []matrix.Dist, base matrix.Dist) int64 {
+	dst = dst[:len(src)]
+	if base == matrix.Inf {
+		return 0 // Inf + anything is Inf: nothing can improve
+	}
+	var upd int64
+	i := 0
+	for ; i+blockWidth <= len(src); i += blockWidth {
+		s := (*[blockWidth]matrix.Dist)(src[i:])
+		d := (*[blockWidth]matrix.Dist)(dst[i:])
+		for j := 0; j < blockWidth; j++ {
+			if nd := addSat(base, s[j]); nd < d[j] {
+				d[j] = nd
+				upd++
+			}
+		}
+	}
+	for ; i < len(src); i++ {
+		if nd := addSat(base, src[i]); nd < dst[i] {
+			dst[i] = nd
+			upd++
+		}
+	}
+	return upd
+}
+
+// FoldRowNoSat is FoldRow for the provably-unsaturated dense case: every
+// entry of src must be finite and base + max(src) must not exceed Inf, so
+// neither the Inf check nor the saturation clamp is needed. (A sum landing
+// exactly on Inf is still correct: Inf < dst[j] never holds, so it is
+// never stored.) The caller proves the precondition from the row summary —
+// a completed row of a connected component is fully finite, and fold
+// offsets are small — making this the common case on connected graphs.
+// With both per-element conditions gone the loop is a pure add/compare
+// sweep, faster than even the perfectly-predicted scalar loop.
+func FoldRowNoSat(dst, src []matrix.Dist, base matrix.Dist) int64 {
+	dst = dst[:len(src)]
+	var upd int64
+	i := 0
+	for ; i+blockWidth <= len(src); i += blockWidth {
+		s := (*[blockWidth]matrix.Dist)(src[i:])
+		d := (*[blockWidth]matrix.Dist)(dst[i:])
+		for j := 0; j < blockWidth; j++ {
+			if nd := base + s[j]; nd < d[j] {
+				d[j] = nd
+				upd++
+			}
+		}
+	}
+	for ; i < len(src); i++ {
+		if nd := base + src[i]; nd < dst[i] {
+			dst[i] = nd
+			upd++
+		}
+	}
+	return upd
+}
+
+// FoldRowIndexed is FoldRow restricted to the positions in idx — the
+// sparse variant for rows whose finite entries are few and scattered.
+// Every index must be in range for both slices; positions outside idx are
+// untouched, which is equivalent to FoldRow when src is Inf there.
+func FoldRowIndexed(dst, src []matrix.Dist, base matrix.Dist, idx []int32) int64 {
+	if base == matrix.Inf {
+		return 0
+	}
+	var upd int64
+	for _, j := range idx {
+		if nd := addSat(base, src[j]); nd < dst[j] {
+			dst[j] = nd
+			upd++
+		}
+	}
+	return upd
+}
+
+// RelaxUnweighted relaxes the unweighted edges t->adj[i] against row: a
+// neighbor whose entry exceeds nd (the candidate distance through t) is
+// improved and appended to improved. The queue-membership bookkeeping
+// stays with the caller so this loop carries no bitmap traffic.
+func RelaxUnweighted(row []matrix.Dist, adj []int32, nd matrix.Dist, improved []int32) []int32 {
+	for _, v := range adj {
+		if nd < row[v] {
+			row[v] = nd
+			improved = append(improved, v)
+		}
+	}
+	return improved
+}
+
+// RelaxWeighted relaxes the weighted edges t->adj[i] with weights w
+// against row, base being the distance to t. Improved neighbors are
+// appended to improved; a neighbor improved through two parallel edges in
+// the same call appears once per improvement, matching the scalar loop.
+func RelaxWeighted(row []matrix.Dist, adj []int32, w []matrix.Dist, base matrix.Dist, improved []int32) []int32 {
+	w = w[:len(adj)] // one bounds check up front instead of one per edge
+	for i, v := range adj {
+		if nd := addSat(base, w[i]); nd < row[v] {
+			row[v] = nd
+			improved = append(improved, v)
+		}
+	}
+	return improved
+}

@@ -1,0 +1,63 @@
+package kernel
+
+import "parapsp/internal/matrix"
+
+// Scalar reference implementations: the loops exactly as the seed solver
+// wrote them (Inf-skip branch, matrix.AddSat per element). They exist so
+// the differential and fuzz tests can assert the blocked kernels are
+// observationally identical, and so the microbenchmarks can report the
+// kernel speedup against the code they replaced. They must stay
+// straightforward — do not optimize them.
+
+// FoldRowRef is the scalar reference for FoldRow.
+func FoldRowRef(dst, src []matrix.Dist, base matrix.Dist) int64 {
+	dst = dst[:len(src)]
+	var upd int64
+	for j, v := range src {
+		if v == matrix.Inf {
+			continue
+		}
+		if nd := matrix.AddSat(base, v); nd < dst[j] {
+			dst[j] = nd
+			upd++
+		}
+	}
+	return upd
+}
+
+// FoldRowIndexedRef is the scalar reference for FoldRowIndexed.
+func FoldRowIndexedRef(dst, src []matrix.Dist, base matrix.Dist, idx []int32) int64 {
+	var upd int64
+	for _, j := range idx {
+		if src[j] == matrix.Inf {
+			continue
+		}
+		if nd := matrix.AddSat(base, src[j]); nd < dst[j] {
+			dst[j] = nd
+			upd++
+		}
+	}
+	return upd
+}
+
+// RelaxUnweightedRef is the scalar reference for RelaxUnweighted.
+func RelaxUnweightedRef(row []matrix.Dist, adj []int32, nd matrix.Dist, improved []int32) []int32 {
+	for _, v := range adj {
+		if nd < row[v] {
+			row[v] = nd
+			improved = append(improved, v)
+		}
+	}
+	return improved
+}
+
+// RelaxWeightedRef is the scalar reference for RelaxWeighted.
+func RelaxWeightedRef(row []matrix.Dist, adj []int32, w []matrix.Dist, base matrix.Dist, improved []int32) []int32 {
+	for i, v := range adj {
+		if nd := matrix.AddSat(base, w[i]); nd < row[v] {
+			row[v] = nd
+			improved = append(improved, v)
+		}
+	}
+	return improved
+}

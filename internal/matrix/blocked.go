@@ -1,0 +1,127 @@
+package matrix
+
+// Blocked iteration helpers: every whole-row scan in this package (and the
+// min-plus kernels in internal/kernel, which follow the same pattern) walks
+// the data in fixed-width blocks through a slice-to-array-pointer
+// conversion. The conversion proves the block's length to the compiler, so
+// the per-element bounds checks disappear and the inner loop is eligible
+// for unrolling and wide loads. On the row sizes the APSP algorithms use
+// (thousands of entries) this is the difference between a bounds-checked
+// scalar loop and a straight-line register loop.
+
+// blockWidth is the fixed element count of one block. Eight 4-byte Dist
+// entries are one 32-byte chunk — half a cache line, and the width the Go
+// compiler unrolls cleanly on amd64 and arm64.
+const blockWidth = 8
+
+// equalDist reports whether a and b are element-wise identical. Blocks are
+// compared as [blockWidth]Dist array values, which the compiler lowers to
+// wide memory compares.
+func equalDist(a, b []Dist) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	i := 0
+	for ; i+blockWidth <= len(a); i += blockWidth {
+		if *(*[blockWidth]Dist)(a[i:]) != *(*[blockWidth]Dist)(b[i:]) {
+			return false
+		}
+	}
+	for ; i < len(a); i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// countFinite returns the number of non-Inf entries of s.
+func countFinite(s []Dist) int {
+	c := 0
+	i := 0
+	for ; i+blockWidth <= len(s); i += blockWidth {
+		b := (*[blockWidth]Dist)(s[i:])
+		for j := 0; j < blockWidth; j++ {
+			if b[j] != Inf {
+				c++
+			}
+		}
+	}
+	for ; i < len(s); i++ {
+		if s[i] != Inf {
+			c++
+		}
+	}
+	return c
+}
+
+// checksumDist folds s into an FNV-1a style hash state h. The hash chain is
+// inherently sequential, but the blocked walk still removes the per-element
+// bounds checks.
+func checksumDist(h uint64, s []Dist) uint64 {
+	const prime = 1099511628211
+	i := 0
+	for ; i+blockWidth <= len(s); i += blockWidth {
+		b := (*[blockWidth]Dist)(s[i:])
+		for j := 0; j < blockWidth; j++ {
+			h ^= uint64(b[j])
+			h *= prime
+		}
+	}
+	for ; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// ScanFinite returns the finite span and population of s: every non-Inf
+// entry lies in [lo, hi), finite is their count, and max is the largest
+// finite value (0 for an all-Inf slice). An all-Inf slice yields
+// lo == hi == 0. The row-fold kernels use the result to touch only the
+// finite part of mostly-Inf rows, and to prove saturation impossible when
+// the fold offset plus max cannot reach Inf.
+func ScanFinite(s []Dist) (lo, hi, finite int, max Dist) {
+	lo = 0
+	for lo < len(s) && s[lo] == Inf {
+		lo++
+	}
+	if lo == len(s) {
+		return 0, 0, 0, 0
+	}
+	hi = len(s)
+	for s[hi-1] == Inf {
+		hi--
+	}
+	// Count inside the span only; everything outside is Inf by construction.
+	finite, max = countMaxFinite(s[lo:hi])
+	return lo, hi, finite, max
+}
+
+// countMaxFinite returns the non-Inf population of s and its largest
+// non-Inf value (0 when there is none).
+func countMaxFinite(s []Dist) (int, Dist) {
+	c := 0
+	var max Dist
+	i := 0
+	for ; i+blockWidth <= len(s); i += blockWidth {
+		b := (*[blockWidth]Dist)(s[i:])
+		for j := 0; j < blockWidth; j++ {
+			if b[j] != Inf {
+				c++
+				if b[j] > max {
+					max = b[j]
+				}
+			}
+		}
+	}
+	for ; i < len(s); i++ {
+		if s[i] != Inf {
+			c++
+			if s[i] > max {
+				max = s[i]
+			}
+		}
+	}
+	return c, max
+}

@@ -1,0 +1,131 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The blocked helpers must agree with the obvious scalar loops on every
+// length straddling the block width, so the width constant can change
+// without touching the tests.
+var blockSizes = []int{0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 200}
+
+func randDists(rng *rand.Rand, n int, density float64) []Dist {
+	s := make([]Dist, n)
+	for i := range s {
+		if rng.Float64() < density {
+			s[i] = Dist(rng.Intn(1 << 20))
+		} else {
+			s[i] = Inf
+		}
+	}
+	return s
+}
+
+func TestEqualDistMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range blockSizes {
+		a := randDists(rng, n, 0.5)
+		b := append([]Dist(nil), a...)
+		if !equalDist(a, b) {
+			t.Fatalf("n=%d: equal copies reported unequal", n)
+		}
+		if n == 0 {
+			continue
+		}
+		// Flip one entry at every position in turn.
+		for i := 0; i < n; i++ {
+			b[i]++
+			if equalDist(a, b) {
+				t.Fatalf("n=%d: difference at %d missed", n, i)
+			}
+			b[i] = a[i]
+		}
+	}
+}
+
+func TestCountFiniteMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range blockSizes {
+		for _, density := range []float64{0, 0.3, 1} {
+			s := randDists(rng, n, density)
+			want := 0
+			for _, v := range s {
+				if v != Inf {
+					want++
+				}
+			}
+			if got := countFinite(s); got != want {
+				t.Fatalf("n=%d density=%g: countFinite = %d, want %d", n, density, got, want)
+			}
+		}
+	}
+}
+
+func TestChecksumDistMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range blockSizes {
+		s := randDists(rng, n, 0.6)
+		h := uint64(14695981039346656037)
+		want := h
+		for _, v := range s {
+			want ^= uint64(v)
+			want *= 1099511628211
+		}
+		if got := checksumDist(h, s); got != want {
+			t.Fatalf("n=%d: checksumDist = %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+func TestScanFinite(t *testing.T) {
+	cases := []struct {
+		s              []Dist
+		lo, hi, finite int
+		max            Dist
+	}{
+		{nil, 0, 0, 0, 0},
+		{[]Dist{Inf, Inf, Inf}, 0, 0, 0, 0},
+		{[]Dist{5}, 0, 1, 1, 5},
+		{[]Dist{Inf, 5, Inf}, 1, 2, 1, 5},
+		{[]Dist{Inf, 5, Inf, 7, Inf, Inf}, 1, 4, 2, 7},
+		{[]Dist{0, Inf, Inf, Inf, Inf, Inf, Inf, Inf, Inf, 3}, 0, 10, 2, 3},
+		{[]Dist{0, MaxFinite}, 0, 2, 2, MaxFinite},
+	}
+	for i, c := range cases {
+		lo, hi, finite, max := ScanFinite(c.s)
+		if lo != c.lo || hi != c.hi || finite != c.finite || max != c.max {
+			t.Errorf("case %d: ScanFinite = (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+				i, lo, hi, finite, max, c.lo, c.hi, c.finite, c.max)
+		}
+	}
+}
+
+func TestScanFiniteRandomAgainstScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 300; trial++ {
+		s := randDists(rng, rng.Intn(120), 0.2)
+		lo, hi, finite, max := ScanFinite(s)
+		wlo, whi, wfin := len(s), 0, 0
+		var wmax Dist
+		for i, v := range s {
+			if v != Inf {
+				if i < wlo {
+					wlo = i
+				}
+				whi = i + 1
+				wfin++
+				if v > wmax {
+					wmax = v
+				}
+			}
+		}
+		if wfin == 0 {
+			wlo = 0
+		}
+		if lo != wlo || hi != whi || finite != wfin || max != wmax {
+			t.Fatalf("ScanFinite = (%d,%d,%d,%d), scalar (%d,%d,%d,%d) on %v",
+				lo, hi, finite, max, wlo, whi, wfin, wmax, s)
+		}
+	}
+}

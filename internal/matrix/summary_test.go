@@ -1,0 +1,129 @@
+package matrix
+
+import "testing"
+
+func TestSummarizeRowDense(t *testing.T) {
+	m := New(6)
+	for j := 0; j < 6; j++ {
+		m.Set(1, j, Dist(j))
+	}
+	if _, ok := m.Summary(1); ok {
+		t.Fatal("summary current before SummarizeRow")
+	}
+	m.SummarizeRow(1)
+	sum, ok := m.Summary(1)
+	if !ok || sum.Lo != 0 || sum.Hi != 6 || sum.Finite != 6 || sum.Max != 5 {
+		t.Fatalf("dense summary = %+v ok=%v", sum, ok)
+	}
+	if m.FiniteIndex(1) != nil {
+		t.Error("dense row got a finite-index list")
+	}
+}
+
+func TestSummarizeRowSparseBuildsIndex(t *testing.T) {
+	// 2 finite entries spread over a span of 64: 2 <= 64/8, so the index
+	// list must be built.
+	m := New(100)
+	m.Set(3, 10, 5)
+	m.Set(3, 73, 7)
+	m.SummarizeRow(3)
+	sum, ok := m.Summary(3)
+	if !ok || sum.Lo != 10 || sum.Hi != 74 || sum.Finite != 2 {
+		t.Fatalf("sparse summary = %+v ok=%v", sum, ok)
+	}
+	idx := m.FiniteIndex(3)
+	if len(idx) != 2 || idx[0] != 10 || idx[1] != 73 {
+		t.Fatalf("finite index = %v", idx)
+	}
+}
+
+func TestSummarizeRowAllInf(t *testing.T) {
+	m := New(5)
+	m.SummarizeRow(2)
+	sum, ok := m.Summary(2)
+	if !ok || sum.Lo != 0 || sum.Hi != 0 || sum.Finite != 0 {
+		t.Fatalf("all-Inf summary = %+v ok=%v", sum, ok)
+	}
+	if m.FiniteIndex(2) != nil {
+		t.Error("all-Inf row got a finite-index list")
+	}
+}
+
+func TestSetInvalidatesSummary(t *testing.T) {
+	m := New(8)
+	m.Set(0, 3, 9)
+	m.SummarizeRow(0)
+	if _, ok := m.Summary(0); !ok {
+		t.Fatal("summary not current after SummarizeRow")
+	}
+	m.Set(0, 5, 1)
+	if _, ok := m.Summary(0); ok {
+		t.Error("summary still current after Set")
+	}
+	if m.FiniteIndex(0) != nil {
+		t.Error("finite index survived invalidation")
+	}
+	// Other rows keep their summaries.
+	m.Set(1, 1, 2)
+	m.SummarizeRow(1)
+	m.Set(0, 0, 3)
+	if _, ok := m.Summary(1); !ok {
+		t.Error("unrelated Set invalidated row 1")
+	}
+}
+
+func TestFillAndInitAPSPInvalidate(t *testing.T) {
+	m := New(4)
+	m.Set(2, 1, 5)
+	m.SummarizeRow(2)
+	m.InitAPSP()
+	if _, ok := m.Summary(2); ok {
+		t.Error("summary survived InitAPSP")
+	}
+	m.Set(2, 1, 5)
+	m.SummarizeRow(2)
+	m.Fill(0)
+	if _, ok := m.Summary(2); ok {
+		t.Error("summary survived Fill")
+	}
+}
+
+func TestCloneCarriesSummaries(t *testing.T) {
+	m := New(100)
+	m.Set(0, 20, 4)
+	m.Set(0, 90, 6)
+	m.SummarizeRow(0)
+	c := m.Clone()
+	sum, ok := c.Summary(0)
+	if !ok || sum.Lo != 20 || sum.Hi != 91 || sum.Finite != 2 {
+		t.Fatalf("cloned summary = %+v ok=%v", sum, ok)
+	}
+	if idx := c.FiniteIndex(0); len(idx) != 2 || idx[0] != 20 || idx[1] != 90 {
+		t.Fatalf("cloned finite index = %v", idx)
+	}
+	// Invalidating the clone leaves the original untouched and vice versa.
+	c.Set(0, 21, 9)
+	if _, ok := m.Summary(0); !ok {
+		t.Error("clone Set invalidated original")
+	}
+	m.Set(0, 22, 9)
+	if _, ok := m.Summary(0); ok {
+		t.Error("original Set left original current")
+	}
+}
+
+func TestSummaryRoundTripThroughRowWrites(t *testing.T) {
+	// The solver's pattern: write through the Row slice, then summarize,
+	// then read back. The summary must describe the latest contents.
+	m := New(50)
+	row := m.Row(7)
+	row[7] = 0
+	for j := 30; j < 40; j++ {
+		row[j] = Dist(j)
+	}
+	m.SummarizeRow(7)
+	sum, ok := m.Summary(7)
+	if !ok || sum.Lo != 7 || sum.Hi != 40 || sum.Finite != 11 {
+		t.Fatalf("summary = %+v ok=%v", sum, ok)
+	}
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Repo-wide gate: build, vet, race-enabled tests, and a one-iteration pass
+# over the kernel microbenchmarks so a kernel that compiles but traps (or a
+# benchmark rig that rots) fails fast. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== kernel microbenchmarks (1 iteration, smoke)"
+go test -run '^$' -bench . -benchtime=1x ./internal/kernel/
+
+echo "OK"
