@@ -20,6 +20,7 @@ import (
 	"parapsp"
 	"parapsp/internal/core"
 	"parapsp/internal/gio"
+	"parapsp/internal/obs"
 )
 
 func main() {
@@ -33,6 +34,8 @@ func main() {
 		top        = flag.Int("top", 10, "how many central vertices to print")
 		pathQuery  = flag.String("path", "", "print a shortest path between two original vertex ids, e.g. -path 17,4025")
 		maxMem     = flag.Uint64("maxmem-mb", 8192, "distance-matrix memory bound in MiB")
+		trace      = flag.String("trace", "", "record the solve and write a Chrome trace_event JSON (load in Perfetto) to this path")
+		metrics    = flag.Bool("metrics", false, "record the solve and print its work/scheduler counters as JSON")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -56,14 +59,36 @@ func main() {
 		fatal(fmt.Errorf("distance matrix needs %d MiB, bound is %d MiB (raise -maxmem-mb)", need>>20, *maxMem))
 	}
 
-	res, err := parapsp.Solve(g, parapsp.Options{
-		Algorithm:   alg,
+	var rec *obs.Recorder
+	if *trace != "" || *metrics {
+		w := *workers
+		if w < 1 {
+			w = 1
+		}
+		rec = obs.New(w)
+	}
+	res, err := parapsp.SolveWith(g, alg, core.Options{
 		Workers:     *workers,
 		MaxMemBytes: *maxMem << 20,
 		TrackPaths:  *pathQuery != "",
+		Obs:         rec,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if rec != nil {
+		rec.Stop()
+		if *trace != "" {
+			if err := writeTrace(*trace, rec); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, "wrote trace to", *trace)
+		}
+		if *metrics {
+			if err := rec.Metrics().WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	fmt.Printf("APSP (%s, %d workers): ordering %s + sssp %s = %s\n",
 		res.Algorithm, res.Workers,
@@ -167,6 +192,19 @@ func load(path, format string, undirected, weighted bool) (*parapsp.Graph, []int
 		return res.Graph, res.Labels, nil
 	}
 	return nil, nil, fmt.Errorf("unknown format %q", format)
+}
+
+// writeTrace dumps the recorder's merged events as a Chrome trace file.
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func distString(d parapsp.Dist) string {

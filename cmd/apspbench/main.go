@@ -14,7 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -31,6 +33,8 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed for the synthetic datasets")
 		maxMem  = flag.Uint64("maxmem-mb", 4096, "distance-matrix memory bound in MiB")
 		bjson   = flag.String("benchjson", "", "write the kernels experiment report as JSON to this path and exit")
+		trace   = flag.String("trace", "", "run one instrumented ParAPSP solve, write a Chrome trace_event JSON to this path, and exit")
+		metrics = flag.Bool("metrics", false, "run one instrumented ParAPSP solve, print its metrics as JSON on stdout, and exit")
 	)
 	flag.Parse()
 
@@ -61,6 +65,32 @@ func main() {
 		return
 	}
 
+	if *trace != "" || *metrics {
+		// One instrumented solve; the metrics JSON must stay pure on
+		// stdout so it can be piped, so progress goes to stderr.
+		workers := tracedWorkers(sweep)
+		var traceW io.Writer
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			traceW = f
+		}
+		var metricsW io.Writer
+		if *metrics {
+			metricsW = os.Stdout
+		}
+		if err := bench.RunTraced(cfg, workers, traceW, metricsW); err != nil {
+			fatal(err)
+		}
+		if *trace != "" {
+			fmt.Fprintln(os.Stderr, "apspbench: wrote trace to", *trace)
+		}
+		return
+	}
+
 	if *exps == "all" {
 		if err := bench.RunAll(cfg, os.Stdout); err != nil {
 			fatal(err)
@@ -76,6 +106,18 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
 	}
+}
+
+// tracedWorkers picks the worker count for a -trace/-metrics solve: the
+// widest of the sweep the machine can run in parallel.
+func tracedWorkers(sweep []int) int {
+	w := 1
+	for _, p := range sweep {
+		if p > w && p <= runtime.NumCPU() {
+			w = p
+		}
+	}
+	return w
 }
 
 func parseThreads(s string) ([]int, error) {

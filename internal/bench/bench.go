@@ -201,3 +201,13 @@ func sortedCopy(threads []int) []int {
 	sort.Ints(out)
 	return out
 }
+
+// sortedKeys returns m's keys in lexical order for stable table output.
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -24,7 +24,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7", "fig8", "fig9", "fig9-amdahl", "fig10", "seqgap", "baselines",
 		"exactness", "complexity", "distmem", "workstats", "weighted", "oracle",
 		"ablation-queue", "ablation-buckets",
-		"ablation-threshold", "ablation-reuse", "kernels",
+		"ablation-threshold", "ablation-reuse", "kernels", "obs-overhead",
 	}
 	got := IDs()
 	if len(got) != len(want) {

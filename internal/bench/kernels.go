@@ -41,6 +41,11 @@ type KernelReport struct {
 	Rotation int               `json:"rotation"`
 	Fold     []FoldBenchResult `json:"fold_kernel"`
 	EndToEnd []EndToEndResult  `json:"end_to_end_parapsp"`
+	// TraceOverhead compares instrumented against uninstrumented solves
+	// (the PR 2 acceptance numbers); Metrics is the counter snapshot of
+	// the last instrumented run, merged in for one-stop -benchjson output.
+	TraceOverhead []TraceOverheadResult `json:"trace_overhead"`
+	Metrics       map[string]int64      `json:"metrics"`
 }
 
 // FoldBenchResult compares the kernel against the scalar reference on one
@@ -194,6 +199,10 @@ func BuildKernelReport(cfg Config) (*KernelReport, error) {
 			FoldEntriesSkipped: res.Stats.FoldEntriesSkipped,
 		})
 	}
+	rep.TraceOverhead, rep.Metrics, err = buildTraceOverhead(cfg)
+	if err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -221,6 +230,17 @@ func runKernels(cfg Config, w io.Writer) error {
 			fmt.Sprintf("%016x", r.Checksum), r.Folds, r.FoldBatches, r.FoldsSkipped, r.FoldEntriesSkipped)
 	}
 	et.Fprint(w)
+
+	ot := &Table{
+		Title:  "obs recorder overhead on the same solve",
+		Header: []string{"dataset", "workers", "disabled", "enabled", "overhead", "events", "dropped"},
+	}
+	for _, r := range rep.TraceOverhead {
+		ot.AddRow(r.Dataset, r.Workers, FormatDuration(time.Duration(r.DisabledNs)),
+			FormatDuration(time.Duration(r.EnabledNs)),
+			fmt.Sprintf("%+.1f%%", r.OverheadPct), r.Events, r.DroppedSpans)
+	}
+	ot.Fprint(w)
 	return nil
 }
 

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"parapsp/internal/core"
+	"parapsp/internal/obs"
+)
+
+// The obs-overhead experiment quantifies what the tracing/metrics layer
+// costs: the same kernelized ParAPSP solve is timed with the recorder
+// absent (nil — the shipping configuration) and attached. The acceptance
+// bar is <5% with tracing enabled and noise-level when disabled, since
+// the disabled path is a single predictable branch per potential event.
+
+func init() {
+	register(Experiment{
+		ID:     "obs-overhead",
+		Paper:  "ours (observability)",
+		Title:  "Tracing/metrics overhead on the ParAPSP hot path",
+		Expect: "enabled tracing costs <5% end-to-end; the nil-recorder path is within run-to-run noise",
+		Run:    runObsOverhead,
+	})
+}
+
+// TraceOverheadResult compares one instrumented solve against the
+// uninstrumented baseline at a single worker count.
+type TraceOverheadResult struct {
+	Dataset      string  `json:"dataset"`
+	Workers      int     `json:"workers"`
+	DisabledNs   int64   `json:"disabled_ns"`
+	EnabledNs    int64   `json:"enabled_ns"`
+	OverheadPct  float64 `json:"overhead_pct"`
+	Events       int     `json:"events"`
+	DroppedSpans int64   `json:"dropped_spans"`
+}
+
+// overheadWorkers picks the worker counts to compare: the sequential
+// baseline plus the widest configured count the machine can actually run
+// in parallel (same policy as the kernels end-to-end rows).
+func overheadWorkers(cfg Config) []int {
+	threads := sortedCopy(cfg.Threads)
+	widest := threads[0]
+	for _, p := range threads {
+		if p <= runtime.NumCPU() && p > widest {
+			widest = p
+		}
+	}
+	workers := []int{threads[0]}
+	if widest != workers[0] {
+		workers = append(workers, widest)
+	}
+	return workers
+}
+
+// buildTraceOverhead times disabled-vs-enabled solves on the WordNet
+// stand-in and returns one row per worker count plus the final metrics
+// snapshot of the last instrumented run.
+func buildTraceOverhead(cfg Config) ([]TraceOverheadResult, map[string]int64, error) {
+	cfg = cfg.normalized()
+	g, err := synth(cfg, "WordNet", scaleAPSPWordNet, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []TraceOverheadResult
+	var metrics map[string]int64
+	for _, w := range overheadWorkers(cfg) {
+		var solveErr error
+		disabled := Measure(cfg.Runs, w, func() {
+			if _, err2 := core.Solve(g, core.ParAPSP, core.Options{Workers: w}); err2 != nil {
+				solveErr = err2
+			}
+		})
+		if solveErr != nil {
+			return nil, nil, solveErr
+		}
+		var rec *obs.Recorder
+		enabled := Measure(cfg.Runs, w, func() {
+			rec = obs.New(w)
+			res, err2 := core.Solve(g, core.ParAPSP, core.Options{Workers: w, Obs: rec})
+			if err2 != nil {
+				solveErr = err2
+				return
+			}
+			rec.Stop()
+			_ = res
+		})
+		if solveErr != nil {
+			return nil, nil, solveErr
+		}
+		metrics = rec.Metrics().Snapshot()
+		r := TraceOverheadResult{
+			Dataset:      "WordNet",
+			Workers:      w,
+			DisabledNs:   disabled.Nanoseconds(),
+			EnabledNs:    enabled.Nanoseconds(),
+			Events:       len(rec.Events()),
+			DroppedSpans: rec.Dropped(),
+		}
+		if disabled > 0 {
+			r.OverheadPct = 100 * (float64(enabled)/float64(disabled) - 1)
+		}
+		out = append(out, r)
+	}
+	return out, metrics, nil
+}
+
+func runObsOverhead(cfg Config, w io.Writer) error {
+	rows, metrics, err := buildTraceOverhead(cfg)
+	if err != nil {
+		return err
+	}
+	tbl := &Table{
+		Title:  "ParAPSP with and without the obs recorder attached",
+		Header: []string{"dataset", "workers", "disabled", "enabled", "overhead", "events", "dropped"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.Dataset, r.Workers,
+			FormatDuration(time.Duration(r.DisabledNs)),
+			FormatDuration(time.Duration(r.EnabledNs)),
+			fmt.Sprintf("%+.1f%%", r.OverheadPct), r.Events, r.DroppedSpans)
+	}
+	tbl.Fprint(w)
+
+	mt := &Table{
+		Title:  "metrics snapshot of the last instrumented solve",
+		Header: []string{"counter", "value"},
+	}
+	for _, k := range sortedKeys(metrics) {
+		mt.AddRow(k, metrics[k])
+	}
+	mt.Fprint(w)
+	return nil
+}
+
+// RunTraced performs one instrumented ParAPSP solve on the WordNet
+// stand-in and exports the artifacts: a Chrome trace_event JSON stream to
+// traceW (if non-nil) and the metrics snapshot as JSON to metricsW (if
+// non-nil). This is what cmd/apspbench -trace / -metrics invoke.
+func RunTraced(cfg Config, workers int, traceW, metricsW io.Writer) error {
+	cfg = cfg.normalized()
+	g, err := synth(cfg, "WordNet", scaleAPSPWordNet, true)
+	if err != nil {
+		return err
+	}
+	rec := obs.New(workers)
+	if _, err := core.Solve(g, core.ParAPSP, core.Options{Workers: workers, Obs: rec}); err != nil {
+		return err
+	}
+	rec.Stop()
+	if traceW != nil {
+		if err := rec.WriteTrace(traceW); err != nil {
+			return err
+		}
+	}
+	if metricsW != nil {
+		if err := rec.Metrics().WriteJSON(metricsW); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 
 	"parapsp/internal/graph"
 	"parapsp/internal/matrix"
+	"parapsp/internal/obs"
 	"parapsp/internal/order"
 	"parapsp/internal/sched"
 )
@@ -127,6 +128,16 @@ type Options struct {
 	// shortest paths (not just distances) can be reconstructed. Doubles
 	// the memory footprint. Not supported by SeqAdaptive.
 	TrackPaths bool
+	// Obs, when non-nil, instruments the solve: the ordering and SSSP
+	// phases are recorded as coordinator spans and labeled for pprof,
+	// the scheduler records per-worker iteration/dispatch/idle events,
+	// the searches record fold-drain spans, and the final counters are
+	// published into the recorder's metrics registry ("core.*"). The
+	// recorder must have been created for at least Workers lanes
+	// (obs.New(workers)); Solve fails with ErrInvalid otherwise. A nil
+	// recorder leaves the hot path untouched except for one predictable
+	// branch per potential event.
+	Obs *obs.Recorder
 }
 
 // WithSchedule returns o with the loop schedule set explicitly.
@@ -198,28 +209,35 @@ func Solve(g *graph.Graph, alg Algorithm, opts Options) (*Result, error) {
 		}
 	}
 	workers := sched.Workers(opts.Workers)
+	if opts.Obs != nil && opts.Obs.Workers() < workers {
+		return nil, fmt.Errorf("%w: obs recorder has %d worker lanes, need %d",
+			ErrInvalid, opts.Obs.Workers(), workers)
+	}
 	res := &Result{Algorithm: alg, Workers: workers}
 
 	// Phase 1: source ordering.
 	start := time.Now()
 	var src []int32
 	var err error
-	switch alg {
-	case SeqBasic, ParAlg1, SeqAdaptive:
-		// Identity order; SeqAdaptive re-orders on the fly during phase 2.
-	case SeqOptimized, ParAlg2:
-		src = order.SelectionSort(g.Degrees(), ratioOrDefault(opts.Ratio))
-	case ParAPSP:
-		proc := opts.Ordering
-		if proc == order.Identity {
-			proc = order.MultiListsProc
+	ordering := func() {
+		switch alg {
+		case SeqBasic, ParAlg1, SeqAdaptive:
+			// Identity order; SeqAdaptive re-orders on the fly during phase 2.
+		case SeqOptimized, ParAlg2:
+			src = order.SelectionSort(g.Degrees(), ratioOrDefault(opts.Ratio))
+		case ParAPSP:
+			proc := opts.Ordering
+			if proc == order.Identity {
+				proc = order.MultiListsProc
+			}
+			cfg := opts.OrderingConfig
+			cfg.Workers = workers
+			src, err = order.Run(proc, g.Degrees(), cfg)
 		}
-		cfg := opts.OrderingConfig
-		cfg.Workers = workers
-		src, err = order.Run(proc, g.Degrees(), cfg)
-		if err != nil {
-			return nil, err
-		}
+	}
+	runPhase(opts.Obs, alg, obs.PhaseOrdering, ordering)
+	if err != nil {
+		return nil, err
 	}
 	res.OrderingTime = time.Since(start)
 	res.Order = src
@@ -232,18 +250,36 @@ func Solve(g *graph.Graph, alg Algorithm, opts Options) (*Result, error) {
 		nh = newNextHop(n)
 	}
 	start = time.Now()
-	switch alg {
-	case SeqBasic, SeqOptimized:
-		res.Stats = runSequential(g, src, D, nh, opts)
-	case SeqAdaptive:
-		res.Order = runAdaptive(g, D, opts)
-	case ParAlg1, ParAlg2, ParAPSP:
-		res.Stats = runParallel(g, src, D, nh, workers, scheduleFor(alg, opts), opts)
-	}
+	runPhase(opts.Obs, alg, obs.PhaseSSSP, func() {
+		switch alg {
+		case SeqBasic, SeqOptimized:
+			res.Stats = runSequential(g, src, D, nh, opts)
+		case SeqAdaptive:
+			res.Order = runAdaptive(g, D, opts)
+		case ParAlg1, ParAlg2, ParAPSP:
+			res.Stats = runParallel(g, src, D, nh, workers, scheduleFor(alg, opts), opts)
+		}
+	})
 	res.SSSPTime = time.Since(start)
 	res.D = D
 	res.Next = nh
+	if opts.Obs != nil {
+		res.PublishMetrics(opts.Obs.Metrics())
+	}
 	return res, nil
+}
+
+// runPhase executes one solver phase, and — when the solve is
+// instrumented — wraps it in pprof labels (algorithm + phase, so CPU
+// profiles split cleanly) and records a coordinator-lane span.
+func runPhase(rec *obs.Recorder, alg Algorithm, phase obs.Phase, fn func()) {
+	if rec == nil {
+		fn()
+		return
+	}
+	t0 := rec.Now()
+	obs.Do(fn, "parapsp-alg", alg.String(), "parapsp-phase", phase.String())
+	rec.Coordinator().Add(obs.Event{Phase: phase, Start: t0, End: rec.Now()})
 }
 
 func ratioOrDefault(r float64) float64 {
@@ -276,10 +312,20 @@ func runSequential(g *graph.Graph, src []int32, D *matrix.Matrix, nh *NextHop, o
 	if opts.HeapQueue {
 		hsc = newHeapScratch(n)
 	}
+	rec := opts.Obs
+	if rec != nil {
+		// Sequential runs execute on the coordinator goroutine, so their
+		// iteration and fold-drain events go to the coordinator lane.
+		sc.attachObs(rec, rec.Coordinator())
+	}
 	for i := 0; i < n; i++ {
 		s := int32(i)
 		if src != nil {
 			s = src[i]
+		}
+		var t0 int64
+		if rec != nil {
+			t0 = rec.Now()
 		}
 		switch {
 		case nh != nil:
@@ -288,6 +334,9 @@ func runSequential(g *graph.Graph, src []int32, D *matrix.Matrix, nh *NextHop, o
 			modifiedDijkstraHeap(g, s, D, flags, hsc, opts)
 		default:
 			modifiedDijkstra(g, s, D, flags, sc, opts)
+		}
+		if rec != nil {
+			rec.Coordinator().Add(obs.Event{Phase: obs.PhaseIter, Start: t0, End: rec.Now(), Index: int64(i)})
 		}
 	}
 	return sc.stats
@@ -303,7 +352,7 @@ func runParallel(g *graph.Graph, src []int32, D *matrix.Matrix, nh *NextHop, wor
 	flags := newFlags(n)
 	scratches := make([]*scratch, workers)
 	heapScratches := make([]*heapScratch, workers)
-	sched.ParallelWorkers(n, workers, scheme, func(w, i int) {
+	sched.ParallelWorkersObs(n, workers, scheme, opts.Obs, func(w, i int) {
 		s := int32(i)
 		if src != nil {
 			s = src[i]
@@ -321,6 +370,9 @@ func runParallel(g *graph.Graph, src []int32, D *matrix.Matrix, nh *NextHop, wor
 		if sc == nil {
 			sc = newScratch(n)
 			scratches[w] = sc
+			if opts.Obs != nil {
+				sc.attachObs(opts.Obs, opts.Obs.Lane(w))
+			}
 		}
 		if nh != nil {
 			modifiedDijkstraPaths(g, s, D, nh, flags, sc, opts)

@@ -1,5 +1,7 @@
 package core
 
+import "parapsp/internal/obs"
+
 // Counters aggregates the work a solve performed, independent of
 // wall-clock noise. They are the mechanism-level evidence behind the
 // paper's performance claims: the optimized ordering wins because
@@ -50,6 +52,30 @@ func (c *Counters) Add(o Counters) {
 	c.EdgeScans += o.EdgeScans
 	c.EdgeUpdates += o.EdgeUpdates
 	c.Enqueues += o.Enqueues
+}
+
+// PublishMetrics copies the solve's work counters and phase timings into
+// an obs metrics registry under "core.*" names — the point where the
+// ad-hoc Counters struct is absorbed into the observability layer (the
+// scheduler's "sched.*" names land in the same registry). Counters add
+// (so multiple solves against one recorder accumulate); the phase
+// timings are per-solve gauges.
+func (r *Result) PublishMetrics(m *obs.Metrics) {
+	c := r.Stats
+	m.Counter("core.pops").Add(c.Pops)
+	m.Counter("core.folds").Add(c.Folds)
+	m.Counter("core.fold_updates").Add(c.FoldUpdates)
+	m.Counter("core.fold_batches").Add(c.FoldBatches)
+	m.Counter("core.folds_skipped").Add(c.FoldsSkipped)
+	m.Counter("core.fold_entries_skipped").Add(c.FoldEntriesSkipped)
+	m.Counter("core.edge_scans").Add(c.EdgeScans)
+	m.Counter("core.edge_updates").Add(c.EdgeUpdates)
+	m.Counter("core.enqueues").Add(c.Enqueues)
+	if r.D != nil {
+		m.Counter("core.sources").Add(int64(r.D.N()))
+	}
+	m.Counter("core.ordering_ns").Set(int64(r.OrderingTime))
+	m.Counter("core.sssp_ns").Set(int64(r.SSSPTime))
 }
 
 // FoldRate returns the fraction of pops that hit a completed row — the

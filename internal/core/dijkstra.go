@@ -6,6 +6,7 @@ import (
 	"parapsp/internal/graph"
 	"parapsp/internal/kernel"
 	"parapsp/internal/matrix"
+	"parapsp/internal/obs"
 )
 
 // flags is the shared completion vector of Algorithm 1 ("vector flag").
@@ -48,11 +49,20 @@ type scratch struct {
 	improved []int32
 	inQueue  []bool
 	stats    Counters
+	// obsRec/obsLane are non-nil only for instrumented solves; the lane
+	// is this worker's single-writer event buffer. The disabled hot path
+	// pays one nil-check per fold drain, not per pop.
+	obsRec  *obs.Recorder
+	obsLane *obs.Lane
 }
 
 func newScratch(n int) *scratch {
 	return &scratch{queue: make([]int32, 0, 64), inQueue: make([]bool, n)}
 }
+
+// attachObs points the scratch at the solve's recorder and this worker's
+// lane, enabling fold-drain span recording.
+func (sc *scratch) attachObs(r *obs.Recorder, l *obs.Lane) { sc.obsRec, sc.obsLane = r, l }
 
 // foldRow folds the completed row t (published in D) into row at offset
 // dt — D[s,v] <- min(D[s,v], dt + D[t,v]) — dispatching on t's
@@ -139,6 +149,11 @@ func modifiedDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *s
 		// so the batch cannot grow while it drains.
 		if len(folds) > 0 {
 			st.FoldBatches++
+			var t0 int64
+			if sc.obsLane != nil {
+				t0 = sc.obsRec.Now()
+			}
+			batch := len(folds)
 			for _, t := range folds {
 				sc.inQueue[t] = false
 				st.Pops++
@@ -146,6 +161,10 @@ func modifiedDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *s
 				foldRow(D, row, t, row[t], st)
 			}
 			folds = folds[:0]
+			if sc.obsLane != nil {
+				sc.obsLane.Add(obs.Event{Phase: obs.PhaseFoldDrain,
+					Start: t0, End: sc.obsRec.Now(), Index: int64(s), Arg: int64(batch)})
+			}
 			continue
 		}
 

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically updated atomic int64 metric. The zero value
+// is ready to use; obtain named counters from a Metrics registry.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Set overwrites the counter (gauge-style use: phase durations, sizes).
+func (c *Counter) Set(v int64) { c.v.Store(v) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Metrics is a registry of named atomic counters. Registration takes a
+// mutex; the counters themselves are lock-free, so the pattern is to look
+// a counter up once (outside the hot loop) and Add on the handle. It
+// absorbs the solver's ad-hoc work counters (published under "core.*" by
+// Result.PublishMetrics) and the scheduler's dispatch/idle accounting
+// ("sched.*").
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{counters: map[string]*Counter{}} }
+
+// Counter returns the named counter, creating it at zero on first use.
+// Safe for concurrent use.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters[name]
+	if c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns a point-in-time copy of every counter.
+func (m *Metrics) Snapshot() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.counters))
+	for name, c := range m.counters {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as an indented flat JSON object with
+// lexicographically sorted keys (encoding/json's map ordering), the blob
+// apspbench -metrics emits and -benchjson merges into its report.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(m.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

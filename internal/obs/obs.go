@@ -1,0 +1,246 @@
+// Package obs is the zero-dependency observability layer of the
+// repository: a lock-free per-worker event recorder plus a registry of
+// atomic metrics, with exporters for Chrome trace_event JSON (trace.go),
+// a flat JSON metrics blob (metrics.go) and pprof labels (pprof.go).
+//
+// The paper's central claim is that the *schedule* of the parallel source
+// loop is load-bearing (Section 3.2, Figure 1): ParAPSP only beats the
+// basic parallel algorithm when dynamic-cyclic issues sources in
+// degree-descending order. Validating and extending that claim needs
+// per-worker visibility — issue order, span durations, idle gaps, load
+// imbalance — that wall-clock totals cannot provide. This package is that
+// instrument: internal/sched records dispatch and iteration spans,
+// internal/core records solver phase spans and fold drains, and the
+// merged timeline loads directly into Perfetto / chrome://tracing.
+//
+// # Memory model
+//
+// A Recorder owns one Lane (fixed-size event ring buffer) per worker plus
+// one for the coordinating goroutine. A lane is single-writer: only the
+// goroutine that owns the worker id may Add to it, so the hot path takes
+// no locks and performs no allocation — a full lane overwrites its oldest
+// events and counts them as dropped. Publication is by happens-before
+// through the pool join: workers stop writing before sync.WaitGroup.Wait
+// returns to the coordinator, the coordinator calls Stop, and only then
+// may Events / WriteTrace / Dropped be called. There is no concurrent
+// read path by design; the Metrics registry, in contrast, is fully
+// concurrent (atomic counters) and may be read at any time.
+//
+// An absent recorder is represented by a nil *Recorder: instrumented call
+// sites guard every record with a single predictable nil-check branch, so
+// the disabled hot path costs one compare per potential event.
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Phase classifies a recorded span.
+type Phase uint8
+
+const (
+	// PhaseIter is one scheduler iteration: a single body(i) invocation.
+	// Index is the iteration index.
+	PhaseIter Phase = iota
+	// PhaseChunk is one claimed chunk of a chunked schedule (block,
+	// dynamic-chunk, guided): Index is the chunk's lo, Arg its hi.
+	PhaseChunk
+	// PhaseWorker spans a worker's lifetime inside one parallel loop:
+	// Index is the number of iterations it ran, Arg its busy nanoseconds.
+	PhaseWorker
+	// PhaseOrdering spans the solver's source-ordering phase.
+	PhaseOrdering
+	// PhaseSSSP spans the solver's iterated modified-Dijkstra phase.
+	PhaseSSSP
+	// PhaseFoldDrain is one batched fold drain inside a search: Index is
+	// the loop index of the running source, Arg the batch length.
+	PhaseFoldDrain
+)
+
+// String returns the trace-event name of the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseIter:
+		return "iter"
+	case PhaseChunk:
+		return "chunk"
+	case PhaseWorker:
+		return "worker"
+	case PhaseOrdering:
+		return "ordering"
+	case PhaseSSSP:
+		return "sssp"
+	case PhaseFoldDrain:
+		return "fold-drain"
+	default:
+		return "phase?"
+	}
+}
+
+// Event is one recorded span. Start and End are nanoseconds since the
+// recorder's epoch (Recorder.Now); Index and Arg are phase-specific
+// payloads (see the Phase constants). Worker is filled in by Lane.Add.
+type Event struct {
+	Start, End int64
+	Index, Arg int64
+	Worker     int32
+	Phase      Phase
+}
+
+// DefaultLaneCapacity is the per-lane ring size of New: enough for the
+// full iteration history of the container-scale benchmarks while keeping
+// a 16-worker recorder under ~6 MB.
+const DefaultLaneCapacity = 1 << 13
+
+// Lane is one worker's fixed-size event ring buffer. Single-writer: only
+// the owning goroutine may Add; see the package memory model.
+type Lane struct {
+	rec    *Recorder
+	buf    []Event
+	next   int // total Adds ever; position next%len(buf)
+	worker int32
+}
+
+// Worker returns the lane's worker id (Recorder.Workers() for the
+// coordinator lane).
+func (l *Lane) Worker() int { return int(l.worker) }
+
+// Now returns nanoseconds since the owning recorder's epoch.
+func (l *Lane) Now() int64 { return l.rec.Now() }
+
+// Add appends an event, overwriting the oldest when the ring is full.
+// e.Worker is overwritten with the lane's id.
+func (l *Lane) Add(e Event) {
+	e.Worker = l.worker
+	l.buf[l.next%len(l.buf)] = e
+	l.next++
+}
+
+// Events returns the surviving events in record order (oldest first).
+// The returned slice is a copy.
+func (l *Lane) Events() []Event {
+	n := len(l.buf)
+	if l.next <= n {
+		return append([]Event(nil), l.buf[:l.next]...)
+	}
+	out := make([]Event, 0, n)
+	head := l.next % n
+	out = append(out, l.buf[head:]...)
+	return append(out, l.buf[:head]...)
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (l *Lane) Dropped() int64 {
+	if d := l.next - len(l.buf); d > 0 {
+		return int64(d)
+	}
+	return 0
+}
+
+// Recorder is the per-solve instrument: worker lanes, a coordinator lane,
+// and a metrics registry, all sharing one monotonic epoch.
+type Recorder struct {
+	epoch   time.Time
+	lanes   []*Lane // [0,workers) per-worker, [workers] coordinator
+	metrics *Metrics
+	stopped bool
+	stopNs  int64
+}
+
+// New returns a recorder with lanes for the given worker count (plus the
+// coordinator lane) at DefaultLaneCapacity.
+func New(workers int) *Recorder { return NewWithCapacity(workers, DefaultLaneCapacity) }
+
+// NewWithCapacity is New with an explicit per-lane ring capacity, for
+// tests that must not drop events (or want to force drops).
+func NewWithCapacity(workers, laneCapacity int) *Recorder {
+	if workers < 1 {
+		workers = 1
+	}
+	if laneCapacity < 1 {
+		laneCapacity = 1
+	}
+	r := &Recorder{epoch: time.Now(), metrics: NewMetrics()}
+	r.lanes = make([]*Lane, workers+1)
+	for i := range r.lanes {
+		r.lanes[i] = &Lane{rec: r, worker: int32(i), buf: make([]Event, laneCapacity)}
+	}
+	return r
+}
+
+// Workers returns the number of worker lanes (excluding the coordinator).
+func (r *Recorder) Workers() int { return len(r.lanes) - 1 }
+
+// Lane returns worker w's lane; w must be in [0, Workers()).
+func (r *Recorder) Lane(w int) *Lane {
+	if w < 0 || w >= r.Workers() {
+		panic("obs: lane index out of range")
+	}
+	return r.lanes[w]
+}
+
+// Coordinator returns the coordinating goroutine's lane (solver phase
+// spans, sequential runs).
+func (r *Recorder) Coordinator() *Lane { return r.lanes[len(r.lanes)-1] }
+
+// Metrics returns the recorder's metrics registry (safe for concurrent
+// use at any time).
+func (r *Recorder) Metrics() *Metrics { return r.metrics }
+
+// Now returns nanoseconds since the recorder's epoch (monotonic).
+func (r *Recorder) Now() int64 { return int64(time.Since(r.epoch)) }
+
+// Stop freezes the recorder: it records the stop timestamp on first call
+// and is idempotent. Call it after the instrumented work joined (the
+// pool's WaitGroup.Wait provides the happens-before edge); only then are
+// Events, Dropped and WriteTrace defined.
+func (r *Recorder) Stop() {
+	if !r.stopped {
+		r.stopped = true
+		r.stopNs = r.Now()
+	}
+}
+
+// Stopped reports whether Stop has been called; StopNs returns the stop
+// timestamp (0 until stopped).
+func (r *Recorder) Stopped() bool { return r.stopped }
+
+// StopNs returns the Stop timestamp in epoch nanoseconds.
+func (r *Recorder) StopNs() int64 { return r.stopNs }
+
+// Events merges every lane into one timeline ordered by Start (ties keep
+// lane order, and record order within a lane). Call after Stop.
+func (r *Recorder) Events() []Event {
+	perLane := make([][]Event, len(r.lanes))
+	for i, l := range r.lanes {
+		perLane[i] = l.Events()
+	}
+	return Merge(perLane...)
+}
+
+// Dropped returns the total events lost to ring wrap-around across lanes.
+func (r *Recorder) Dropped() int64 {
+	var d int64
+	for _, l := range r.lanes {
+		d += l.Dropped()
+	}
+	return d
+}
+
+// Merge combines per-lane event slices (each already in record order)
+// into one slice sorted by Start; the sort is stable, so events with
+// equal Start keep lane order and intra-lane record order. Exported for
+// the ring-buffer merge fuzz target.
+func Merge(lanes ...[]Event) []Event {
+	total := 0
+	for _, l := range lanes {
+		total += len(l)
+	}
+	out := make([]Event, 0, total)
+	for _, l := range lanes {
+		out = append(out, l...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

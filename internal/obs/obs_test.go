@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLaneRingWrap(t *testing.T) {
+	rec := NewWithCapacity(1, 4)
+	l := rec.Lane(0)
+	for i := 0; i < 10; i++ {
+		l.Add(Event{Start: int64(i), End: int64(i) + 1, Index: int64(i)})
+	}
+	got := l.Events()
+	if len(got) != 4 {
+		t.Fatalf("len(Events) = %d, want 4", len(got))
+	}
+	for k, e := range got {
+		if want := int64(6 + k); e.Index != want {
+			t.Errorf("event %d has index %d, want %d (oldest-first after wrap)", k, e.Index, want)
+		}
+		if e.Worker != 0 {
+			t.Errorf("event %d worker = %d, want 0", k, e.Worker)
+		}
+	}
+	if l.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", l.Dropped())
+	}
+	if rec.Dropped() != 6 {
+		t.Errorf("recorder Dropped = %d, want 6", rec.Dropped())
+	}
+}
+
+func TestLaneNoWrap(t *testing.T) {
+	rec := NewWithCapacity(1, 8)
+	l := rec.Lane(0)
+	for i := 0; i < 8; i++ { // exactly full: nothing dropped
+		l.Add(Event{Start: int64(i)})
+	}
+	if got := l.Events(); len(got) != 8 || got[0].Start != 0 || got[7].Start != 7 {
+		t.Fatalf("full-but-unwrapped lane mangled: %v", got)
+	}
+	if l.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", l.Dropped())
+	}
+}
+
+func TestMergeSortedAndStable(t *testing.T) {
+	a := []Event{{Start: 1, Index: 10}, {Start: 5, Index: 11}, {Start: 5, Index: 12}}
+	b := []Event{{Start: 0, Index: 20}, {Start: 5, Index: 21}}
+	got := Merge(a, b)
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	wantIdx := []int64{20, 10, 11, 12, 21} // ties at Start=5 keep lane a before lane b, record order within
+	for k, e := range got {
+		if e.Index != wantIdx[k] {
+			t.Fatalf("merge order %v, want indices %v", got, wantIdx)
+		}
+	}
+}
+
+func TestRecorderShape(t *testing.T) {
+	rec := New(4)
+	if rec.Workers() != 4 {
+		t.Errorf("Workers = %d, want 4", rec.Workers())
+	}
+	if rec.Coordinator().Worker() != 4 {
+		t.Errorf("coordinator lane id = %d, want 4", rec.Coordinator().Worker())
+	}
+	if rec.Stopped() {
+		t.Error("fresh recorder reports stopped")
+	}
+	rec.Stop()
+	first := rec.StopNs()
+	if !rec.Stopped() || first == 0 {
+		t.Error("Stop did not latch")
+	}
+	rec.Stop() // idempotent
+	if rec.StopNs() != first {
+		t.Error("second Stop moved the stop timestamp")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Lane did not panic")
+		}
+	}()
+	rec.Lane(4) // coordinator is not addressable as a worker lane
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := m.Counter("shared")
+			for i := 0; i < 1000; i++ {
+				c.Add(1)
+				m.Counter("other").Add(2) // registry lookup under contention
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("shared").Load(); got != 8000 {
+		t.Errorf("shared = %d, want 8000", got)
+	}
+	if got := m.Counter("other").Load(); got != 16000 {
+		t.Errorf("other = %d, want 16000", got)
+	}
+}
+
+func TestMetricsSnapshotAndJSON(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("b.two").Set(2)
+	m.Counter("a.one").Add(1)
+	snap := m.Snapshot()
+	if snap["a.one"] != 1 || snap["b.two"] != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	var back map[string]int64
+	if err := json.Unmarshal([]byte(out), &back); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v\n%s", err, out)
+	}
+	if back["a.one"] != 1 || back["b.two"] != 2 {
+		t.Errorf("roundtrip = %v", back)
+	}
+	if strings.Index(out, "a.one") > strings.Index(out, "b.two") {
+		t.Errorf("keys not sorted:\n%s", out)
+	}
+}
+
+func TestDoRunsFn(t *testing.T) {
+	ran := false
+	Do(func() { ran = true }, "k", "v")
+	if !ran {
+		t.Error("Do did not run fn")
+	}
+}
+
+func TestUsec(t *testing.T) {
+	for _, c := range []struct {
+		ns   int64
+		want string
+	}{{0, "0.000"}, {1, "0.001"}, {999, "0.999"}, {1000, "1.000"}, {1234567, "1234.567"}, {-1500, "-1.500"}} {
+		if got := usec(c.ns); got != c.want {
+			t.Errorf("usec(%d) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}

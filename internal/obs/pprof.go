@@ -1,0 +1,16 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// Do runs fn with the given pprof label key/value pairs attached to the
+// current goroutine, so CPU profiles split by algorithm, phase and worker
+// ("go tool pprof -tagfocus"). It is runtime/pprof.Do without the context
+// plumbing: the solvers and scheduler label whole phases and worker
+// lifetimes, never inner loops, so the labeling cost is amortized over
+// milliseconds of work.
+func Do(fn func(), labels ...string) {
+	pprof.Do(context.Background(), pprof.Labels(labels...), func(context.Context) { fn() })
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteTrace writes the merged timeline in Chrome trace_event JSON (the
+// "JSON object format" with a traceEvents array of "X" complete events),
+// loadable in Perfetto or chrome://tracing. One tid per lane; the
+// coordinator lane is the highest tid. Field ordering and number
+// formatting are fixed by hand (not encoding/json) so the output is
+// byte-stable for golden-file tests; timestamps are microseconds with
+// nanosecond precision, non-decreasing because Events sorts by Start.
+//
+// Call after Stop (see the package memory model).
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n")
+
+	wrote := false
+	emit := func(format string, args ...any) {
+		if wrote {
+			bw.WriteString(",\n")
+		}
+		wrote = true
+		fmt.Fprintf(bw, "    "+format, args...)
+	}
+
+	emit(`{"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {"name": "parapsp"}}`)
+	for tid := 0; tid < len(r.lanes); tid++ {
+		name := fmt.Sprintf("worker %d", tid)
+		if tid == r.Workers() {
+			name = "coordinator"
+		}
+		emit(`{"name": "thread_name", "ph": "M", "pid": 1, "tid": %d, "args": {"name": %q}}`, tid, name)
+	}
+	for _, e := range r.Events() {
+		emit(`{"name": %q, "ph": "X", "pid": 1, "tid": %d, "ts": %s, "dur": %s, "args": {"i": %d, "a": %d}}`,
+			e.Phase.String(), e.Worker, usec(e.Start), usec(e.End-e.Start), e.Index, e.Arg)
+	}
+
+	fmt.Fprintf(bw, "\n  ]\n}\n")
+	return bw.Flush()
+}
+
+// usec renders nanoseconds as microseconds with fixed 3-decimal
+// precision, the deterministic timestamp format of WriteTrace.
+func usec(ns int64) string {
+	neg := ""
+	if ns < 0 { // negative durations only from hand-built test events
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}

@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parapsp/internal/obs"
+)
+
+// Crash-safety suite: a panicking body must cross the pool join — the
+// historical implementation would have crashed the whole process from
+// the worker goroutine — without deadlocking, and must leave an attached
+// recorder mergeable.
+
+var errBoom = errors.New("boom")
+
+// TestPanicPropagatesAllSchemes: the original panic value reaches the
+// caller of ParallelWorkers, for every scheme.
+func TestPanicPropagatesAllSchemes(t *testing.T) {
+	for _, scheme := range allSchemes {
+		func() {
+			defer func() {
+				if got := recover(); got != errBoom {
+					t.Errorf("%v: recovered %v, want errBoom", scheme, got)
+				}
+			}()
+			ParallelWorkers(100, 4, scheme, func(_, i int) {
+				if i == 37 {
+					panic(errBoom)
+				}
+			})
+			t.Errorf("%v: ParallelWorkers returned normally", scheme)
+		}()
+	}
+}
+
+// TestPanicDoesNotDeadlock: the join completes promptly even though one
+// worker dies mid-loop — the remaining workers drain or abort their
+// claims. Guarded by a watchdog rather than test -timeout so the failure
+// is attributable.
+func TestPanicDoesNotDeadlock(t *testing.T) {
+	for _, scheme := range allSchemes {
+		done := make(chan struct{})
+		go func() {
+			defer func() { recover(); close(done) }()
+			ParallelWorkers(10000, 8, scheme, func(_, i int) {
+				if i == 0 {
+					panic("early")
+				}
+			})
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%v: pool did not join within 30s after body panic", scheme)
+		}
+	}
+}
+
+// TestPanicAbortsDynamicClaims: after a panic, dynamic workers stop
+// claiming; far fewer than n iterations run.
+func TestPanicAbortsDynamicClaims(t *testing.T) {
+	const n = 1_000_000
+	var ran atomic.Int64
+	func() {
+		defer func() { recover() }()
+		ParallelWorkers(n, 4, DynamicCyclic, func(_, i int) {
+			if ran.Add(1) == 100 {
+				panic("stop")
+			}
+		})
+	}()
+	if got := ran.Load(); got >= n {
+		t.Errorf("all %d iterations ran despite panic", got)
+	}
+}
+
+// TestPanicLeavesRecorderMergeable: after a propagated panic, Stop /
+// Events / WriteTrace / metrics all still work, the panicking worker's
+// lifetime span is present (its deferred bookkeeping ran), and the
+// surviving events are well-formed.
+func TestPanicLeavesRecorderMergeable(t *testing.T) {
+	const n, p = 512, 4
+	rec := obs.NewWithCapacity(p, 1024)
+	func() {
+		defer func() {
+			if got := recover(); got != errBoom {
+				t.Fatalf("recovered %v, want errBoom", got)
+			}
+		}()
+		ParallelWorkersObs(n, p, DynamicCyclic, rec, func(_, i int) {
+			if i == 40 {
+				panic(errBoom)
+			}
+		})
+	}()
+	rec.Stop()
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("no events survived the panic")
+	}
+	workerSpans := 0
+	prev := int64(-1)
+	for _, e := range events {
+		if e.Start < prev {
+			t.Fatal("merged events not sorted by start")
+		}
+		prev = e.Start
+		if e.Phase == obs.PhaseWorker {
+			workerSpans++
+		}
+	}
+	if workerSpans != p {
+		t.Errorf("%d worker spans after panic, want %d (deferred bookkeeping must run)", workerSpans, p)
+	}
+	if got := rec.Metrics().Counter("sched.iterations").Load(); got <= 0 || got > n {
+		t.Errorf("sched.iterations = %d after panic, want (0,%d]", got, n)
+	}
+}
+
+// TestSequentialPanicPropagates: the p==1 inline fast path of ParallelFor
+// panics synchronously with the original value.
+func TestSequentialPanicPropagates(t *testing.T) {
+	defer func() {
+		if got := recover(); got != errBoom {
+			t.Errorf("recovered %v, want errBoom", got)
+		}
+	}()
+	ParallelFor(10, 1, DynamicCyclic, func(i int) {
+		if i == 5 {
+			panic(errBoom)
+		}
+	})
+	t.Error("ParallelFor returned normally")
+}
+
+// TestFirstPanicWins: concurrent panics are all recovered; exactly one
+// propagates and it is one of the thrown values.
+func TestFirstPanicWins(t *testing.T) {
+	defer func() {
+		got := recover()
+		if _, ok := got.(int); !ok {
+			t.Errorf("recovered %v (%T), want a thrown worker index", got, got)
+		}
+	}()
+	ParallelWorkers(64, 8, StaticCyclic, func(w, _ int) {
+		panic(w)
+	})
+	t.Error("ParallelWorkers returned normally")
+}

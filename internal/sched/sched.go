@@ -13,12 +13,21 @@
 //	StaticCyclic - schedule(static, 1):  worker w takes indices w, w+P, ...
 //	DynamicCyclic- schedule(dynamic, 1): shared counter, issue order == index order
 //	DynamicChunk - schedule(dynamic, c): shared counter advanced c at a time
+//
+// Every scheme is expressed as a per-worker claim function feeding one
+// shared worker loop, which is where the optional observability hooks
+// (internal/obs) and the panic-recovery path live exactly once. With a
+// nil recorder the loop takes a single predictable branch per claim, so
+// the uninstrumented hot path is unchanged within noise.
 package sched
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"parapsp/internal/obs"
 )
 
 // Scheme selects the iteration-to-worker mapping of ParallelFor.
@@ -33,8 +42,9 @@ const (
 	StaticCyclic
 	// DynamicCyclic hands out indices one at a time from a shared atomic
 	// counter (OpenMP schedule(dynamic,1)). It is the only scheme that
-	// guarantees indices *begin executing* in increasing order, which is
-	// what the paper's ParAlg2/ParAPSP require of the source order.
+	// guarantees indices *begin executing* in increasing order — up to the
+	// unavoidable ≤ P-1 in-flight window, see TestDynamicCyclicIssueWindow —
+	// which is what the paper's ParAlg2/ParAPSP require of the source order.
 	DynamicCyclic
 	// DynamicChunk hands out fixed-size chunks from a shared counter
 	// (OpenMP schedule(dynamic,c) with c = ChunkSize).
@@ -68,6 +78,11 @@ func (s Scheme) String() string {
 
 // Valid reports whether s is a known scheme.
 func (s Scheme) Valid() bool { return s >= Block && s <= Guided }
+
+// chunked reports whether the scheme claims multi-index ranges worth
+// recording as chunk events (per-index schemes are fully described by
+// their iteration events).
+func (s Scheme) chunked() bool { return s == Block || s == DynamicChunk || s == Guided }
 
 // ParseScheme converts a scheme name (as printed by String, "dynamic-chunk"
 // accepted without the size suffix) back to a Scheme.
@@ -128,76 +143,80 @@ func ParallelFor(n, p int, scheme Scheme, body func(i int)) {
 // Unlike ParallelFor it always spawns p workers, even when p == 1 or p > n,
 // because callers key data structures by worker id.
 func ParallelWorkers(n, p int, scheme Scheme, body func(worker, i int)) {
-	p = Workers(p)
-	if n < 0 {
-		n = 0
-	}
-	var wg sync.WaitGroup
-	wg.Add(p)
+	ParallelWorkersObs(n, p, scheme, nil, body)
+}
+
+// claim is one unit of work handed to a worker: the index arithmetic
+// sequence lo, lo+stride, ... below hi.
+type claim struct{ lo, hi, stride int }
+
+// size returns the number of iterations in the claim.
+func (c claim) size() int { return (c.hi - c.lo + c.stride - 1) / c.stride }
+
+// newClaimer builds the per-worker claim functions of a scheme over [0,n)
+// with p workers. Chunked/dynamic schemes share claim state through the
+// closed-over atomic counter. Panics on an invalid scheme (before any
+// worker is spawned, matching the historical contract).
+func newClaimer(scheme Scheme, n, p int) func(w int) func() (claim, bool) {
 	switch scheme {
 	case Block:
-		for w := 0; w < p; w++ {
-			lo, hi := blockRange(n, p, w)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					body(w, i)
+		return func(w int) func() (claim, bool) {
+			done := false
+			return func() (claim, bool) {
+				lo, hi := blockRange(n, p, w)
+				if done || lo >= hi {
+					return claim{}, false
 				}
-			}(w, lo, hi)
+				done = true
+				return claim{lo, hi, 1}, true
+			}
 		}
 	case StaticCyclic:
-		for w := 0; w < p; w++ {
-			go func(w int) {
-				defer wg.Done()
-				for i := w; i < n; i += p {
-					body(w, i)
+		return func(w int) func() (claim, bool) {
+			done := false
+			return func() (claim, bool) {
+				if done || w >= n {
+					return claim{}, false
 				}
-			}(w)
+				done = true
+				return claim{w, n, p}, true
+			}
 		}
 	case DynamicCyclic:
-		var next atomic.Int64
-		for w := 0; w < p; w++ {
-			go func(w int) {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
-						return
-					}
-					body(w, i)
+		next := new(atomic.Int64)
+		return func(int) func() (claim, bool) {
+			return func() (claim, bool) {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return claim{}, false
 				}
-			}(w)
+				return claim{i, i + 1, 1}, true
+			}
 		}
 	case DynamicChunk:
-		var next atomic.Int64
-		for w := 0; w < p; w++ {
-			go func(w int) {
-				defer wg.Done()
-				for {
-					lo := int(next.Add(ChunkSize)) - ChunkSize
-					if lo >= n {
-						return
-					}
-					hi := lo + ChunkSize
-					if hi > n {
-						hi = n
-					}
-					for i := lo; i < hi; i++ {
-						body(w, i)
-					}
+		next := new(atomic.Int64)
+		return func(int) func() (claim, bool) {
+			return func() (claim, bool) {
+				lo := int(next.Add(ChunkSize)) - ChunkSize
+				if lo >= n {
+					return claim{}, false
 				}
-			}(w)
+				hi := lo + ChunkSize
+				if hi > n {
+					hi = n
+				}
+				return claim{lo, hi, 1}, true
+			}
 		}
 	case Guided:
-		var next atomic.Int64
-		for w := 0; w < p; w++ {
-			go func(w int) {
-				defer wg.Done()
+		next := new(atomic.Int64)
+		return func(int) func() (claim, bool) {
+			return func() (claim, bool) {
 				for {
 					cur := next.Load()
 					remaining := int64(n) - cur
 					if remaining <= 0 {
-						return
+						return claim{}, false
 					}
 					chunk := remaining / int64(2*p)
 					if chunk < 1 {
@@ -210,16 +229,138 @@ func ParallelWorkers(n, p int, scheme Scheme, body func(worker, i int)) {
 					if hi > int64(n) {
 						hi = int64(n)
 					}
-					for i := cur; i < hi; i++ {
-						body(w, int(i))
+					return claim{int(cur), int(hi), 1}, true
+				}
+			}
+		}
+	}
+	panic(fmt.Sprintf("sched: invalid scheme %d", int(scheme)))
+}
+
+// ParallelWorkersObs is ParallelWorkers with an optional observability
+// recorder. With rec == nil it is exactly ParallelWorkers. With a
+// recorder (sized for at least p workers, or this panics) every worker
+// records iteration spans, chunk claims for the chunked schemes, and a
+// worker-lifetime span into its own lane, attaches a pprof "sched-worker"
+// label, and accounts dispatches/iterations/busy time under "sched.*"
+// metrics; after the join the coordinator adds each worker's tail idle
+// time (join minus worker exit — the load-imbalance figure).
+//
+// A panic in body aborts the dynamic schemes' remaining claims, is
+// captured by the panicking worker, and re-raised with the original panic
+// value from the calling goroutine after all workers joined — the pool
+// never deadlocks, and an attached recorder stays mergeable.
+func ParallelWorkersObs(n, p int, scheme Scheme, rec *obs.Recorder, body func(worker, i int)) {
+	p = Workers(p)
+	if n < 0 {
+		n = 0
+	}
+	if rec != nil && rec.Workers() < p {
+		panic(fmt.Sprintf("sched: recorder has %d worker lanes, need %d", rec.Workers(), p))
+	}
+	claimer := newClaimer(scheme, n, p) // validates scheme before spawning
+
+	var (
+		wg       sync.WaitGroup
+		aborted  atomic.Bool
+		panicked atomic.Pointer[workerPanic]
+		exits    []int64
+	)
+	if rec != nil {
+		exits = make([]int64, p)
+	}
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					aborted.Store(true)
+					panicked.CompareAndSwap(nil, &workerPanic{worker: w, value: e})
+				}
+			}()
+			claimNext := claimer(w)
+			if rec == nil {
+				for !aborted.Load() {
+					c, ok := claimNext()
+					if !ok {
+						return
+					}
+					for i := c.lo; i < c.hi; i += c.stride {
+						body(w, i)
 					}
 				}
-			}(w)
-		}
-	default:
-		panic(fmt.Sprintf("sched: invalid scheme %d", int(scheme)))
+				return
+			}
+			runTraced(w, scheme, rec, claimNext, &aborted, body, exits)
+		}(w)
 	}
 	wg.Wait()
+	if wp := panicked.Load(); wp != nil {
+		// Re-raise from the coordinator with the body's original panic
+		// value, so callers' recover logic sees what the body threw.
+		panic(wp.value)
+	}
+	if rec != nil {
+		join := rec.Now()
+		var tail int64
+		for _, exit := range exits {
+			tail += join - exit
+		}
+		m := rec.Metrics()
+		m.Counter("sched.pools").Add(1)
+		m.Counter("sched.tail_idle_ns").Add(tail)
+	}
+}
+
+// workerPanic is the first panic captured across the pool's workers.
+type workerPanic struct {
+	worker int
+	value  any
+}
+
+// runTraced is the instrumented worker loop: per-iteration spans, chunk
+// claims for chunked schemes, a worker-lifetime span, and dispatch/busy
+// metrics, all into the worker's own single-writer lane.
+func runTraced(w int, scheme Scheme, rec *obs.Recorder, claimNext func() (claim, bool),
+	aborted *atomic.Bool, body func(worker, i int), exits []int64) {
+	lane := rec.Lane(w)
+	start := rec.Now()
+	var busy, iters, claims int64
+	defer func() {
+		// Runs on the panic path too, keeping the lane mergeable and the
+		// exit timestamp sane for the tail-idle accounting.
+		end := rec.Now()
+		lane.Add(obs.Event{Phase: obs.PhaseWorker, Start: start, End: end, Index: iters, Arg: busy})
+		exits[w] = end
+		m := rec.Metrics()
+		m.Counter("sched.dispatches").Add(claims)
+		m.Counter("sched.iterations").Add(iters)
+		m.Counter("sched.busy_ns").Add(busy)
+	}()
+	recordChunks := scheme.chunked()
+	obs.Do(func() {
+		for !aborted.Load() {
+			c, ok := claimNext()
+			if !ok {
+				return
+			}
+			claims++
+			c0 := rec.Now()
+			for i := c.lo; i < c.hi; i += c.stride {
+				t0 := rec.Now()
+				body(w, i)
+				t1 := rec.Now()
+				busy += t1 - t0
+				iters++
+				lane.Add(obs.Event{Phase: obs.PhaseIter, Start: t0, End: t1, Index: int64(i)})
+			}
+			if recordChunks {
+				lane.Add(obs.Event{Phase: obs.PhaseChunk, Start: c0, End: rec.Now(),
+					Index: int64(c.lo), Arg: int64(c.hi)})
+			}
+		}
+	}, "sched-worker", strconv.Itoa(w))
 }
 
 // blockRange returns the half-open index range of worker w under Block

@@ -1,0 +1,337 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"parapsp/internal/obs"
+)
+
+// Scheduler-semantics suite: the exact contracts the solvers build on,
+// asserted as properties (run under -race via scripts/check.sh).
+//
+// The load-bearing one is DynamicCyclic's issue order — ParAlg2/ParAPSP
+// only profit from the degree-descending source order because the
+// schedule *begins executing* sources in (close to) that order, so
+// high-degree rows complete before the searches that want to fold them.
+
+// TestDynamicCyclicIssueWindow asserts the precise form of "begins
+// executing in increasing order" that a P-worker dynamic schedule can
+// guarantee: indices are claimed from one atomic counter, so at the
+// moment body(i) begins, every j < i has already begun or is one of the
+// <= P-1 claims in flight on other workers. Equivalently, in begin order,
+// the number of smaller indices that have not yet begun never exceeds
+// P-1. (Static schemes violate this badly: one worker can finish its
+// whole comb before another starts.)
+func TestDynamicCyclicIssueWindow(t *testing.T) {
+	const n, p, rounds = 400, 8, 10
+	for round := 0; round < rounds; round++ {
+		var mu sync.Mutex
+		began := make([]int, 0, n)
+		ParallelWorkers(n, p, DynamicCyclic, func(_, i int) {
+			mu.Lock()
+			began = append(began, i)
+			mu.Unlock()
+		})
+		if len(began) != n {
+			t.Fatalf("round %d: %d begins, want %d", round, len(began), n)
+		}
+		seen := make([]bool, n)
+		for pos, i := range began {
+			seen[i] = true
+			// i was claimed after every j < i (single counter), so any
+			// unbegun j < i is in flight on one of the other p-1 workers.
+			missing := 0
+			for j := 0; j < i; j++ {
+				if !seen[j] {
+					missing++
+				}
+			}
+			if missing > p-1 {
+				t.Fatalf("round %d: at begin #%d (index %d), %d smaller indices had not begun (window is %d)",
+					round, pos, i, missing, p-1)
+			}
+		}
+	}
+}
+
+// TestDynamicCyclicPerWorkerIncreasing: each worker's own begin sequence
+// is strictly increasing — a worker claims its next index only after
+// finishing the previous one.
+func TestDynamicCyclicPerWorkerIncreasing(t *testing.T) {
+	const n, p = 500, 8
+	// One fast worker may claim nearly every index, so size each lane
+	// for the full iteration history plus bookkeeping spans.
+	rec := obs.NewWithCapacity(p, n+16)
+	ParallelWorkersObs(n, p, DynamicCyclic, rec, func(_, _ int) {})
+	rec.Stop()
+	total := 0
+	for w := 0; w < p; w++ {
+		prev := -1
+		for _, e := range rec.Lane(w).Events() {
+			if e.Phase != obs.PhaseIter {
+				continue
+			}
+			total++
+			if int(e.Index) <= prev {
+				t.Fatalf("worker %d ran %d after %d", w, e.Index, prev)
+			}
+			prev = int(e.Index)
+		}
+	}
+	if total != n {
+		t.Fatalf("recorded %d iteration events, want %d", total, n)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("dropped %d events with sufficient capacity", rec.Dropped())
+	}
+}
+
+// TestBlockExactMap pins Block to OpenMP's static partitioning: worker w
+// runs exactly blockRange(n,p,w), verified index by index.
+func TestBlockExactMap(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{22, 4}, {100, 7}, {5, 8}, {64, 64}} {
+		workerOf := runAndMapWorkers(t, c.n, c.p, Block)
+		for w := 0; w < c.p; w++ {
+			lo, hi := blockRange(c.n, c.p, w)
+			for i := lo; i < hi; i++ {
+				if workerOf[i] != w {
+					t.Errorf("n=%d p=%d: index %d on worker %d, want %d", c.n, c.p, i, workerOf[i], w)
+				}
+			}
+		}
+	}
+}
+
+// TestStaticCyclicExactMap pins StaticCyclic to schedule(static,1):
+// index i runs on worker i mod p, for every index.
+func TestStaticCyclicExactMap(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{20, 3}, {97, 8}, {4, 16}} {
+		workerOf := runAndMapWorkers(t, c.n, c.p, StaticCyclic)
+		for i := 0; i < c.n; i++ {
+			if workerOf[i] != i%c.p {
+				t.Errorf("n=%d p=%d: index %d on worker %d, want %d", c.n, c.p, i, workerOf[i], i%c.p)
+			}
+		}
+	}
+}
+
+// runAndMapWorkers executes the scheme and returns the iteration-to-worker
+// map, failing the test on any double or missed visit.
+func runAndMapWorkers(t *testing.T, n, p int, scheme Scheme) []int {
+	t.Helper()
+	workerOf := make([]int, n)
+	for i := range workerOf {
+		workerOf[i] = -1
+	}
+	var mu sync.Mutex
+	ParallelWorkers(n, p, scheme, func(w, i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if workerOf[i] != -1 {
+			t.Errorf("%v: index %d visited twice", scheme, i)
+		}
+		workerOf[i] = w
+	})
+	for i, w := range workerOf {
+		if w == -1 {
+			t.Fatalf("%v: index %d never visited", scheme, i)
+		}
+	}
+	return workerOf
+}
+
+// TestGuidedChunkShapes uses the recorder's chunk events to pin Guided's
+// semantics: claimed chunks tile [0,n) exactly once, and — because each
+// chunk is remaining/(2p) at a monotonically shrinking remaining — chunk
+// sizes are non-increasing in claim order, down to the floor of 1.
+func TestGuidedChunkShapes(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{1000, 4}, {57, 3}, {10000, 8}} {
+		// Lanes sized for the full history: a single eager worker records
+		// an iter event per index on top of its chunk events.
+		rec := obs.NewWithCapacity(c.p, c.n+256)
+		ParallelWorkersObs(c.n, c.p, Guided, rec, func(_, _ int) {})
+		rec.Stop()
+		chunks := chunkEvents(rec)
+		// Claims come from one CAS-serialized counter, so lo order is
+		// claim order.
+		covered := 0
+		prevSize := c.n + 1
+		for _, ch := range chunks {
+			lo, hi := int(ch.Index), int(ch.Arg)
+			if lo != covered {
+				t.Fatalf("n=%d p=%d: chunk starts at %d, want %d (chunks must tile [0,n))", c.n, c.p, lo, covered)
+			}
+			size := hi - lo
+			if size < 1 {
+				t.Fatalf("n=%d p=%d: empty chunk [%d,%d)", c.n, c.p, lo, hi)
+			}
+			if size > prevSize {
+				t.Fatalf("n=%d p=%d: chunk size grew %d -> %d at lo=%d", c.n, c.p, prevSize, size, lo)
+			}
+			prevSize = size
+			covered = hi
+		}
+		if covered != c.n {
+			t.Fatalf("n=%d p=%d: chunks cover [0,%d), want [0,%d)", c.n, c.p, covered, c.n)
+		}
+	}
+}
+
+// TestDynamicChunkShapes: every claimed chunk is exactly ChunkSize wide
+// except the last, and the chunks tile [0,n).
+func TestDynamicChunkShapes(t *testing.T) {
+	const n, p = 1000, 4 // n+9 below: not a multiple of ChunkSize
+	rec := obs.NewWithCapacity(p, 2*n)
+	ParallelWorkersObs(n+9, p, DynamicChunk, rec, func(_, _ int) {})
+	rec.Stop()
+	covered := 0
+	for _, ch := range chunkEvents(rec) {
+		lo, hi := int(ch.Index), int(ch.Arg)
+		if lo != covered {
+			t.Fatalf("chunk starts at %d, want %d", lo, covered)
+		}
+		if hi-lo != ChunkSize && hi != n+9 {
+			t.Fatalf("interior chunk [%d,%d) is not %d wide", lo, hi, ChunkSize)
+		}
+		covered = hi
+	}
+	if covered != n+9 {
+		t.Fatalf("chunks cover [0,%d), want [0,%d)", covered, n+9)
+	}
+}
+
+// chunkEvents returns the recorder's chunk claims sorted by lo (claim
+// order, since the shared counter hands out los monotonically).
+func chunkEvents(rec *obs.Recorder) []obs.Event {
+	var out []obs.Event
+	for _, e := range rec.Events() {
+		if e.Phase == obs.PhaseChunk {
+			out = append(out, e)
+		}
+	}
+	// Events() sorts by Start; re-sort by lo for claim order (insertion
+	// sort: the list is nearly sorted already).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Index > out[j].Index; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// TestTracedCoverageAllSchemes: the instrumented path visits every index
+// exactly once under every scheme (the traced worker loop must not
+// change dispatch semantics), and the metrics agree.
+func TestTracedCoverageAllSchemes(t *testing.T) {
+	for _, scheme := range allSchemes {
+		for _, c := range []struct{ n, p int }{{0, 3}, {1, 4}, {137, 5}} {
+			rec := obs.NewWithCapacity(c.p, 1024)
+			counts := make([]int32, c.n)
+			var mu sync.Mutex
+			ParallelWorkersObs(c.n, c.p, scheme, rec, func(_, i int) {
+				mu.Lock()
+				counts[i]++
+				mu.Unlock()
+			})
+			rec.Stop()
+			for i, cnt := range counts {
+				if cnt != 1 {
+					t.Fatalf("%v n=%d p=%d: index %d visited %d times", scheme, c.n, c.p, i, cnt)
+				}
+			}
+			m := rec.Metrics().Snapshot()
+			if got := m["sched.iterations"]; got != int64(c.n) {
+				t.Errorf("%v n=%d p=%d: sched.iterations = %d, want %d", scheme, c.n, c.p, got, c.n)
+			}
+			if got := m["sched.pools"]; got != 1 {
+				t.Errorf("%v: sched.pools = %d, want 1", scheme, got)
+			}
+			// One worker-lifetime span per worker, all iteration spans
+			// inside their worker's span.
+			workerSpans := 0
+			for _, e := range rec.Events() {
+				if e.Phase == obs.PhaseWorker {
+					workerSpans++
+				}
+				if e.End < e.Start {
+					t.Fatalf("%v: event with End %d < Start %d", scheme, e.End, e.Start)
+				}
+			}
+			if workerSpans != c.p {
+				t.Errorf("%v n=%d p=%d: %d worker spans, want %d", scheme, c.n, c.p, workerSpans, c.p)
+			}
+		}
+	}
+}
+
+// TestTracedBusyTimeConsistent: per-worker busy nanoseconds (the Arg of
+// the worker span) never exceed the span itself, and the busy metric is
+// the sum over workers.
+func TestTracedBusyTimeConsistent(t *testing.T) {
+	const n, p = 64, 4
+	rec := obs.NewWithCapacity(p, 1024)
+	ParallelWorkersObs(n, p, DynamicCyclic, rec, func(_, _ int) {
+		for i := 0; i < 1000; i++ {
+			_ = i * i
+		}
+	})
+	rec.Stop()
+	var sum int64
+	for _, e := range rec.Events() {
+		if e.Phase != obs.PhaseWorker {
+			continue
+		}
+		if e.Arg > e.End-e.Start {
+			t.Errorf("worker %d busy %dns exceeds lifetime %dns", e.Worker, e.Arg, e.End-e.Start)
+		}
+		sum += e.Arg
+	}
+	if got := rec.Metrics().Counter("sched.busy_ns").Load(); got != sum {
+		t.Errorf("sched.busy_ns = %d, want sum of worker spans %d", got, sum)
+	}
+}
+
+// TestRecorderTooSmallPanics: handing a recorder with fewer lanes than
+// workers is a programming error and must fail loudly, not corrupt lanes.
+func TestRecorderTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("undersized recorder did not panic")
+		}
+	}()
+	ParallelWorkersObs(10, 4, Block, obs.New(2), func(_, _ int) {})
+}
+
+// TestClaimersCoverProperty: quick-check that every scheme's claim
+// functions partition [0,n) exactly, for arbitrary n and p.
+func TestClaimersCoverProperty(t *testing.T) {
+	f := func(rn, rp uint16, rs uint8) bool {
+		n, p := int(rn%3000), 1+int(rp%33)
+		scheme := allSchemes[int(rs)%len(allSchemes)]
+		counts := make([]int32, n)
+		claimer := newClaimer(scheme, n, p)
+		for w := 0; w < p; w++ { // drive each worker's claims sequentially
+			next := claimer(w)
+			for {
+				c, ok := next()
+				if !ok {
+					break
+				}
+				for i := c.lo; i < c.hi; i += c.stride {
+					counts[i]++
+				}
+			}
+		}
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

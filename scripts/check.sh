@@ -18,4 +18,11 @@ go test -race ./...
 echo "== kernel microbenchmarks (1 iteration, smoke)"
 go test -run '^$' -bench . -benchtime=1x ./internal/kernel/
 
+echo "== obs exporters (trace + metrics smoke, tiny scale)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/apspbench -scale 0.2 -threads 1,2 -trace "$tmpdir/trace.json" \
+    -metrics > "$tmpdir/metrics.json"
+go run ./scripts/jsonok "$tmpdir/trace.json" "$tmpdir/metrics.json"
+
 echo "OK"

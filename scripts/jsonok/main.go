@@ -1,0 +1,39 @@
+// Command jsonok validates that each argument file parses as JSON, so
+// shell gates (scripts/check.sh) can fail on an exporter that emits a
+// syntactically broken trace or metrics blob without needing jq in the
+// container.
+//
+// Usage: go run ./scripts/jsonok file.json [more.json ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsonok file.json [file.json ...]")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jsonok:", err)
+			bad = true
+			continue
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			fmt.Fprintf(os.Stderr, "jsonok: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
