@@ -1,0 +1,154 @@
+// Command parapspd is the long-running distance-query daemon: it loads a
+// graph (or generates a synthetic one), builds the landmark oracle, and
+// answers distance/path queries over HTTP with an LRU row cache backed by
+// the subset solver.
+//
+// Usage:
+//
+//	parapspd -graph social.txt.gz -undirected -addr :8080 -workers 4 &
+//	curl 'localhost:8080/dist?u=3&v=17'
+//	curl 'localhost:8080/dist?u=3&v=17&tol=0.5'     # approximate ok
+//	curl 'localhost:8080/path?u=3&v=17'
+//	curl -d '{"queries":[{"u":1,"v":2},{"u":1,"v":9}]}' localhost:8080/batch
+//	curl 'localhost:8080/metrics'
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests complete, background
+// refinements finish, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parapsp"
+	"parapsp/internal/gen"
+	"parapsp/internal/gio"
+	"parapsp/internal/graph"
+	"parapsp/internal/serve"
+)
+
+func main() {
+	var (
+		in           = flag.String("graph", "", "input graph file (edge list; .gz accepted)")
+		format       = flag.String("format", "edgelist", "edgelist|mm|metis")
+		undirected   = flag.Bool("undirected", false, "edge-list only: treat edges as undirected")
+		weighted     = flag.Bool("weighted", false, "edge-list only: read a weight column")
+		genN         = flag.Int("gen", 0, "instead of -graph: serve a synthetic Barabasi-Albert graph with this many vertices")
+		addr         = flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
+		workers      = flag.Int("workers", 1, "solver workers per subset solve")
+		cacheRows    = flag.Int("cache-rows", 256, "LRU row-cache capacity (4*n bytes per row)")
+		landmarks    = flag.Int("landmarks", 16, "oracle landmarks (negative disables approximate answers)")
+		maxInflight  = flag.Int("max-inflight", 64, "admitted concurrent queries before 429")
+		maxBatch     = flag.Int("max-batch", 256, "largest accepted /batch request")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound after SIGTERM")
+		seed         = flag.Int64("seed", 42, "random seed for -gen")
+	)
+	flag.Parse()
+	if (*in == "") == (*genN == 0) {
+		fmt.Fprintln(os.Stderr, "parapspd: exactly one of -graph or -gen is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var g *graph.Graph
+	var err error
+	if *genN > 0 {
+		g, err = gen.BarabasiAlbert(*genN, 4, *seed, gen.Weighting{})
+	} else {
+		g, _, err = load(*in, *format, *undirected, *weighted)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("parapspd: loaded %v in %s\n", g, time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	s, err := serve.New(g, serve.Config{
+		Workers:        *workers,
+		CacheRows:      *cacheRows,
+		Landmarks:      *landmarks,
+		MaxInflight:    *maxInflight,
+		MaxBatch:       *maxBatch,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if o := s.Oracle(); o != nil {
+		fmt.Printf("parapspd: built %v in %s\n", o, time.Since(start).Round(time.Millisecond))
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("parapspd: listening on %s\n", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Serve(l) }()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			fatal(err)
+		}
+		return
+	case <-ctx.Done():
+	}
+
+	fmt.Println("parapspd: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	if err := <-errCh; err != nil {
+		fatal(err)
+	}
+	snap := s.Metrics().Snapshot()
+	fmt.Printf("parapspd: drained cleanly (requests=%d cache hits=%d misses=%d evictions=%d)\n",
+		snap["serve.requests"], snap["serve.cache.hits"], snap["serve.cache.misses"],
+		snap["serve.cache.evictions"])
+}
+
+// load reads the input graph in the selected format (same formats as
+// cmd/apsp).
+func load(path, format string, undirected, weighted bool) (*graph.Graph, []int64, error) {
+	switch format {
+	case "edgelist":
+		return parapsp.LoadEdgeList(path, undirected, weighted)
+	case "mm":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		return parapsp.ReadMatrixMarket(f)
+	case "metis":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		res, err := gio.ReadMETIS(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Graph, res.Labels, nil
+	}
+	return nil, nil, fmt.Errorf("unknown format %q", format)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "parapspd:", err)
+	os.Exit(1)
+}

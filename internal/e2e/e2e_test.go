@@ -1,0 +1,221 @@
+// Package e2e smoke-tests the command-line binaries end to end: each one
+// is built with the real toolchain, run against a tiny generated graph,
+// and checked for exit code and the key lines of its output. These tests
+// catch flag-wiring and main-package regressions that unit tests of the
+// internal packages cannot see.
+package e2e
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var (
+	buildMu   sync.Mutex
+	buildDir  string
+	buildDone = map[string]string{}
+)
+
+// build compiles ./cmd/<name> once per test run and returns the binary path.
+func build(t *testing.T, name string) string {
+	t.Helper()
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if p, ok := buildDone[name]; ok {
+		return p
+	}
+	if buildDir == "" {
+		dir, err := os.MkdirTemp("", "parapsp-e2e-")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buildDir = dir
+	}
+	bin := filepath.Join(buildDir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/%s: %v\n%s", name, err, out)
+	}
+	buildDone[name] = bin
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// run executes a built binary and returns combined output, failing the
+// test unless it exits with the expected code.
+func run(t *testing.T, wantExit int, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+		}
+		code = ee.ExitCode()
+	}
+	if code != wantExit {
+		t.Fatalf("%s %v exited %d, want %d\n%s", filepath.Base(bin), args, code, wantExit, out)
+	}
+	return string(out)
+}
+
+func wantLines(t *testing.T, out string, needles ...string) {
+	t.Helper()
+	for _, needle := range needles {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// tinyGraph generates a small Barabasi-Albert edge list with graphgen and
+// returns its path — the shared fixture for the downstream binaries.
+func tinyGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ba.txt")
+	out := run(t, 0, build(t, "graphgen"),
+		"-model", "ba", "-n", "60", "-m", "2", "-seed", "7", "-out", path)
+	wantLines(t, out, "wrote", path)
+	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+		t.Fatalf("graphgen produced no output file: %v", err)
+	}
+	return path
+}
+
+func TestGraphgenRejectsMissingFlags(t *testing.T) {
+	run(t, 2, build(t, "graphgen")) // no -model/-out: usage + exit 2
+}
+
+func TestGraphinfoSmoke(t *testing.T) {
+	g := tinyGraph(t)
+	out := run(t, 0, build(t, "graphinfo"), "-in", g, "-undirected")
+	wantLines(t, out,
+		"loaded",
+		"degrees: min=",
+		"weak components:",
+		"clustering coefficient:",
+		"diameter bounds (double sweep):",
+		"top 5 by PageRank:",
+	)
+}
+
+func TestApspSmoke(t *testing.T) {
+	g := tinyGraph(t)
+	out := run(t, 0, build(t, "apsp"),
+		"-in", g, "-undirected", "-workers", "2", "-path", "0,9")
+	wantLines(t, out,
+		"loaded",
+		"APSP (ParAPSP, 2 workers):",
+		"diameter:",
+		"radius:",
+		"average path length:",
+		"closeness centrality:",
+	)
+	// A 60-vertex BA graph is connected, so the path query must resolve.
+	wantLines(t, out, "shortest path 0 -> 9")
+}
+
+func TestApspbenchSmoke(t *testing.T) {
+	bin := build(t, "apspbench")
+	out := run(t, 0, bin, "-list")
+	wantLines(t, out, "fig9", "kernels", "obs-overhead")
+	out = run(t, 0, bin, "-exp", "exactness", "-scale", "0.02", "-threads", "2", "-runs", "1")
+	wantLines(t, out, "exactness")
+}
+
+// TestParapspdSmoke boots the query daemon on a synthetic graph, issues a
+// real HTTP query, then sends SIGTERM and asserts a clean drain.
+func TestParapspdSmoke(t *testing.T) {
+	cmd := exec.Command(build(t, "parapspd"),
+		"-gen", "64", "-seed", "7", "-addr", "127.0.0.1:0", "-cache-rows", "16")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints its bound address once the listener is up; collect
+	// the rest of the output for the drain assertions.
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	var tail bytes.Buffer
+	for sc.Scan() {
+		line := sc.Text()
+		tail.WriteString(line + "\n")
+		if rest, ok := strings.CutPrefix(line, "parapspd: listening on "); ok {
+			addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never announced its address:\n%s", tail.String())
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for sc.Scan() {
+			tail.WriteString(sc.Text() + "\n")
+		}
+	}()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/dist?u=3&v=17", addr))
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	var ans struct {
+		U    int32 `json:"u"`
+		V    int32 `json:"v"`
+		Dist int64 `json:"dist"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/dist status %d", resp.StatusCode)
+	}
+	if ans.U != 3 || ans.V != 17 || ans.Dist < 1 {
+		t.Fatalf("/dist answer %+v (a 64-vertex BA graph is connected)", ans)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the output reader to EOF before Wait: Wait closes the stdout
+	// pipe, which would race the scanner out of the final drain lines.
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out collecting daemon output")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited non-zero after SIGTERM: %v\n%s", err, tail.String())
+	}
+	wantLines(t, tail.String(), "parapspd: draining", "parapspd: drained cleanly (requests=")
+}

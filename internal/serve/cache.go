@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"parapsp/internal/matrix"
+)
+
+// rowCache is an LRU cache of completed distance rows keyed by source
+// vertex, with single-flight deduplication: concurrent requests for the
+// same uncomputed source produce exactly one subset solve. The first
+// caller to miss becomes the *owner* of that source and must call fulfill
+// with the solved row (or an error); everyone else who arrives while the
+// entry is pending blocks on the entry's ready channel.
+//
+// Only ready entries participate in LRU eviction — a pending entry is
+// pinned, because waiters hold a pointer to it and the owner will fulfill
+// it. Eviction removes an entry from the index but never touches its row
+// slice, so a reader that obtained the row before the eviction keeps a
+// valid immutable snapshot (rows are written once, before the ready
+// channel closes, and never mutated after).
+type rowCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[int32]*cacheEntry
+	lru     *list.List // ready entries, front = most recently used
+}
+
+// cacheEntry is one source row. row and err are written by the owner
+// before close(ready) and are immutable afterwards; the channel close is
+// the publication point.
+type cacheEntry struct {
+	src   int32
+	row   []matrix.Dist
+	err   error
+	ready chan struct{}
+	elem  *list.Element // non-nil while resident in the LRU (ready only)
+}
+
+func newRowCache(capacity int) *rowCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &rowCache{
+		cap:     capacity,
+		entries: make(map[int32]*cacheEntry, capacity),
+		lru:     list.New(),
+	}
+}
+
+// acquisition is the outcome of one batched cache lookup.
+type acquisition struct {
+	// rows holds the sources whose rows were ready immediately.
+	rows map[int32][]matrix.Dist
+	// owned are the sources this caller created pending entries for; it
+	// must solve them and call fulfill exactly once.
+	owned []int32
+	// waits are pending entries owned by other in-flight callers.
+	waits []*cacheEntry
+}
+
+// acquire classifies each (deduplicated) source as ready, pending
+// elsewhere, or owned by this caller, updating the hit/miss counters in
+// one critical section so that hits + misses == lookups always reconciles.
+// A source found in the cache counts as a hit whether its row is already
+// ready or still being computed (the coalesced counter separates the
+// latter); only a source that triggers a new solve counts as a miss.
+func (c *rowCache) acquire(sources []int32, m *metrics) acquisition {
+	acq := acquisition{rows: make(map[int32][]matrix.Dist, len(sources))}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range sources {
+		if _, dup := acq.rows[s]; dup {
+			continue // deduplicate within the batch without recounting
+		}
+		if containsOwned(acq.owned, s) || containsWait(acq.waits, s) {
+			continue
+		}
+		m.lookups.Add(1)
+		if e, ok := c.entries[s]; ok {
+			m.hits.Add(1)
+			if e.elem != nil {
+				c.lru.MoveToFront(e.elem)
+				acq.rows[s] = e.row
+			} else {
+				m.coalesced.Add(1)
+				acq.waits = append(acq.waits, e)
+			}
+			continue
+		}
+		m.misses.Add(1)
+		e := &cacheEntry{src: s, ready: make(chan struct{})}
+		c.entries[s] = e
+		acq.owned = append(acq.owned, s)
+	}
+	return acq
+}
+
+func containsOwned(owned []int32, s int32) bool {
+	for _, o := range owned {
+		if o == s {
+			return true
+		}
+	}
+	return false
+}
+
+func containsWait(waits []*cacheEntry, s int32) bool {
+	for _, w := range waits {
+		if w.src == s {
+			return true
+		}
+	}
+	return false
+}
+
+// fulfill publishes the solved rows (or the shared error) for the sources
+// previously acquired as owned, inserts the ready entries into the LRU and
+// evicts past capacity. rowOf returns the immutable row for a source; on a
+// non-nil err the entries are removed instead so a later request retries.
+func (c *rowCache) fulfill(owned []int32, rowOf func(int32) []matrix.Dist, err error, m *metrics) {
+	c.mu.Lock()
+	for _, s := range owned {
+		e := c.entries[s]
+		if e == nil || e.elem != nil {
+			continue // impossible unless fulfill is called twice; be safe
+		}
+		if err != nil {
+			e.err = err
+			delete(c.entries, s)
+		} else {
+			e.row = rowOf(s)
+			e.elem = c.lru.PushFront(e)
+		}
+		close(e.ready)
+	}
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		e := c.lru.Remove(back).(*cacheEntry)
+		delete(c.entries, e.src)
+		e.elem = nil
+		m.evictions.Add(1)
+	}
+	c.mu.Unlock()
+}
+
+// lookup is the counting fast-path variant of peek: a ready row counts as
+// one lookup + hit and refreshes its LRU recency. Absence counts nothing,
+// because the caller goes on to acquire the source, where it is counted as
+// a hit or a miss — so hits + misses == lookups stays exact.
+func (c *rowCache) lookup(s int32, m *metrics) []matrix.Dist {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[s]; ok && e.elem != nil {
+		m.lookups.Add(1)
+		m.hits.Add(1)
+		c.lru.MoveToFront(e.elem)
+		return e.row
+	}
+	return nil
+}
+
+// peek returns the ready row for s without counting a lookup, creating an
+// entry, or touching the LRU order. Internal readers (post-fulfill copies,
+// refinement dedup) use it so bookkeeping reflects only real queries.
+func (c *rowCache) peek(s int32) []matrix.Dist {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[s]; ok && e.elem != nil {
+		return e.row
+	}
+	return nil
+}
+
+// contains reports whether s is resident or pending (used to skip
+// redundant background refinements).
+func (c *rowCache) contains(s int32) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[s]
+	return ok
+}
+
+// Len returns the number of ready rows currently resident.
+func (c *rowCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

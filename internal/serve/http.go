@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"parapsp/internal/obs"
+)
+
+// maxBodyBytes bounds a /batch request body; MaxBytesReader turns larger
+// bodies into a read error, which parses as a 400.
+const maxBodyBytes = 1 << 20
+
+// httpServerRef holds the http.Server behind a Serve call so Shutdown can
+// reach it from another goroutine.
+type httpServerRef struct {
+	mu  sync.Mutex
+	srv *http.Server
+}
+
+func (r *httpServerRef) set(s *http.Server) {
+	r.mu.Lock()
+	r.srv = s
+	r.mu.Unlock()
+}
+
+func (r *httpServerRef) shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	s := r.srv
+	r.mu.Unlock()
+	if s == nil {
+		return nil
+	}
+	return s.Shutdown(ctx)
+}
+
+// Handler returns the server's HTTP API:
+//
+//	GET  /dist?u=3&v=17[&tol=0.2]   one distance query
+//	GET  /path?u=3&v=17             shortest path (always exact)
+//	POST /batch                     {"queries":[{"u":..,"v":..},...],"tol":0.0}
+//	GET  /healthz                   liveness + graph shape
+//	GET  /metrics                   the obs metrics registry as flat JSON
+//	GET  /debug/pprof/...           the standard Go profiling endpoints
+//
+// Every query handler runs under the drain group and the request-timeout
+// deadline; errors map to 400 (parse), 429 + Retry-After (backpressure),
+// 503 (draining), and 504 (deadline).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/dist", s.handleDist)
+	mux.HandleFunc("/path", s.handlePath)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve runs the HTTP API on l until Shutdown. It returns nil after a
+// clean Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	s.httpSrv.set(hs)
+	if err := hs.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// writeJSON writes v with the given status; encoding errors at this point
+// can only be transport failures, which the client observes directly.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError maps a query-layer error to its HTTP status.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrParse):
+		s.m.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+	default:
+		// Validation errors raised by the query API itself (range checks,
+		// batch limits) are client mistakes, not server faults.
+		s.m.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	}
+}
+
+// labeled runs fn under pprof labels so CPU profiles split by endpoint,
+// matching the parapsp-alg/parapsp-phase labels of the solver layer.
+func labeled(endpoint string, fn func()) {
+	obs.Do(fn, "parapspd-endpoint", endpoint)
+}
+
+func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
+	labeled("dist", func() {
+		u, v, tol, err := ParseDistQuery(r.URL.Query(), s.g.N())
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		ans, err := s.Dist(r.Context(), u, v, tol)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ans)
+	})
+}
+
+type pathBody struct {
+	Answer
+	Path []int32 `json:"path"`
+	Hops int     `json:"hops"`
+}
+
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	labeled("path", func() {
+		u, v, _, err := ParseDistQuery(r.URL.Query(), s.g.N())
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		path, ans, err := s.Path(r.Context(), u, v)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		body := pathBody{Answer: ans, Path: path, Hops: len(path) - 1}
+		if path == nil {
+			body.Path = []int32{}
+			body.Hops = -1
+		}
+		writeJSON(w, http.StatusOK, body)
+	})
+}
+
+type batchBody struct {
+	Answers []Answer `json:"answers"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	labeled("batch", func() {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+			return
+		}
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			s.m.badRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "body: " + err.Error()})
+			return
+		}
+		qs, tol, err := ParseBatch(data, s.g.N(), s.cfg.MaxBatch)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		as, err := s.Batch(r.Context(), qs, tol)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, batchBody{Answers: as})
+	})
+}
+
+type healthBody struct {
+	Status     string `json:"status"`
+	Vertices   int    `json:"vertices"`
+	Arcs       int64  `json:"arcs"`
+	CachedRows int    `json:"cached_rows"`
+	Landmarks  int    `json:"landmarks"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	landmarks := 0
+	if s.orc != nil {
+		landmarks = len(s.orc.Landmarks())
+	}
+	writeJSON(w, http.StatusOK, healthBody{
+		Status:     "ok",
+		Vertices:   s.g.N(),
+		Arcs:       s.g.NumArcs(),
+		CachedRows: s.CachedRows(),
+		Landmarks:  landmarks,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.cfg.Metrics.WriteJSON(w)
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/url"
+	"strconv"
+)
+
+// ErrParse marks request-decoding failures; the HTTP layer maps anything
+// wrapping it to a 400. Parsing is strict so that malformed input can
+// never reach the solver: every id is range-checked against the graph
+// order, tolerances must be finite and non-negative, and batch sizes are
+// bounded. The FuzzParseQuery target pins the "never panics, always 4xx"
+// contract.
+var ErrParse = errors.New("bad request")
+
+// ParseDistQuery decodes the u/v/tol parameters of a /dist or /path query
+// string against a graph of n vertices. tol is optional (default 0).
+func ParseDistQuery(q url.Values, n int) (u, v int32, tol float64, err error) {
+	u, err = parseVertex(q.Get("u"), "u", n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	v, err = parseVertex(q.Get("v"), "v", n)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tol, err = parseTol(q.Get("tol"))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return u, v, tol, nil
+}
+
+func parseVertex(s, name string, n int) (int32, error) {
+	if s == "" {
+		return 0, fmt.Errorf("%w: missing parameter %q", ErrParse, name)
+	}
+	id, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: parameter %q: %v", ErrParse, name, err)
+	}
+	if id < 0 || id >= int64(n) {
+		return 0, fmt.Errorf("%w: vertex %d out of range [0,%d)", ErrParse, id, n)
+	}
+	return int32(id), nil
+}
+
+func parseTol(s string) (float64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	tol, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: tol: %v", ErrParse, err)
+	}
+	if math.IsNaN(tol) || math.IsInf(tol, 0) || tol < 0 {
+		return 0, fmt.Errorf("%w: tol must be finite and >= 0, got %g", ErrParse, tol)
+	}
+	return tol, nil
+}
+
+// batchWire is the /batch request body. Pointer fields distinguish a
+// missing id from a zero one, and decoding through int64 rejects
+// out-of-int32 values cleanly instead of truncating them.
+type batchWire struct {
+	Queries []struct {
+		U *int64 `json:"u"`
+		V *int64 `json:"v"`
+	} `json:"queries"`
+	Tol float64 `json:"tol"`
+}
+
+// ParseBatch decodes a /batch body against a graph of n vertices, with the
+// batch size capped at maxBatch. Every error wraps ErrParse.
+func ParseBatch(data []byte, n, maxBatch int) ([]Query, float64, error) {
+	var wire batchWire
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	if len(wire.Queries) == 0 {
+		return nil, 0, fmt.Errorf("%w: empty batch", ErrParse)
+	}
+	if len(wire.Queries) > maxBatch {
+		return nil, 0, fmt.Errorf("%w: batch of %d exceeds limit %d", ErrParse, len(wire.Queries), maxBatch)
+	}
+	if math.IsNaN(wire.Tol) || math.IsInf(wire.Tol, 0) || wire.Tol < 0 {
+		return nil, 0, fmt.Errorf("%w: tol must be finite and >= 0, got %g", ErrParse, wire.Tol)
+	}
+	qs := make([]Query, len(wire.Queries))
+	for i, q := range wire.Queries {
+		if q.U == nil || q.V == nil {
+			return nil, 0, fmt.Errorf("%w: query %d missing u or v", ErrParse, i)
+		}
+		if *q.U < 0 || *q.U >= int64(n) || *q.V < 0 || *q.V >= int64(n) {
+			return nil, 0, fmt.Errorf("%w: query %d vertex out of range [0,%d)", ErrParse, i, n)
+		}
+		qs[i] = Query{U: int32(*q.U), V: int32(*q.V)}
+	}
+	return qs, wire.Tol, nil
+}

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+// reconstructPath rebuilds the shortest path u -> v from u's distance row
+// alone, walking backwards from v: a vertex w precedes t on some shortest
+// path iff there is an arc w->t with row[w] + weight(w,t) == row[t]. The
+// incoming arcs of t are the outgoing arcs of t in tr, the reverse graph
+// (tr aliases g for undirected graphs). Returns nil when v is unreachable.
+// Cost is O(path length * max in-degree), with no next-hop matrix.
+func reconstructPath(tr *graph.Graph, row []matrix.Dist, u, v int32) []int32 {
+	if row[v] == matrix.Inf {
+		return nil
+	}
+	// Collected in reverse (v first), then flipped.
+	path := []int32{v}
+	cur := v
+	for cur != u {
+		adj, wts := tr.NeighborsW(cur)
+		prev := int32(-1)
+		for i, w := range adj {
+			wt := matrix.Dist(1)
+			if wts != nil {
+				wt = wts[i]
+			}
+			if row[w] != matrix.Inf && matrix.AddSat(row[w], wt) == row[cur] {
+				prev = w
+				break
+			}
+		}
+		if prev < 0 || len(path) > len(row) {
+			// A finite distance always has a predecessor on a shortest
+			// path; this guard only trips on a corrupted row.
+			return nil
+		}
+		path = append(path, prev)
+		cur = prev
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

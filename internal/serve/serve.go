@@ -1,0 +1,491 @@
+// Package serve is the long-running distance-query layer over the paper's
+// APSP machinery: the regime Schoeneman & Zola (arXiv:1902.04446) frame,
+// where the graph is too large to precompute and hold all O(n^2) rows, so
+// distances are computed on demand and reused.
+//
+// A Server owns a graph, an LRU cache of completed distance rows keyed by
+// source vertex, and a landmark oracle (internal/oracle) for approximate
+// answers. Queries for uncached sources run the subset solver
+// (core.SolveSubset) — batched per request, so the row-reuse dynamic
+// programming that powers ParAPSP still fires between the sources of one
+// batch — and the cache deduplicates concurrent solves of the same source
+// (single flight). Callers that set a tolerance can be answered from the
+// oracle's triangle-inequality bounds when the cache is cold, with exact
+// refinement queued in the background.
+//
+// Resource safety: in-flight work is bounded by a semaphore (excess
+// requests fail fast with ErrBusy, which the HTTP layer maps to 429 +
+// Retry-After), every request runs under a context deadline, and Shutdown
+// drains — it stops admitting work, waits for in-flight requests and
+// background refinements, and only then returns, so no accepted request is
+// ever dropped.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"parapsp/internal/core"
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+	"parapsp/internal/obs"
+	"parapsp/internal/oracle"
+)
+
+// Errors surfaced by the query API. The HTTP layer maps ErrBusy to 429,
+// ErrClosed to 503, and context deadline errors to 504.
+var (
+	ErrBusy   = errors.New("serve: too many in-flight requests")
+	ErrClosed = errors.New("serve: server is shutting down")
+)
+
+// Config tunes a Server. The zero value serves exact queries with one
+// solver worker, a 256-row cache, 16 landmarks, and a 30-second request
+// timeout.
+type Config struct {
+	// Workers is the worker count of each subset solve (and the oracle
+	// build). Values below 1 mean 1.
+	Workers int
+	// CacheRows is the LRU capacity in distance rows (default 256). Each
+	// row costs 4*n bytes.
+	CacheRows int
+	// Landmarks is the oracle's landmark count (default 16); negative
+	// disables the oracle entirely, making every query exact.
+	Landmarks int
+	// MaxInflight bounds concurrently admitted queries (default 64).
+	// Excess requests fail with ErrBusy instead of queueing without bound.
+	MaxInflight int
+	// MaxBatch bounds the queries accepted in one /batch request
+	// (default 256).
+	MaxBatch int
+	// RequestTimeout is the per-request context deadline applied when the
+	// caller's context has none (default 30s).
+	RequestTimeout time.Duration
+	// Metrics is the registry the server publishes its counters into
+	// (serve.*); nil creates a private registry.
+	Metrics *obs.Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.CacheRows == 0 {
+		c.CacheRows = 256
+	}
+	if c.Landmarks == 0 {
+		c.Landmarks = 16
+	}
+	if c.MaxInflight < 1 {
+		c.MaxInflight = 64
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
+	return c
+}
+
+// metrics holds the server's counter handles, looked up once so the hot
+// path only does atomic adds. The cache invariant the stress tests pin is
+// lookups == hits + misses (coalesced is a subset of hits).
+type metrics struct {
+	lookups, hits, misses, coalesced, evictions *obs.Counter
+	solves, solvedRows                          *obs.Counter
+	requests, throttled, timeouts, badRequests  *obs.Counter
+	exact, approx, refines                      *obs.Counter
+}
+
+func newServeMetrics(reg *obs.Metrics) *metrics {
+	return &metrics{
+		lookups:     reg.Counter("serve.cache.lookups"),
+		hits:        reg.Counter("serve.cache.hits"),
+		misses:      reg.Counter("serve.cache.misses"),
+		coalesced:   reg.Counter("serve.cache.coalesced"),
+		evictions:   reg.Counter("serve.cache.evictions"),
+		solves:      reg.Counter("serve.solve.batches"),
+		solvedRows:  reg.Counter("serve.solve.rows"),
+		requests:    reg.Counter("serve.requests"),
+		throttled:   reg.Counter("serve.throttled"),
+		timeouts:    reg.Counter("serve.timeouts"),
+		badRequests: reg.Counter("serve.bad_requests"),
+		exact:       reg.Counter("serve.answers.exact"),
+		approx:      reg.Counter("serve.answers.approx"),
+		refines:     reg.Counter("serve.refines"),
+	}
+}
+
+// Query is one distance question.
+type Query struct {
+	U int32 `json:"u"`
+	V int32 `json:"v"`
+}
+
+// Answer is one resolved query. Dist is -1 when v is unreachable from u
+// (and, for approximate answers, when no landmark connects the pair —
+// inconclusive, see Exact). Lower/Upper carry the oracle bounds that
+// backed an approximate answer; for exact answers they both equal Dist.
+type Answer struct {
+	U     int32 `json:"u"`
+	V     int32 `json:"v"`
+	Dist  int64 `json:"dist"`
+	Exact bool  `json:"exact"`
+	Lower int64 `json:"lower"`
+	Upper int64 `json:"upper"`
+}
+
+// Server answers distance and path queries over a fixed graph.
+type Server struct {
+	g   *graph.Graph
+	tr  *graph.Graph // reverse adjacency for path reconstruction
+	orc *oracle.Oracle
+	cfg Config
+
+	cache *rowCache
+	m     *metrics
+	sem   chan struct{}
+
+	mu      sync.Mutex // guards closed + wg.Add ordering vs Shutdown
+	closed  bool
+	wg      sync.WaitGroup
+	httpSrv *httpServerRef
+}
+
+// New builds a server: it validates the config, constructs the landmark
+// oracle (unless disabled), and precomputes the reverse adjacency needed
+// for path reconstruction on directed graphs.
+func New(g *graph.Graph, cfg Config) (*Server, error) {
+	if g == nil || g.N() == 0 {
+		return nil, fmt.Errorf("serve: nil or empty graph")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		g:       g,
+		cfg:     cfg,
+		cache:   newRowCache(cfg.CacheRows),
+		m:       newServeMetrics(cfg.Metrics),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		httpSrv: &httpServerRef{},
+	}
+	if g.Undirected() {
+		s.tr = g
+	} else {
+		s.tr = g.Transpose()
+	}
+	if cfg.Landmarks > 0 {
+		orc, err := oracle.Build(g, oracle.Options{Landmarks: cfg.Landmarks, Workers: cfg.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("serve: oracle build: %w", err)
+		}
+		s.orc = orc
+	}
+	return s, nil
+}
+
+// Graph returns the served graph.
+func (s *Server) Graph() *graph.Graph { return s.g }
+
+// Oracle returns the landmark oracle, or nil when disabled.
+func (s *Server) Oracle() *oracle.Oracle { return s.orc }
+
+// Metrics returns the registry the server publishes into.
+func (s *Server) Metrics() *obs.Metrics { return s.cfg.Metrics }
+
+// CachedRows returns the number of distance rows currently resident.
+func (s *Server) CachedRows() int { return s.cache.Len() }
+
+// begin admits one unit of work: it refuses when the server is draining
+// and registers the work so Shutdown can wait for it. Every begin must be
+// paired with exactly one end.
+func (s *Server) begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.wg.Add(1)
+	return nil
+}
+
+func (s *Server) end() { s.wg.Done() }
+
+// admit additionally claims an in-flight slot, implementing backpressure:
+// when MaxInflight requests are already running the caller gets ErrBusy
+// immediately instead of queueing.
+func (s *Server) admit() (release func(), err error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.m.throttled.Add(1)
+		s.end()
+		return nil, ErrBusy
+	}
+	s.m.requests.Add(1)
+	return func() {
+		<-s.sem
+		s.end()
+	}, nil
+}
+
+// withDeadline applies the configured request timeout when the caller's
+// context has no deadline of its own.
+func (s *Server) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.cfg.RequestTimeout)
+}
+
+func (s *Server) checkVertex(v int32) error {
+	if v < 0 || int(v) >= s.g.N() {
+		return fmt.Errorf("serve: vertex %d out of range [0,%d)", v, s.g.N())
+	}
+	return nil
+}
+
+// Dist answers a single distance query; tol > 0 permits an approximate
+// answer from the oracle bounds when the cache is cold (see Batch).
+func (s *Server) Dist(ctx context.Context, u, v int32, tol float64) (Answer, error) {
+	as, err := s.Batch(ctx, []Query{{U: u, V: v}}, tol)
+	if err != nil {
+		return Answer{}, err
+	}
+	return as[0], nil
+}
+
+// Batch answers a group of queries in one admission. The sources of all
+// cache-missing queries are handed to the subset solver together, so rows
+// computed for one query fold into the searches of the others exactly as
+// in ParAPSP.
+//
+// With tol > 0, a query whose source row is not cached may be answered
+// approximately: if the oracle's bounds satisfy upper-lower <= tol*lower
+// the upper bound is returned (so Dist <= (1+tol) * true distance), and an
+// exact refinement of the source row is scheduled in the background for
+// subsequent queries. tol must be finite and >= 0.
+func (s *Server) Batch(ctx context.Context, qs []Query, tol float64) ([]Answer, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("serve: empty batch")
+	}
+	if len(qs) > s.cfg.MaxBatch {
+		return nil, fmt.Errorf("serve: batch of %d exceeds limit %d", len(qs), s.cfg.MaxBatch)
+	}
+	if math.IsNaN(tol) || math.IsInf(tol, 0) || tol < 0 {
+		return nil, fmt.Errorf("serve: invalid tolerance %g", tol)
+	}
+	for _, q := range qs {
+		if err := s.checkVertex(q.U); err != nil {
+			return nil, err
+		}
+		if err := s.checkVertex(q.V); err != nil {
+			return nil, err
+		}
+	}
+	release, err := s.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
+
+	out := make([]Answer, len(qs))
+	var needSrc []int32
+	var pending []int // indices of out waiting on exact rows
+	for i, q := range qs {
+		if q.U == q.V {
+			out[i] = exactAnswer(q, 0)
+			s.m.exact.Add(1)
+			continue
+		}
+		if row := s.cache.lookup(q.U, s.m); row != nil {
+			out[i] = exactAnswer(q, row[q.V])
+			s.m.exact.Add(1)
+			continue
+		}
+		if tol > 0 && s.orc != nil {
+			lo, up := s.orc.Bounds(q.U, q.V)
+			if up != matrix.Inf && float64(up-lo) <= tol*float64(lo) {
+				out[i] = approxAnswer(q, lo, up)
+				s.m.approx.Add(1)
+				s.refineAsync(q.U)
+				continue
+			}
+		}
+		needSrc = append(needSrc, q.U)
+		pending = append(pending, i)
+	}
+	if len(needSrc) > 0 {
+		rows, err := s.rows(ctx, needSrc)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range pending {
+			q := qs[i]
+			out[i] = exactAnswer(q, rows[q.U][q.V])
+			s.m.exact.Add(1)
+		}
+	}
+	return out, nil
+}
+
+func exactAnswer(q Query, d matrix.Dist) Answer {
+	jd := distToJSON(d)
+	return Answer{U: q.U, V: q.V, Dist: jd, Exact: true, Lower: jd, Upper: jd}
+}
+
+func approxAnswer(q Query, lo, up matrix.Dist) Answer {
+	return Answer{U: q.U, V: q.V, Dist: distToJSON(up), Exact: false,
+		Lower: distToJSON(lo), Upper: distToJSON(up)}
+}
+
+func distToJSON(d matrix.Dist) int64 {
+	if d == matrix.Inf {
+		return -1
+	}
+	return int64(d)
+}
+
+// rows resolves the distance rows of the given sources through the cache:
+// sources this caller owns are solved in one subset batch, sources pending
+// under another request are waited on. The returned rows are immutable
+// shared snapshots.
+func (s *Server) rows(ctx context.Context, sources []int32) (map[int32][]matrix.Dist, error) {
+	acq := s.cache.acquire(sources, s.m)
+	if len(acq.owned) > 0 {
+		sub, err := core.SolveSubset(s.g, acq.owned, core.Options{Workers: s.cfg.Workers})
+		if err != nil {
+			s.cache.fulfill(acq.owned, nil, err, s.m)
+			return nil, err
+		}
+		s.m.solves.Add(1)
+		s.m.solvedRows.Add(int64(len(acq.owned)))
+		s.cache.fulfill(acq.owned, func(src int32) []matrix.Dist {
+			// Copy out of the SubsetResult so the cache retains only the
+			// rows it wants, not the whole k*n block.
+			row := make([]matrix.Dist, s.g.N())
+			copy(row, sub.Row(src))
+			return row
+		}, nil, s.m)
+		for _, src := range acq.owned {
+			acq.rows[src] = s.cache.peek(src)
+			if acq.rows[src] == nil {
+				// Evicted between fulfill and here (cache smaller than the
+				// batch): fall back to the solver's copy.
+				row := make([]matrix.Dist, s.g.N())
+				copy(row, sub.Row(src))
+				acq.rows[src] = row
+			}
+		}
+	}
+	for _, e := range acq.waits {
+		select {
+		case <-e.ready:
+			if e.err != nil {
+				return nil, e.err
+			}
+			acq.rows[e.src] = e.row
+		case <-ctx.Done():
+			s.m.timeouts.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+	return acq.rows, nil
+}
+
+// refineAsync schedules an exact solve of src's row so that future queries
+// are exact, bounded by the same in-flight semaphore as foreground work
+// (refinement is shed entirely under load) and registered with the drain
+// group so Shutdown waits for it.
+func (s *Server) refineAsync(src int32) {
+	if s.cache.contains(src) {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.mu.Unlock()
+		return
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		defer func() { <-s.sem }()
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+		defer cancel()
+		if _, err := s.rows(ctx, []int32{src}); err == nil {
+			s.m.refines.Add(1)
+		}
+	}()
+}
+
+// Path answers an exact shortest-path query: the vertices from u to v
+// inclusive, or nil when v is unreachable. Paths are reconstructed from
+// u's distance row by walking predecessors over the reverse adjacency, so
+// they need no O(n^2) next-hop matrix.
+func (s *Server) Path(ctx context.Context, u, v int32) ([]int32, Answer, error) {
+	if err := s.checkVertex(u); err != nil {
+		return nil, Answer{}, err
+	}
+	if err := s.checkVertex(v); err != nil {
+		return nil, Answer{}, err
+	}
+	release, err := s.admit()
+	if err != nil {
+		return nil, Answer{}, err
+	}
+	defer release()
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
+	rows, err := s.rows(ctx, []int32{u})
+	if err != nil {
+		return nil, Answer{}, err
+	}
+	row := rows[u]
+	ans := exactAnswer(Query{U: u, V: v}, row[v])
+	s.m.exact.Add(1)
+	path := reconstructPath(s.tr, row, u, v)
+	return path, ans, nil
+}
+
+// Shutdown drains the server: new work is refused with ErrClosed, the
+// embedded HTTP server (if Serve was called) stops accepting and waits for
+// active connections, and background refinements are awaited. It returns
+// nil when everything drained before ctx expired. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.httpSrv.shutdown(ctx)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}

@@ -1,7 +1,9 @@
 #!/bin/sh
-# Repo-wide gate: build, vet, race-enabled tests, and a one-iteration pass
-# over the kernel microbenchmarks so a kernel that compiles but traps (or a
-# benchmark rig that rots) fails fast. Run from anywhere inside the repo.
+# Repo-wide gate: build, vet, the default test pass (which executes the
+# seeded fuzz corpora as regression cases and the cmd end-to-end smokes),
+# a race-enabled pass over the concurrent machinery, and one-iteration
+# smokes of the bench/exporter rigs so a path that compiles but traps
+# fails fast. Run from anywhere inside the repo.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,8 +14,11 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test ./... (fuzz seed corpus + cmd e2e smoke included)"
+go test ./...
+
+echo "== go test -race . ./internal/..."
+go test -race . ./internal/...
 
 echo "== kernel microbenchmarks (1 iteration, smoke)"
 go test -run '^$' -bench . -benchtime=1x ./internal/kernel/
@@ -24,5 +29,9 @@ trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/apspbench -scale 0.2 -threads 1,2 -trace "$tmpdir/trace.json" \
     -metrics > "$tmpdir/metrics.json"
 go run ./scripts/jsonok "$tmpdir/trace.json" "$tmpdir/metrics.json"
+
+echo "== serve bench (tiny scale, report JSON smoke)"
+go run ./cmd/apspbench -scale 0.1 -servejson "$tmpdir/serve.json"
+go run ./scripts/jsonok "$tmpdir/serve.json"
 
 echo "OK"
