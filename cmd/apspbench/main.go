@@ -33,6 +33,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed for the synthetic datasets")
 		maxMem  = flag.Uint64("maxmem-mb", 4096, "distance-matrix memory bound in MiB")
 		bjson   = flag.String("benchjson", "", "write the kernels experiment report as JSON to this path and exit")
+		batchj  = flag.String("batchjson", "", "write the batch experiment report as JSON to this path and exit")
 		sjson   = flag.String("servejson", "", "write the serve experiment report as JSON to this path and exit")
 		trace   = flag.String("trace", "", "run one instrumented ParAPSP solve, write a Chrome trace_event JSON to this path, and exit")
 		metrics = flag.Bool("metrics", false, "run one instrumented ParAPSP solve, print its metrics as JSON on stdout, and exit")
@@ -63,6 +64,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("wrote", *bjson)
+		return
+	}
+
+	if *batchj != "" {
+		if err := bench.WriteBatchReport(*batchj, cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *batchj)
 		return
 	}
 

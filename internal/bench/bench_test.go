@@ -25,7 +25,7 @@ func TestRegistryComplete(t *testing.T) {
 		"exactness", "complexity", "distmem", "workstats", "weighted", "oracle",
 		"ablation-queue", "ablation-buckets",
 		"ablation-threshold", "ablation-reuse", "kernels", "obs-overhead",
-		"serve",
+		"serve", "batch",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -508,7 +508,11 @@ func runFig6(cfg Config, w io.Writer) error {
 }
 
 // overallSweep measures full Solve runs (ordering + SSSP) for each
-// algorithm across the thread sweep.
+// algorithm across the thread sweep. The paper-figure experiments pin
+// BatchOff: they reproduce the paper's mechanism (iterated modified
+// Dijkstra with row reuse), which the multi-source batch engine would
+// silently replace on graphs past the Auto threshold. The batch engine
+// has its own experiment (batch) and report (BENCH_PR4.json).
 func overallSweep(cfg Config, g *graph.Graph, algs []core.Algorithm) (map[core.Algorithm][]time.Duration, error) {
 	out := make(map[core.Algorithm][]time.Duration)
 	for _, alg := range algs {
@@ -516,7 +520,7 @@ func overallSweep(cfg Config, g *graph.Graph, algs []core.Algorithm) (map[core.A
 		for _, p := range sortedCopy(cfg.Threads) {
 			var err error
 			d := Measure(cfg.Runs, p, func() {
-				_, err = core.Solve(g, alg, core.Options{Workers: p, MaxMemBytes: cfg.MaxMemBytes})
+				_, err = core.Solve(g, alg, core.Options{Workers: p, MaxMemBytes: cfg.MaxMemBytes, Batch: core.BatchOff})
 			})
 			if err != nil {
 				return nil, err
@@ -622,7 +626,7 @@ func runFig10(cfg Config, w io.Writer) error {
 		for _, p := range sortedCopy(cfg.Threads) {
 			var err error
 			d := Measure(cfg.Runs, p, func() {
-				_, err = core.Solve(g, core.ParAPSP, core.Options{Workers: p, MaxMemBytes: cfg.MaxMemBytes})
+				_, err = core.Solve(g, core.ParAPSP, core.Options{Workers: p, MaxMemBytes: cfg.MaxMemBytes, Batch: core.BatchOff})
 			})
 			if err != nil {
 				return err
@@ -661,7 +665,7 @@ func runSeqGap(cfg Config, w io.Writer) error {
 			runs = 1
 		}
 		Measure(runs, 1, func() {
-			res, err2 := core.Solve(g, alg, core.Options{MaxMemBytes: cfg.MaxMemBytes})
+			res, err2 := core.Solve(g, alg, core.Options{MaxMemBytes: cfg.MaxMemBytes, Batch: core.BatchOff})
 			if err2 != nil {
 				err = err2
 				return
@@ -707,11 +711,11 @@ func runBaselines(cfg Config, w io.Writer) error {
 		{"repeated heap Dijkstra", func() *matrix.Matrix { return baseline.DijkstraAPSP(g) }},
 		{"repeated SPFA (no reuse)", func() *matrix.Matrix { return baseline.SPFAAPSP(g) }},
 		{"seq-basic (Peng Alg 2)", func() *matrix.Matrix {
-			r, _ := core.Solve(g, core.SeqBasic, core.Options{})
+			r, _ := core.Solve(g, core.SeqBasic, core.Options{Batch: core.BatchOff})
 			return r.D
 		}},
 		{"seq-optimized (Peng Alg 3)", func() *matrix.Matrix {
-			r, _ := core.Solve(g, core.SeqOptimized, core.Options{})
+			r, _ := core.Solve(g, core.SeqOptimized, core.Options{Batch: core.BatchOff})
 			return r.D
 		}},
 	}
@@ -787,6 +791,15 @@ func runExactness(cfg Config, w io.Writer) error {
 			return err
 		}
 	}
+	for _, mode := range []core.BatchMode{core.BatchOff, core.BatchForce} {
+		res, err := core.Solve(g, core.ParAPSP, core.Options{Workers: 4, Batch: mode, MaxMemBytes: cfg.MaxMemBytes})
+		if err != nil {
+			return err
+		}
+		if err := check(fmt.Sprintf("ParAPSP batch=%s (%s)", mode, res.Engine), res.D); err != nil {
+			return err
+		}
+	}
 	t.Fprint(w)
 	return nil
 }
@@ -805,7 +818,7 @@ func runAblationQueue(cfg Config, w io.Writer) error {
 		name string
 		opts core.Options
 	}{
-		{"dedup FIFO (SPFA bitmap)", core.Options{}},
+		{"dedup FIFO (SPFA bitmap)", core.Options{Batch: core.BatchOff}},
 		{"paper FIFO (duplicates)", core.Options{PaperQueue: true}},
 		{"binary heap (Dijkstra)", core.Options{HeapQueue: true}},
 	} {
@@ -902,7 +915,7 @@ func runAblationReuse(cfg Config, w io.Writer) error {
 		for _, p := range sortedCopy(cfg.Threads) {
 			var err error
 			d := Measure(cfg.Runs, p, func() {
-				_, err = core.Solve(g, core.ParAPSP, core.Options{Workers: p, DisableRowReuse: disable, MaxMemBytes: cfg.MaxMemBytes})
+				_, err = core.Solve(g, core.ParAPSP, core.Options{Workers: p, DisableRowReuse: disable, MaxMemBytes: cfg.MaxMemBytes, Batch: core.BatchOff})
 			})
 			if err != nil {
 				return err
@@ -949,12 +962,12 @@ func runComplexity(cfg Config, w io.Writer) error {
 		}
 		var dBasic, dOpt time.Duration
 		dBasic = Measure(cfg.Runs, 1, func() {
-			if _, err2 := core.Solve(g, core.SeqBasic, core.Options{}); err2 != nil {
+			if _, err2 := core.Solve(g, core.SeqBasic, core.Options{Batch: core.BatchOff}); err2 != nil {
 				err = err2
 			}
 		})
 		dOpt = Measure(cfg.Runs, 1, func() {
-			if _, err2 := core.Solve(g, core.SeqOptimized, core.Options{}); err2 != nil {
+			if _, err2 := core.Solve(g, core.SeqOptimized, core.Options{Batch: core.BatchOff}); err2 != nil {
 				err = err2
 			}
 		})
@@ -1058,10 +1071,10 @@ func runWorkStats(cfg Config, w io.Writer) error {
 		alg  core.Algorithm
 		opts core.Options
 	}{
-		{"ParAlg1 (identity order)", core.ParAlg1, core.Options{}},
-		{"ParAPSP (degree order)", core.ParAPSP, core.Options{}},
+		{"ParAlg1 (identity order)", core.ParAlg1, core.Options{Batch: core.BatchOff}},
+		{"ParAPSP (degree order)", core.ParAPSP, core.Options{Batch: core.BatchOff}},
 		{"ParAPSP, reuse disabled", core.ParAPSP, core.Options{DisableRowReuse: true}},
-		{"ParAPSP, ParBuckets order", core.ParAPSP, core.Options{Ordering: order.ParBucketsProc}},
+		{"ParAPSP, ParBuckets order", core.ParAPSP, core.Options{Ordering: order.ParBucketsProc, Batch: core.BatchOff}},
 	} {
 		opts := c.opts
 		opts.Workers = 4
@@ -1111,7 +1124,7 @@ func runWeighted(cfg Config, w io.Writer) error {
 		var res *core.Result
 		var err error
 		d := Measure(cfg.Runs, 4, func() {
-			res, err = core.Solve(g, alg, core.Options{Workers: 4, MaxMemBytes: cfg.MaxMemBytes})
+			res, err = core.Solve(g, alg, core.Options{Workers: 4, MaxMemBytes: cfg.MaxMemBytes, Batch: core.BatchOff})
 		})
 		if err != nil {
 			return err

@@ -21,11 +21,13 @@ func TestShapeDegreeOrderReducesWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := core.Solve(g, core.ParAlg1, core.Options{})
+	// Pin the scalar engine: these counters measure the fold/reuse
+	// mechanism, which the multi-source batch engine replaces wholesale.
+	id, err := core.Solve(g, core.ParAlg1, core.Options{Batch: core.BatchOff})
 	if err != nil {
 		t.Fatal(err)
 	}
-	deg, err := core.Solve(g, core.ParAPSP, core.Options{})
+	deg, err := core.Solve(g, core.ParAPSP, core.Options{Batch: core.BatchOff})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func TestShapeRowReuseIsTheMechanism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	on, err := core.Solve(g, core.ParAPSP, core.Options{})
+	on, err := core.Solve(g, core.ParAPSP, core.Options{Batch: core.BatchOff})
 	if err != nil {
 		t.Fatal(err)
 	}

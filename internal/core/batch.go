@@ -1,0 +1,354 @@
+package core
+
+import (
+	"sync"
+
+	"parapsp/internal/graph"
+	"parapsp/internal/kernel"
+	"parapsp/internal/matrix"
+	"parapsp/internal/obs"
+	"parapsp/internal/sched"
+)
+
+// The multi-source batch engine. The scalar solvers run one source at a
+// time, so a batch of B sources streams the whole CSR adjacency B times;
+// on the paper's unweighted power-law graphs the per-vertex work is
+// trivial and that edge scan is the bound. The batch engine amortizes it:
+//
+//   - Unweighted graphs run a bit-parallel MS-BFS (Then et al., VLDB
+//     2014): up to 64 sources share one uint64 lane word per vertex
+//     (visit/next/seen bitmaps), each BFS level sweeps the adjacency once
+//     for the whole batch, and finished levels are scattered into the
+//     per-source distance rows. BFS levels ARE the exact hop-count
+//     distances, so the result is bit-identical to the scalar solver's.
+//
+//   - Weighted graphs run a shared-sweep label-correcting SSSP: the B
+//     tentative distance vectors are stored lane-major (B contiguous
+//     entries per vertex), a lane bitmap marks which searches have each
+//     vertex in their frontier, and every sweep reads each active
+//     vertex's adjacency once while relaxing all its active lanes against
+//     the hot edge. The fixpoint of label correction is the unique
+//     shortest-distance vector, so this too matches the scalar solver
+//     exactly.
+//
+// Completed-row reuse (the fold mechanism) is deliberately OFF inside a
+// batch: a fold substitutes a finished row for a subtree expansion, but
+// inside a bit-parallel batch no row is finished until the whole batch
+// is, and folding one lane's row into another would break the lane
+// packing (each fold is a per-pair row sweep — exactly the scalar work
+// the batch exists to avoid). The batch's amortized edge scan replaces
+// what reuse bought; the dispatch policy keeps the scalar engine for the
+// regimes where reuse wins (tiny batches, tiny graphs, ablation runs).
+// DESIGN.md §9 develops this trade-off.
+
+// BatchMode selects the multi-source batch engine policy for Solve and
+// SolveSubset.
+type BatchMode int
+
+const (
+	// BatchAuto (the zero value) picks per graph: the batch engine when
+	// the solve uses a parallel algorithm, the batch is at least
+	// batchMinSources sources on a graph of at least batchMinVertices
+	// vertices, and no scalar-only option is set; the scalar engine
+	// otherwise. The sequential baselines (SeqBasic/SeqOptimized) never
+	// auto-batch — they exist to measure the paper's per-source work, and
+	// silently swapping their engine would change every number derived
+	// from them.
+	BatchAuto BatchMode = iota
+	// BatchOff always runs the scalar engine. The paper-reproduction
+	// experiments pin this so the measured mechanism stays the paper's.
+	BatchOff
+	// BatchForce runs the batch engine whenever it is legal (it still
+	// falls back to scalar for TrackPaths, the queue ablations, and
+	// SeqAdaptive, whose semantics are scalar by definition).
+	BatchForce
+)
+
+// String names the mode for reports.
+func (m BatchMode) String() string {
+	switch m {
+	case BatchAuto:
+		return "auto"
+	case BatchOff:
+		return "off"
+	case BatchForce:
+		return "force"
+	default:
+		return "batch-mode?"
+	}
+}
+
+const (
+	// batchLaneWidth is the number of sources packed per lane word.
+	batchLaneWidth = 64
+	// batchMinVertices and batchMinSources gate BatchAuto: below either,
+	// the scalar engine's frontier locality (and, across sources, its
+	// completed-row reuse) beats the batch's per-level word sweeps.
+	batchMinVertices = 1024
+	batchMinSources  = 8
+)
+
+// Engine names for SubsetResult.Engine and the serve layer's solver tag.
+const (
+	EngineScalar = "scalar"
+	EngineMSBFS  = "msbfs"
+	EngineSweep  = "sweep"
+)
+
+// batchLegal reports whether the batch engine can replace the scalar one
+// without changing observable semantics the caller opted into. The queue
+// ablations (PaperQueue/HeapQueue), the reuse ablation, path tracking and
+// the adaptive algorithm are scalar mechanisms by definition.
+func batchLegal(alg Algorithm, opts Options) bool {
+	return !opts.TrackPaths && !opts.PaperQueue && !opts.HeapQueue &&
+		!opts.DisableRowReuse && alg != SeqAdaptive
+}
+
+// useBatch applies the dispatch policy for a k-source solve on an
+// n-vertex graph with algorithm alg, assuming batchLegal already held.
+func useBatch(mode BatchMode, alg Algorithm, n, k int) bool {
+	switch mode {
+	case BatchOff:
+		return false
+	case BatchForce:
+		return true
+	default:
+		return alg >= ParAlg1 && k >= batchMinSources && n >= batchMinVertices
+	}
+}
+
+// engineName reports which batch engine a graph dispatches to.
+func engineName(g *graph.Graph) string {
+	if g.Weighted() {
+		return EngineSweep
+	}
+	return EngineMSBFS
+}
+
+// batchScratch is the per-worker arena of the batch engine: the three
+// lane bitmaps of MS-BFS (visit/next double-buffer plus seen), the
+// lane-major distance block of the weighted sweep, and the row-pointer
+// buffer. It is pooled across batches and across solves (batchPool), so
+// steady-state serving traffic allocates nothing on the batch path — the
+// zero-alloc test in batch_test.go pins that.
+//
+// Invariant: between runs, visit and next are all-zero (both engines
+// clear frontier words as they consume them and terminate with an empty
+// frontier); seen and dist are dirty and re-initialized per run.
+type batchScratch struct {
+	n     int
+	visit []uint64
+	next  []uint64
+	seen  []uint64
+	dist  []matrix.Dist // lane-major weighted distances, cap grows to n*batch
+	rows  [][]matrix.Dist
+}
+
+var batchPool sync.Pool
+
+// getBatchScratch takes a scratch from the pool, (re)sizing it for an
+// n-vertex graph. Steady-state (same n) gets take zero allocations.
+func getBatchScratch(n int) *batchScratch {
+	sc, _ := batchPool.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{rows: make([][]matrix.Dist, 0, batchLaneWidth)}
+	}
+	if sc.n < n {
+		sc.visit = make([]uint64, n)
+		sc.next = make([]uint64, n)
+		sc.seen = make([]uint64, n)
+		sc.n = n
+	}
+	return sc
+}
+
+func putBatchScratch(sc *batchScratch) {
+	sc.rows = sc.rows[:0]
+	batchPool.Put(sc)
+}
+
+// msbfs runs one bit-parallel BFS batch: sources[i]'s distances land in
+// rows[i], which must be Inf-initialized (diagonal included — msbfs
+// writes the 0). len(sources) must be at most batchLaneWidth. Returns the
+// number of level-synchronous sweeps.
+func (sc *batchScratch) msbfs(g *graph.Graph, sources []int32, rows [][]matrix.Dist, st *Counters) int64 {
+	n := g.N()
+	visit, next, seen := sc.visit[:n], sc.next[:n], sc.seen[:n]
+	for i := range seen {
+		seen[i] = 0
+	}
+	for i, s := range sources {
+		bit := uint64(1) << uint(i)
+		visit[s] |= bit
+		seen[s] |= bit
+		rows[i][s] = 0
+	}
+	var levels int64
+	for level := matrix.Dist(1); ; level++ {
+		// One adjacency sweep advances every packed search one level.
+		// Consuming visit words as we go keeps the double buffer clean
+		// for the swap (see the scratch invariant).
+		for v := 0; v < n; v++ {
+			lanes := visit[v]
+			if lanes == 0 {
+				continue
+			}
+			visit[v] = 0
+			adj := g.Neighbors(int32(v))
+			st.EdgeScans += int64(len(adj))
+			kernel.OrLanes(next, adj, lanes)
+		}
+		if !kernel.AndnNewBits(next, seen) {
+			break // no lane discovered a new vertex: all BFS done
+		}
+		levels++
+		st.BatchScattered += kernel.ScatterLevel(next, rows, level)
+		visit, next = next, visit
+	}
+	return levels
+}
+
+// sweepSSSP runs one shared-sweep weighted batch: a level-synchronous
+// label-correcting relaxation of all len(sources) searches over a
+// lane-major distance block, one adjacency read per active vertex per
+// sweep regardless of how many lanes are active on it. rows[i] must be
+// Inf-initialized; distances are transposed into rows on convergence.
+// Returns the number of sweeps.
+func (sc *batchScratch) sweepSSSP(g *graph.Graph, sources []int32, rows [][]matrix.Dist, st *Counters) int64 {
+	n := g.N()
+	b := len(sources)
+	if cap(sc.dist) < n*b {
+		sc.dist = make([]matrix.Dist, n*b)
+	}
+	dist := sc.dist[:n*b]
+	for i := range dist {
+		dist[i] = matrix.Inf
+	}
+	active, nextAct := sc.visit[:n], sc.next[:n]
+	for i, s := range sources {
+		dist[int(s)*b+i] = 0
+		active[s] |= 1 << uint(i)
+	}
+	var sweeps int64
+	for {
+		any := false
+		for v := 0; v < n; v++ {
+			lanes := active[v]
+			if lanes == 0 {
+				continue
+			}
+			active[v] = 0
+			adj, w := g.NeighborsW(int32(v))
+			st.EdgeScans += int64(len(adj))
+			dv := dist[v*b : v*b+b : v*b+b]
+			for j, u := range adj {
+				du := dist[int(u)*b : int(u)*b+b : int(u)*b+b]
+				if improved := kernel.RelaxLanes(du, dv, w[j], lanes); improved != 0 {
+					nextAct[u] |= improved
+					any = true
+				}
+			}
+		}
+		if !any {
+			break
+		}
+		sweeps++
+		active, nextAct = nextAct, active
+	}
+	// Transpose the lane-major block into the row-major destination rows
+	// (write-sequential per row; the strided reads stay in cache because
+	// consecutive v share lines).
+	for i := range sources {
+		row := rows[i]
+		for v := 0; v < n; v++ {
+			row[v] = dist[v*b+i]
+		}
+		st.BatchScattered += int64(n)
+	}
+	return sweeps
+}
+
+// runBatches partitions the ordered sources into lane-width batches and
+// runs them under the scheduler, one batch per iteration, with pooled
+// per-worker scratch. rowFor returns the Inf-initialized destination row
+// of the i-th source; finish is called for each source index after its
+// batch completes (the full solver summarizes rows there; nil skips it).
+// With a recorder, each batch records a batch-sweep span on its worker's
+// lane (Index = batch ordinal, Arg = sweep count).
+func runBatches(g *graph.Graph, sources []int32, rowFor func(int) []matrix.Dist, finish func(int), workers int, rec *obs.Recorder) Counters {
+	k := len(sources)
+	nb := (k + batchLaneWidth - 1) / batchLaneWidth
+	weighted := g.Weighted()
+	scratches := make([]*batchScratch, workers)
+	counters := make([]Counters, workers)
+	sched.ParallelWorkersObs(nb, workers, sched.DynamicCyclic, rec, func(w, bi int) {
+		lo := bi * batchLaneWidth
+		hi := lo + batchLaneWidth
+		if hi > k {
+			hi = k
+		}
+		sc := scratches[w]
+		if sc == nil {
+			sc = getBatchScratch(g.N())
+			scratches[w] = sc
+		}
+		rows := sc.rows[:0]
+		for i := lo; i < hi; i++ {
+			rows = append(rows, rowFor(i))
+		}
+		sc.rows = rows
+		st := &counters[w]
+		var t0 int64
+		if rec != nil {
+			t0 = rec.Now()
+		}
+		var sweeps int64
+		if weighted {
+			sweeps = sc.sweepSSSP(g, sources[lo:hi], rows, st)
+		} else {
+			sweeps = sc.msbfs(g, sources[lo:hi], rows, st)
+		}
+		st.Batches++
+		st.BatchSources += int64(hi - lo)
+		st.BatchSweeps += sweeps
+		if rec != nil {
+			rec.Lane(w).Add(obs.Event{Phase: obs.PhaseBatchSweep,
+				Start: t0, End: rec.Now(), Index: int64(bi), Arg: sweeps})
+		}
+		if finish != nil {
+			for i := lo; i < hi; i++ {
+				finish(i)
+			}
+		}
+	})
+	var total Counters
+	for w, sc := range scratches {
+		if sc != nil {
+			putBatchScratch(sc)
+		}
+		total.Add(counters[w])
+	}
+	return total
+}
+
+// runBatchSolve is the batch engine behind the full Solve: every source's
+// row of D, in src order (nil = identity), batched lane-width at a time.
+// Rows are summarized on completion exactly as the scalar solver does, so
+// downstream consumers of the matrix summaries see no difference.
+func runBatchSolve(g *graph.Graph, src []int32, D *matrix.Matrix, workers int, opts Options) Counters {
+	n := g.N()
+	sourceAt := func(i int) int32 {
+		if src != nil {
+			return src[i]
+		}
+		return int32(i)
+	}
+	sources := make([]int32, n)
+	for i := range sources {
+		sources[i] = sourceAt(i)
+	}
+	return runBatches(g, sources,
+		func(i int) []matrix.Dist { return D.Row(int(sources[i])) },
+		func(i int) { D.SummarizeRow(int(sources[i])) },
+		workers, opts.Obs)
+}

@@ -120,6 +120,11 @@ type Options struct {
 	// plain repeated label-correcting search. Ablation only: it isolates
 	// the benefit the paper credits for its hyper-linear speedup.
 	DisableRowReuse bool
+	// Batch selects the multi-source batch engine policy (see BatchMode).
+	// The zero value, BatchAuto, dispatches large multi-source solves to
+	// the bit-parallel MS-BFS / shared-sweep engine and keeps everything
+	// else on the scalar solvers; the result is identical either way.
+	Batch BatchMode
 	// MaxMemBytes, when non-zero, makes Solve fail instead of allocating
 	// a distance matrix larger than this bound. The paper's experiments
 	// are memory-gated (sx-superuser needs 160 GB); this is the guard.
@@ -171,6 +176,10 @@ type Result struct {
 	// Algorithm and Workers echo the configuration for reporting.
 	Algorithm Algorithm
 	Workers   int
+	// Engine names the solver that ran the SSSP phase: EngineScalar for
+	// the modified-Dijkstra solvers, EngineMSBFS / EngineSweep when the
+	// batch dispatch took the multi-source path.
+	Engine string
 }
 
 // Total returns the overall elapsed time (ordering + SSSP phases).
@@ -250,7 +259,20 @@ func Solve(g *graph.Graph, alg Algorithm, opts Options) (*Result, error) {
 		nh = newNextHop(n)
 	}
 	start = time.Now()
+	res.Engine = EngineScalar
 	runPhase(opts.Obs, alg, obs.PhaseSSSP, func() {
+		if batchLegal(alg, opts) && useBatch(opts.Batch, alg, n, n) {
+			// Multi-source batch dispatch: same distances, same source
+			// order, same row summaries — only the traversal engine
+			// changes. Sequential algorithms keep their single thread.
+			bw := workers
+			if alg == SeqBasic || alg == SeqOptimized {
+				bw = 1
+			}
+			res.Engine = engineName(g)
+			res.Stats = runBatchSolve(g, src, D, bw, opts)
+			return
+		}
 		switch alg {
 		case SeqBasic, SeqOptimized:
 			res.Stats = runSequential(g, src, D, nh, opts)

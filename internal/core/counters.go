@@ -39,6 +39,16 @@ type Counters struct {
 	// Enqueues is the number of queue insertions (excluding sources),
 	// counting both the vertex FIFO and the pending-fold queue.
 	Enqueues int64
+	// Batches is the number of multi-source batches the batch engine ran;
+	// BatchSources the sources packed into them (so BatchSources/Batches
+	// is the mean lane occupancy), BatchSweeps the level-synchronous
+	// sweeps summed over batches, and BatchScattered the distance entries
+	// written out of lane form (frontier discoveries for MS-BFS, row
+	// transposes for the weighted sweep). All zero on the scalar engine.
+	Batches        int64
+	BatchSources   int64
+	BatchSweeps    int64
+	BatchScattered int64
 }
 
 // Add accumulates o into c.
@@ -52,6 +62,10 @@ func (c *Counters) Add(o Counters) {
 	c.EdgeScans += o.EdgeScans
 	c.EdgeUpdates += o.EdgeUpdates
 	c.Enqueues += o.Enqueues
+	c.Batches += o.Batches
+	c.BatchSources += o.BatchSources
+	c.BatchSweeps += o.BatchSweeps
+	c.BatchScattered += o.BatchScattered
 }
 
 // PublishMetrics copies the solve's work counters and phase timings into
@@ -71,6 +85,10 @@ func (r *Result) PublishMetrics(m *obs.Metrics) {
 	m.Counter("core.edge_scans").Add(c.EdgeScans)
 	m.Counter("core.edge_updates").Add(c.EdgeUpdates)
 	m.Counter("core.enqueues").Add(c.Enqueues)
+	m.Counter("core.batch.batches").Add(c.Batches)
+	m.Counter("core.batch.sources").Add(c.BatchSources)
+	m.Counter("core.batch.sweeps").Add(c.BatchSweeps)
+	m.Counter("core.batch.scattered").Add(c.BatchScattered)
 	if r.D != nil {
 		m.Counter("core.sources").Add(int64(r.D.N()))
 	}

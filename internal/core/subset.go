@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"parapsp/internal/graph"
 	"parapsp/internal/kernel"
@@ -18,9 +19,13 @@ type SubsetResult struct {
 	// Sources are the solved source vertices, in the order their rows
 	// appear.
 	Sources []int32
-	rowIdx  map[int32]int
-	n       int
-	rows    []matrix.Dist // len(Sources) * n, row-major
+	// Engine names the solver that produced the rows: EngineScalar for
+	// the per-source modified Dijkstra, EngineMSBFS / EngineSweep for the
+	// multi-source batch engine. The rows are identical either way.
+	Engine string
+	rowIdx map[int32]int
+	n      int
+	rows   []matrix.Dist // len(Sources) * n, row-major
 }
 
 // Row returns the distance row of source s (aliasing internal storage),
@@ -45,6 +50,15 @@ func (r *SubsetResult) At(s, v int32) matrix.Dist {
 
 // MemBytes reports the payload size of the subset rows.
 func (r *SubsetResult) MemBytes() uint64 { return uint64(len(r.rows)) * 4 }
+
+// Batched reports whether the multi-source batch engine produced the rows.
+func (r *SubsetResult) Batched() bool { return r.Engine != EngineScalar }
+
+// Checksum hashes every row in source order — comparable across engines
+// (and against matrix.ChecksumDists of the same rows concatenated), so the
+// differential tests and the batch benchmark can assert byte-identical
+// solutions without keeping both row sets alive.
+func (r *SubsetResult) Checksum() uint64 { return matrix.ChecksumDists(r.rows) }
 
 // SolveSubset computes exact single-source rows for the given sources only,
 // with the same modified-Dijkstra + row-reuse machinery as the full solver:
@@ -96,17 +110,57 @@ func SolveSubset(g *graph.Graph, sources []int32, opts Options) (*SubsetResult, 
 	}
 
 	workers := sched.Workers(opts.Workers)
+	if batchLegal(ParAPSP, opts) && useBatch(opts.Batch, ParAPSP, n, k) {
+		// Multi-source batch dispatch: lane-width groups of subset rows
+		// solved by one shared traversal each. Completed-row reuse does
+		// not cross batch groups (see batch.go); the rows are identical.
+		res.Engine = engineName(g)
+		runBatches(g, uniq,
+			func(i int) []matrix.Dist { return res.rows[i*n : (i+1)*n] },
+			nil, workers, opts.Obs)
+		return res, nil
+	}
+	res.Engine = EngineScalar
 	f := newFlags(n)
 	scratches := make([]*scratch, workers)
 	sched.ParallelWorkers(k, workers, sched.DynamicCyclic, func(w, i int) {
 		sc := scratches[w]
 		if sc == nil {
-			sc = newScratch(n)
+			sc = getScratch(n)
 			scratches[w] = sc
 		}
 		subsetDijkstra(g, uniq[i], res, f, sc, opts)
 	})
+	for _, sc := range scratches {
+		if sc != nil {
+			putScratch(sc)
+		}
+	}
 	return res, nil
+}
+
+// scratchPool recycles scalar per-worker scratch across SolveSubset calls,
+// so a serving process answering a steady stream of subset queries does
+// not reallocate the O(n) queue state per request. The search loop leaves
+// queue empty and inQueue all-false on completion, so a pooled scratch
+// only needs its stats and obs hooks cleared.
+var scratchPool sync.Pool
+
+func getScratch(n int) *scratch {
+	sc, _ := scratchPool.Get().(*scratch)
+	if sc == nil {
+		return newScratch(n)
+	}
+	if len(sc.inQueue) < n {
+		sc.inQueue = make([]bool, n)
+	}
+	return sc
+}
+
+func putScratch(sc *scratch) {
+	sc.stats = Counters{}
+	sc.obsRec, sc.obsLane = nil, nil
+	scratchPool.Put(sc)
 }
 
 // subsetDijkstra is the modified Dijkstra over a SubsetResult: identical to

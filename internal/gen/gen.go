@@ -408,6 +408,35 @@ func PowerLawConfiguration(n int, gamma float64, minDeg int, undirected bool, se
 	return buildEdges(n, undirected, pairs, w, rng)
 }
 
+// Grid2D returns a rows×cols lattice with 4-neighbor connectivity: the
+// structured antithesis of the power-law generators. Grids have uniform
+// degree and Θ(rows+cols) diameter, so BFS frontiers stay narrow for many
+// levels — the adversarial regime for batched level-synchronous solvers,
+// which is exactly why the batch benchmark measures them alongside
+// power-law graphs. Vertex (r,c) is id r*cols+c.
+func Grid2D(rows, cols int, undirected bool, seed int64, w Weighting) (*graph.Graph, error) {
+	if rows < 0 || cols < 0 || (rows > 0 && cols > math.MaxInt32/rows) {
+		return nil, fmt.Errorf("%w: grid %dx%d", ErrParams, rows, cols)
+	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([][2]int32, 0, 2*rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := int32(r*cols + c)
+			if c+1 < cols {
+				pairs = append(pairs, [2]int32{v, v + 1})
+			}
+			if r+1 < rows {
+				pairs = append(pairs, [2]int32{v, v + int32(cols)})
+			}
+		}
+	}
+	return buildEdges(rows*cols, undirected, pairs, w, rng)
+}
+
 // Relabel returns a copy of g with vertex ids renamed by a uniform random
 // permutation. Growth models like preferential attachment put the oldest —
 // and therefore highest-degree — vertices at the lowest ids, so an

@@ -68,3 +68,69 @@ func decodeDist(raw uint32) matrix.Dist {
 		return matrix.Dist(raw / 8)
 	}
 }
+
+// FuzzAndnNewBits asserts AndnNewBits == AndnNewBitsRef on arbitrary
+// next/seen word pairs decoded from the fuzzer's byte stream, covering
+// the blocked body and the tail loop at every length.
+func FuzzAndnNewBits(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(make([]byte, 16*17)) // 17 word pairs: one past two blocks
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 16
+		next := make([]uint64, n)
+		seen := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			next[i] = binary.LittleEndian.Uint64(data[i*16:])
+			seen[i] = binary.LittleEndian.Uint64(data[i*16+8:])
+		}
+		wantNext := append([]uint64(nil), next...)
+		wantSeen := append([]uint64(nil), seen...)
+		wantAny := AndnNewBitsRef(wantNext, wantSeen)
+		if gotAny := AndnNewBits(next, seen); gotAny != wantAny {
+			t.Fatalf("any = %v, ref %v", gotAny, wantAny)
+		}
+		for i := 0; i < n; i++ {
+			if next[i] != wantNext[i] || seen[i] != wantSeen[i] {
+				t.Fatalf("word %d diverged: next %x/%x seen %x/%x",
+					i, next[i], wantNext[i], seen[i], wantSeen[i])
+			}
+		}
+	})
+}
+
+// FuzzRelaxLanes asserts RelaxLanes == RelaxLanesRef on arbitrary
+// lane-major blocks, with the decoder biasing distances toward the
+// saturation boundary where the branchless add could diverge.
+func FuzzRelaxLanes(f *testing.F) {
+	f.Add([]byte{}, uint32(1), uint64(0))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 0, 0, 0}, uint32(1), ^uint64(0))
+	f.Add(make([]byte, 8*64), uint32(0xFFFFFFFE), uint64(0xAAAAAAAAAAAAAAAA))
+	f.Fuzz(func(t *testing.T, data []byte, w32 uint32, lanes uint64) {
+		du := make([]matrix.Dist, 64)
+		dv := make([]matrix.Dist, 64)
+		for i := 0; i < 64; i++ {
+			if i*8+8 <= len(data) {
+				du[i] = decodeDist(binary.LittleEndian.Uint32(data[i*8:]))
+				dv[i] = decodeDist(binary.LittleEndian.Uint32(data[i*8+4:]))
+			} else {
+				du[i] = matrix.Inf
+				dv[i] = matrix.Dist(i)
+			}
+		}
+		w := decodeDist(w32)
+		if w == 0 {
+			w = 1 // graph weights are positive
+		}
+		wantDu := append([]matrix.Dist(nil), du...)
+		wantOut := RelaxLanesRef(wantDu, dv, w, lanes)
+		if gotOut := RelaxLanes(du, dv, w, lanes); gotOut != wantOut {
+			t.Fatalf("out = %x, ref %x (w=%d lanes=%x)", gotOut, wantOut, w, lanes)
+		}
+		for i := range du {
+			if du[i] != wantDu[i] {
+				t.Fatalf("du[%d] = %d, ref %d", i, du[i], wantDu[i])
+			}
+		}
+	})
+}

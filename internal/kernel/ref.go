@@ -61,3 +61,56 @@ func RelaxWeightedRef(row []matrix.Dist, adj []int32, w []matrix.Dist, base matr
 	}
 	return improved
 }
+
+// OrLanesRef is the scalar reference for OrLanes.
+func OrLanesRef(next []uint64, adj []int32, lanes uint64) {
+	for _, u := range adj {
+		next[u] = next[u] | lanes
+	}
+}
+
+// AndnNewBitsRef is the scalar reference for AndnNewBits: the per-word
+// loop with an early boolean instead of the blocked accumulator.
+func AndnNewBitsRef(next, seen []uint64) bool {
+	any := false
+	for i := range next {
+		nw := next[i] &^ seen[i]
+		next[i] = nw
+		seen[i] |= nw
+		if nw != 0 {
+			any = true
+		}
+	}
+	return any
+}
+
+// ScatterLevelRef is the scalar reference for ScatterLevel: a plain
+// bit-test loop over all 64 lanes of every word.
+func ScatterLevelRef(newBits []uint64, rows [][]matrix.Dist, level matrix.Dist) int64 {
+	var wrote int64
+	for v, w := range newBits {
+		for b := 0; b < 64; b++ {
+			if w&(1<<b) != 0 {
+				rows[b][v] = level
+				wrote++
+			}
+		}
+	}
+	return wrote
+}
+
+// RelaxLanesRef is the scalar reference for RelaxLanes: the bit-test loop
+// with matrix.AddSat per lane.
+func RelaxLanesRef(du, dv []matrix.Dist, w matrix.Dist, lanes uint64) uint64 {
+	var out uint64
+	for b := 0; b < 64; b++ {
+		if lanes&(1<<b) == 0 {
+			continue
+		}
+		if nd := matrix.AddSat(dv[b], w); nd < du[b] {
+			du[b] = nd
+			out |= 1 << b
+		}
+	}
+	return out
+}

@@ -245,6 +245,14 @@ func (m *Matrix) Checksum() uint64 {
 	return checksumDist(offset, m.data)
 }
 
+// ChecksumDists is Checksum over a bare distance slice, for row sets that
+// live outside a Matrix (subset solves): the same FNV-1a chain, so a
+// subset row checksums identically to the matching matrix row region.
+func ChecksumDists(s []Dist) uint64 {
+	const offset = 14695981039346656037
+	return checksumDist(offset, s)
+}
+
 // String renders small matrices for debugging; large matrices are
 // summarized to avoid accidental multi-gigabyte strings.
 func (m *Matrix) String() string {

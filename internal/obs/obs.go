@@ -56,6 +56,10 @@ const (
 	// PhaseFoldDrain is one batched fold drain inside a search: Index is
 	// the loop index of the running source, Arg the batch length.
 	PhaseFoldDrain
+	// PhaseBatchSweep is one multi-source batch solved by the batch
+	// engine (MS-BFS or shared-sweep SSSP): Index is the batch ordinal,
+	// Arg the number of level/relaxation sweeps it took.
+	PhaseBatchSweep
 )
 
 // String returns the trace-event name of the phase.
@@ -73,6 +77,8 @@ func (p Phase) String() string {
 		return "sssp"
 	case PhaseFoldDrain:
 		return "fold-drain"
+	case PhaseBatchSweep:
+		return "batch-sweep"
 	default:
 		return "phase?"
 	}

@@ -17,6 +17,11 @@ import (
 // bodies into a read error, which parses as a 400.
 const maxBodyBytes = 1 << 20
 
+// solverHeader reports which machinery answered a query request:
+// "batch" (multi-source batch engine), "scalar" (per-source subset
+// solver), or "cache" (no solve ran). See the Solver* constants.
+const solverHeader = "X-Parapsp-Solver"
+
 // httpServerRef holds the http.Server behind a Serve call so Shutdown can
 // reach it from another goroutine.
 type httpServerRef struct {
@@ -126,11 +131,12 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, err)
 			return
 		}
-		ans, err := s.Dist(r.Context(), u, v, tol)
+		ans, kind, err := s.DistKind(r.Context(), u, v, tol)
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
+		w.Header().Set(solverHeader, kind)
 		writeJSON(w, http.StatusOK, ans)
 	})
 }
@@ -148,11 +154,12 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, err)
 			return
 		}
-		path, ans, err := s.Path(r.Context(), u, v)
+		path, ans, kind, err := s.PathKind(r.Context(), u, v)
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
+		w.Header().Set(solverHeader, kind)
 		body := pathBody{Answer: ans, Path: path, Hops: len(path) - 1}
 		if path == nil {
 			body.Path = []int32{}
@@ -183,11 +190,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, err)
 			return
 		}
-		as, err := s.Batch(r.Context(), qs, tol)
+		as, kind, err := s.BatchKind(r.Context(), qs, tol)
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
+		w.Header().Set(solverHeader, kind)
 		writeJSON(w, http.StatusOK, batchBody{Answers: as})
 	})
 }

@@ -65,6 +65,11 @@ type Config struct {
 	// RequestTimeout is the per-request context deadline applied when the
 	// caller's context has none (default 30s).
 	RequestTimeout time.Duration
+	// Batch is the core.BatchMode handed to every subset solve. The zero
+	// value (BatchAuto) routes cache-cold multi-source requests on large
+	// graphs through the multi-source batch engine and everything else
+	// through the scalar solver; BatchOff pins the scalar solver.
+	Batch core.BatchMode
 	// Metrics is the registry the server publishes its counters into
 	// (serve.*); nil creates a private registry.
 	Metrics *obs.Metrics
@@ -101,6 +106,7 @@ func (c Config) withDefaults() Config {
 type metrics struct {
 	lookups, hits, misses, coalesced, evictions *obs.Counter
 	solves, solvedRows                          *obs.Counter
+	batchSolves, scalarSolves                   *obs.Counter
 	requests, throttled, timeouts, badRequests  *obs.Counter
 	exact, approx, refines                      *obs.Counter
 }
@@ -114,6 +120,11 @@ func newServeMetrics(reg *obs.Metrics) *metrics {
 		evictions:   reg.Counter("serve.cache.evictions"),
 		solves:      reg.Counter("serve.solve.batches"),
 		solvedRows:  reg.Counter("serve.solve.rows"),
+		// serve.solve.batch/scalar split serve.solve.batches by the core
+		// engine that ran the subset solve, so cache-cold batch wins are
+		// visible in the serving metrics without a trace.
+		batchSolves:  reg.Counter("serve.solve.batch"),
+		scalarSolves: reg.Counter("serve.solve.scalar"),
 		requests:    reg.Counter("serve.requests"),
 		throttled:   reg.Counter("serve.throttled"),
 		timeouts:    reg.Counter("serve.timeouts"),
@@ -255,6 +266,16 @@ func (s *Server) checkVertex(v int32) error {
 	return nil
 }
 
+// Solver-kind values reported per request via the X-Parapsp-Solver header
+// and the return of the *Kind query variants: which machinery produced the
+// answers — the multi-source batch engine, the scalar subset solver, or no
+// solver at all (cache hits, oracle bounds, and trivial u==v queries).
+const (
+	SolverBatch  = "batch"
+	SolverScalar = "scalar"
+	SolverCache  = "cache"
+)
+
 // Dist answers a single distance query; tol > 0 permits an approximate
 // answer from the oracle bounds when the cache is cold (see Batch).
 func (s *Server) Dist(ctx context.Context, u, v int32, tol float64) (Answer, error) {
@@ -263,6 +284,15 @@ func (s *Server) Dist(ctx context.Context, u, v int32, tol float64) (Answer, err
 		return Answer{}, err
 	}
 	return as[0], nil
+}
+
+// DistKind is Dist plus the solver kind that produced the answer.
+func (s *Server) DistKind(ctx context.Context, u, v int32, tol float64) (Answer, string, error) {
+	as, kind, err := s.BatchKind(ctx, []Query{{U: u, V: v}}, tol)
+	if err != nil {
+		return Answer{}, "", err
+	}
+	return as[0], kind, nil
 }
 
 // Batch answers a group of queries in one admission. The sources of all
@@ -276,26 +306,34 @@ func (s *Server) Dist(ctx context.Context, u, v int32, tol float64) (Answer, err
 // exact refinement of the source row is scheduled in the background for
 // subsequent queries. tol must be finite and >= 0.
 func (s *Server) Batch(ctx context.Context, qs []Query, tol float64) ([]Answer, error) {
+	as, _, err := s.BatchKind(ctx, qs, tol)
+	return as, err
+}
+
+// BatchKind is Batch plus the solver kind of the request: SolverBatch or
+// SolverScalar when a subset solve ran for the cache-missing sources,
+// SolverCache when every query was answered without one.
+func (s *Server) BatchKind(ctx context.Context, qs []Query, tol float64) ([]Answer, string, error) {
 	if len(qs) == 0 {
-		return nil, fmt.Errorf("serve: empty batch")
+		return nil, "", fmt.Errorf("serve: empty batch")
 	}
 	if len(qs) > s.cfg.MaxBatch {
-		return nil, fmt.Errorf("serve: batch of %d exceeds limit %d", len(qs), s.cfg.MaxBatch)
+		return nil, "", fmt.Errorf("serve: batch of %d exceeds limit %d", len(qs), s.cfg.MaxBatch)
 	}
 	if math.IsNaN(tol) || math.IsInf(tol, 0) || tol < 0 {
-		return nil, fmt.Errorf("serve: invalid tolerance %g", tol)
+		return nil, "", fmt.Errorf("serve: invalid tolerance %g", tol)
 	}
 	for _, q := range qs {
 		if err := s.checkVertex(q.U); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		if err := s.checkVertex(q.V); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 	}
 	release, err := s.admit()
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer release()
 	ctx, cancel := s.withDeadline(ctx)
@@ -327,18 +365,20 @@ func (s *Server) Batch(ctx context.Context, qs []Query, tol float64) ([]Answer, 
 		needSrc = append(needSrc, q.U)
 		pending = append(pending, i)
 	}
+	kind := SolverCache
 	if len(needSrc) > 0 {
-		rows, err := s.rows(ctx, needSrc)
+		rows, solveKind, err := s.rows(ctx, needSrc)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
+		kind = solveKind
 		for _, i := range pending {
 			q := qs[i]
 			out[i] = exactAnswer(q, rows[q.U][q.V])
 			s.m.exact.Add(1)
 		}
 	}
-	return out, nil
+	return out, kind, nil
 }
 
 func exactAnswer(q Query, d matrix.Dist) Answer {
@@ -361,17 +401,27 @@ func distToJSON(d matrix.Dist) int64 {
 // rows resolves the distance rows of the given sources through the cache:
 // sources this caller owns are solved in one subset batch, sources pending
 // under another request are waited on. The returned rows are immutable
-// shared snapshots.
-func (s *Server) rows(ctx context.Context, sources []int32) (map[int32][]matrix.Dist, error) {
+// shared snapshots. The kind reports which solver ran: SolverBatch or
+// SolverScalar when this caller owned sources, SolverCache when every
+// source was already resident or pending under another request.
+func (s *Server) rows(ctx context.Context, sources []int32) (map[int32][]matrix.Dist, string, error) {
+	kind := SolverCache
 	acq := s.cache.acquire(sources, s.m)
 	if len(acq.owned) > 0 {
-		sub, err := core.SolveSubset(s.g, acq.owned, core.Options{Workers: s.cfg.Workers})
+		sub, err := core.SolveSubset(s.g, acq.owned, core.Options{Workers: s.cfg.Workers, Batch: s.cfg.Batch})
 		if err != nil {
 			s.cache.fulfill(acq.owned, nil, err, s.m)
-			return nil, err
+			return nil, "", err
 		}
 		s.m.solves.Add(1)
 		s.m.solvedRows.Add(int64(len(acq.owned)))
+		if sub.Batched() {
+			kind = SolverBatch
+			s.m.batchSolves.Add(1)
+		} else {
+			kind = SolverScalar
+			s.m.scalarSolves.Add(1)
+		}
 		s.cache.fulfill(acq.owned, func(src int32) []matrix.Dist {
 			// Copy out of the SubsetResult so the cache retains only the
 			// rows it wants, not the whole k*n block.
@@ -394,15 +444,15 @@ func (s *Server) rows(ctx context.Context, sources []int32) (map[int32][]matrix.
 		select {
 		case <-e.ready:
 			if e.err != nil {
-				return nil, e.err
+				return nil, "", e.err
 			}
 			acq.rows[e.src] = e.row
 		case <-ctx.Done():
 			s.m.timeouts.Add(1)
-			return nil, ctx.Err()
+			return nil, "", ctx.Err()
 		}
 	}
-	return acq.rows, nil
+	return acq.rows, kind, nil
 }
 
 // refineAsync schedules an exact solve of src's row so that future queries
@@ -431,7 +481,7 @@ func (s *Server) refineAsync(src int32) {
 		defer func() { <-s.sem }()
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 		defer cancel()
-		if _, err := s.rows(ctx, []int32{src}); err == nil {
+		if _, _, err := s.rows(ctx, []int32{src}); err == nil {
 			s.m.refines.Add(1)
 		}
 	}()
@@ -442,28 +492,34 @@ func (s *Server) refineAsync(src int32) {
 // u's distance row by walking predecessors over the reverse adjacency, so
 // they need no O(n^2) next-hop matrix.
 func (s *Server) Path(ctx context.Context, u, v int32) ([]int32, Answer, error) {
+	path, ans, _, err := s.PathKind(ctx, u, v)
+	return path, ans, err
+}
+
+// PathKind is Path plus the solver kind that resolved u's distance row.
+func (s *Server) PathKind(ctx context.Context, u, v int32) ([]int32, Answer, string, error) {
 	if err := s.checkVertex(u); err != nil {
-		return nil, Answer{}, err
+		return nil, Answer{}, "", err
 	}
 	if err := s.checkVertex(v); err != nil {
-		return nil, Answer{}, err
+		return nil, Answer{}, "", err
 	}
 	release, err := s.admit()
 	if err != nil {
-		return nil, Answer{}, err
+		return nil, Answer{}, "", err
 	}
 	defer release()
 	ctx, cancel := s.withDeadline(ctx)
 	defer cancel()
-	rows, err := s.rows(ctx, []int32{u})
+	rows, kind, err := s.rows(ctx, []int32{u})
 	if err != nil {
-		return nil, Answer{}, err
+		return nil, Answer{}, "", err
 	}
 	row := rows[u]
 	ans := exactAnswer(Query{U: u, V: v}, row[v])
 	s.m.exact.Add(1)
 	path := reconstructPath(s.tr, row, u, v)
-	return path, ans, nil
+	return path, ans, kind, nil
 }
 
 // Shutdown drains the server: new work is refused with ErrClosed, the

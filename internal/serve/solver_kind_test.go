@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"parapsp/internal/core"
+)
+
+// The solver-kind surface: every query reports whether the multi-source
+// batch engine, the scalar subset solver, or the cache answered it —
+// through the *Kind API variants, the X-Parapsp-Solver header, and the
+// serve.solve.batch/scalar counters.
+
+func TestSolverKindAPI(t *testing.T) {
+	g := testGraph(t, 150, 21)
+	s := newTestServer(t, g, Config{Workers: 2, Landmarks: -1, Batch: core.BatchForce})
+	ctx := context.Background()
+
+	_, kind, err := s.DistKind(ctx, 3, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != SolverBatch {
+		t.Fatalf("cold DistKind under BatchForce: kind %q, want %q", kind, SolverBatch)
+	}
+	if _, kind, err = s.DistKind(ctx, 3, 10, 0); err != nil || kind != SolverCache {
+		t.Fatalf("warm DistKind: kind %q err %v, want %q", kind, err, SolverCache)
+	}
+	if _, _, kind, err := s.PathKind(ctx, 3, 10); err != nil || kind != SolverCache {
+		t.Fatalf("warm PathKind: kind %q err %v, want %q", kind, err, SolverCache)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap["serve.solve.batch"] != 1 || snap["serve.solve.scalar"] != 0 {
+		t.Fatalf("engine counters batch=%d scalar=%d, want 1/0",
+			snap["serve.solve.batch"], snap["serve.solve.scalar"])
+	}
+
+	// A scalar-pinned server reports scalar on the same cold query.
+	s2 := newTestServer(t, g, Config{Workers: 2, Landmarks: -1, Batch: core.BatchOff})
+	if _, kind, err := s2.DistKind(ctx, 3, 9, 0); err != nil || kind != SolverScalar {
+		t.Fatalf("cold DistKind under BatchOff: kind %q err %v, want %q", kind, err, SolverScalar)
+	}
+	if got := s2.Metrics().Snapshot()["serve.solve.scalar"]; got != 1 {
+		t.Fatalf("serve.solve.scalar = %d, want 1", got)
+	}
+}
+
+func TestSolverKindHeader(t *testing.T) {
+	g := testGraph(t, 150, 22)
+	s := newTestServer(t, g, Config{Workers: 2, Landmarks: -1, Batch: core.BatchForce})
+	h := s.Handler()
+
+	get := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", url, rec.Code, rec.Body.String())
+		}
+		return rec
+	}
+
+	if got := get("/dist?u=5&v=9").Header().Get(solverHeader); got != SolverBatch {
+		t.Fatalf("cold /dist header %q, want %q", got, SolverBatch)
+	}
+	if got := get("/dist?u=5&v=10").Header().Get(solverHeader); got != SolverCache {
+		t.Fatalf("warm /dist header %q, want %q", got, SolverCache)
+	}
+	if got := get("/path?u=5&v=9").Header().Get(solverHeader); got != SolverCache {
+		t.Fatalf("warm /path header %q, want %q", got, SolverCache)
+	}
+
+	// A cold /batch over several fresh sources solves them in one batch.
+	var body bytes.Buffer
+	fmt.Fprintf(&body, `{"queries":[{"u":20,"v":1},{"u":21,"v":1},{"u":22,"v":1}]}`)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/batch", &body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /batch: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(solverHeader); got != SolverBatch {
+		t.Fatalf("cold /batch header %q, want %q", got, SolverBatch)
+	}
+}

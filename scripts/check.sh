@@ -23,6 +23,9 @@ go test -race . ./internal/...
 echo "== kernel microbenchmarks (1 iteration, smoke)"
 go test -run '^$' -bench . -benchtime=1x ./internal/kernel/
 
+echo "== batch differential suite (batch engines vs scalar, race-enabled)"
+go test -race -run 'TestBatch' -count=1 ./internal/core/
+
 echo "== obs exporters (trace + metrics smoke, tiny scale)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
@@ -33,5 +36,9 @@ go run ./scripts/jsonok "$tmpdir/trace.json" "$tmpdir/metrics.json"
 echo "== serve bench (tiny scale, report JSON smoke)"
 go run ./cmd/apspbench -scale 0.1 -servejson "$tmpdir/serve.json"
 go run ./scripts/jsonok "$tmpdir/serve.json"
+
+echo "== batch bench (tiny scale, report JSON smoke; asserts batch == scalar checksums)"
+go run ./cmd/apspbench -scale 0.05 -batchjson "$tmpdir/batch.json"
+go run ./scripts/jsonok "$tmpdir/batch.json"
 
 echo "OK"
