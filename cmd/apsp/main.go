@@ -9,12 +9,14 @@
 //	apsp -in graph.txt -undirected -workers 8
 //	apsp -in social.txt.gz -undirected -top 20
 //	apsp -in roads.txt -weighted -algorithm ParAlg2
+//	apsp -in roads.txt -weighted -kernel delta
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"parapsp"
@@ -24,21 +26,20 @@ import (
 )
 
 func main() {
+	var lf gio.LoadFlags
+	lf.Register(flag.CommandLine, "in")
 	var (
-		in         = flag.String("in", "", "input graph file (required; .gz accepted for edge lists)")
-		format     = flag.String("format", "edgelist", "edgelist|mm|metis")
-		undirected = flag.Bool("undirected", false, "edge-list only: treat edges as undirected")
-		weighted   = flag.Bool("weighted", false, "read a third column as edge weight")
-		workers    = flag.Int("workers", 1, "parallel workers")
-		algorithm  = flag.String("algorithm", "ParAPSP", "seq-basic|seq-optimized|seq-adaptive|ParAlg1|ParAlg2|ParAPSP")
-		top        = flag.Int("top", 10, "how many central vertices to print")
-		pathQuery  = flag.String("path", "", "print a shortest path between two original vertex ids, e.g. -path 17,4025")
-		maxMem     = flag.Uint64("maxmem-mb", 8192, "distance-matrix memory bound in MiB")
-		trace      = flag.String("trace", "", "record the solve and write a Chrome trace_event JSON (load in Perfetto) to this path")
-		metrics    = flag.Bool("metrics", false, "record the solve and print its work/scheduler counters as JSON")
+		workers   = flag.Int("workers", 1, "parallel workers")
+		algorithm = flag.String("algorithm", "ParAPSP", "seq-basic|seq-optimized|seq-adaptive|ParAlg1|ParAlg2|ParAPSP")
+		kernelSel = flag.String("kernel", "", "pin the SSSP kernel: "+strings.Join(core.Kernels(), "|")+" (default: automatic)")
+		top       = flag.Int("top", 10, "how many central vertices to print")
+		pathQuery = flag.String("path", "", "print a shortest path between two original vertex ids, e.g. -path 17,4025")
+		maxMem    = flag.Uint64("maxmem-mb", 8192, "distance-matrix memory bound in MiB")
+		trace     = flag.String("trace", "", "record the solve and write a Chrome trace_event JSON (load in Perfetto) to this path")
+		metrics   = flag.Bool("metrics", false, "record the solve and print its work/scheduler counters as JSON")
 	)
 	flag.Parse()
-	if *in == "" {
+	if lf.Path == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -49,10 +50,11 @@ func main() {
 	}
 
 	start := time.Now()
-	g, labels, err := load(*in, *format, *undirected, *weighted)
+	loaded, err := lf.Load()
 	if err != nil {
 		fatal(err)
 	}
+	g, labels := loaded.Graph, loaded.Labels
 	fmt.Printf("loaded %v in %s\n", g, time.Since(start).Round(time.Millisecond))
 
 	if need := parapsp.EstimateMatrixBytes(g.N()); need > *maxMem<<20 {
@@ -69,6 +71,7 @@ func main() {
 	}
 	res, err := parapsp.SolveWith(g, alg, core.Options{
 		Workers:     *workers,
+		Kernel:      *kernelSel,
 		MaxMemBytes: *maxMem << 20,
 		TrackPaths:  *pathQuery != "",
 		Obs:         rec,
@@ -90,8 +93,8 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("APSP (%s, %d workers): ordering %s + sssp %s = %s\n",
-		res.Algorithm, res.Workers,
+	fmt.Printf("APSP (%s, kernel %s, %d workers): ordering %s + sssp %s = %s\n",
+		res.Algorithm, res.Kernel, res.Workers,
 		res.OrderingTime.Round(time.Microsecond),
 		res.SSSPTime.Round(time.Microsecond),
 		res.Total().Round(time.Microsecond))
@@ -169,29 +172,6 @@ func printPath(query string, g *parapsp.Graph, res *parapsp.Result, labels []int
 	}
 	fmt.Println()
 	return nil
-}
-
-// load reads the input graph in the selected format.
-func load(path, format string, undirected, weighted bool) (*parapsp.Graph, []int64, error) {
-	switch format {
-	case "edgelist":
-		return parapsp.LoadEdgeList(path, undirected, weighted)
-	case "mm", "metis":
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, nil, err
-		}
-		defer f.Close()
-		if format == "mm" {
-			return parapsp.ReadMatrixMarket(f)
-		}
-		res, err := gio.ReadMETIS(f)
-		if err != nil {
-			return nil, nil, err
-		}
-		return res.Graph, res.Labels, nil
-	}
-	return nil, nil, fmt.Errorf("unknown format %q", format)
 }
 
 // writeTrace dumps the recorder's merged events as a Chrome trace file.

@@ -6,6 +6,8 @@
 //	apspbench -list
 //	apspbench -exp fig8,fig9
 //	apspbench -exp all -scale 1.0 -threads 1,2,4,8,16 -runs 3
+//	apspbench -kerneljson BENCH_PR5.json
+//	apspbench -in roads.txt -weighted -kernel delta -trace trace.json
 //
 // Every experiment prints the paper's expected qualitative shape next to
 // the measured numbers; EXPERIMENTS.md records a full run.
@@ -21,9 +23,13 @@ import (
 	"strings"
 
 	"parapsp/internal/bench"
+	"parapsp/internal/core"
+	"parapsp/internal/gio"
 )
 
 func main() {
+	var lf gio.LoadFlags
+	lf.Register(flag.CommandLine, "in")
 	var (
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		exps    = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
@@ -32,7 +38,9 @@ func main() {
 		runs    = flag.Int("runs", 1, "repetitions per measurement (paper: 10)")
 		seed    = flag.Int64("seed", 42, "random seed for the synthetic datasets")
 		maxMem  = flag.Uint64("maxmem-mb", 4096, "distance-matrix memory bound in MiB")
+		kern    = flag.String("kernel", "", "pin the SSSP kernel of the -trace/-metrics solve: "+strings.Join(core.Kernels(), "|")+" (default: automatic)")
 		bjson   = flag.String("benchjson", "", "write the kernels experiment report as JSON to this path and exit")
+		kjson   = flag.String("kerneljson", "", "write the kernelcmp experiment report as JSON to this path and exit")
 		batchj  = flag.String("batchjson", "", "write the batch experiment report as JSON to this path and exit")
 		sjson   = flag.String("servejson", "", "write the serve experiment report as JSON to this path and exit")
 		trace   = flag.String("trace", "", "run one instrumented ParAPSP solve, write a Chrome trace_event JSON to this path, and exit")
@@ -57,6 +65,7 @@ func main() {
 		Runs:        *runs,
 		Seed:        *seed,
 		MaxMemBytes: *maxMem << 20,
+		Kernel:      *kern,
 	}
 
 	if *bjson != "" {
@@ -64,6 +73,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("wrote", *bjson)
+		return
+	}
+
+	if *kjson != "" {
+		if err := bench.WriteKernelCompareReport(*kjson, cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *kjson)
 		return
 	}
 
@@ -100,7 +117,17 @@ func main() {
 		if *metrics {
 			metricsW = os.Stdout
 		}
-		if err := bench.RunTraced(cfg, workers, traceW, metricsW); err != nil {
+		if lf.Path != "" {
+			// Trace a real graph file instead of the WordNet stand-in.
+			loaded, err := lf.Load()
+			if err != nil {
+				fatal(err)
+			}
+			err = bench.RunTracedOn(loaded.Graph, cfg, workers, traceW, metricsW)
+			if err != nil {
+				fatal(err)
+			}
+		} else if err := bench.RunTraced(cfg, workers, traceW, metricsW); err != nil {
 			fatal(err)
 		}
 		if *trace != "" {

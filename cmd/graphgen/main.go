@@ -43,6 +43,7 @@ func main() {
 		wmin      = flag.Uint("wmin", 0, "minimum edge weight (0 = unweighted)")
 		wmax      = flag.Uint("wmax", 0, "maximum edge weight")
 		out       = flag.String("out", "", "output edge-list path (required; .gz compresses)")
+		verify    = flag.Bool("verify", false, "reload the written file and check it round-trips")
 	)
 	flag.Parse()
 	if *out == "" || (*model == "" && *dataset == "") {
@@ -82,6 +83,17 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %v to %s in %s\n", g, *out, time.Since(start).Round(time.Millisecond))
+
+	if *verify {
+		loaded, err := gio.Load(*out, "edgelist", gio.Options{Undirected: g.Undirected(), Weighted: g.Weighted()})
+		if err != nil {
+			fatal(fmt.Errorf("verify: %w", err))
+		}
+		if loaded.Graph.N() != g.N() || loaded.Graph.NumArcs() != g.NumArcs() {
+			fatal(fmt.Errorf("verify: reloaded %v, wrote %v", loaded.Graph, g))
+		}
+		fmt.Printf("verified round trip: %v\n", loaded.Graph)
+	}
 }
 
 func fatal(err error) {

@@ -20,29 +20,27 @@ import (
 	"parapsp"
 	"parapsp/internal/analysis"
 	"parapsp/internal/gio"
-	"parapsp/internal/graph"
 )
 
 func main() {
+	var lf gio.LoadFlags
+	lf.Register(flag.CommandLine, "in")
 	var (
-		in         = flag.String("in", "", "input graph file (required)")
-		format     = flag.String("format", "edgelist", "edgelist|mm|metis")
-		undirected = flag.Bool("undirected", false, "edge-list only: treat edges as undirected")
-		weighted   = flag.Bool("weighted", false, "edge-list only: read a weight column")
-		workers    = flag.Int("workers", 4, "parallel workers for clustering/PageRank")
-		top        = flag.Int("top", 5, "entries to show in rankings")
+		workers = flag.Int("workers", 4, "parallel workers for clustering/PageRank")
+		top     = flag.Int("top", 5, "entries to show in rankings")
 	)
 	flag.Parse()
-	if *in == "" {
+	if lf.Path == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	start := time.Now()
-	g, err := load(*in, *format, *undirected, *weighted)
+	loaded, err := lf.Load()
 	if err != nil {
 		fatal(err)
 	}
+	g := loaded.Graph
 	fmt.Printf("loaded %v in %s\n\n", g, time.Since(start).Round(time.Millisecond))
 
 	st := analysis.Degrees(g)
@@ -88,40 +86,6 @@ func main() {
 
 	need := parapsp.EstimateMatrixBytes(g.N())
 	fmt.Printf("\nfull APSP would need %d MiB for the distance matrix\n", need>>20)
-}
-
-func load(path, format string, undirected, weighted bool) (*graph.Graph, error) {
-	switch format {
-	case "edgelist":
-		res, err := gio.ReadFile(path, gio.Options{Undirected: undirected, Weighted: weighted})
-		if err != nil {
-			return nil, err
-		}
-		return res.Graph, nil
-	case "mm":
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		res, err := gio.ReadMatrixMarket(f)
-		if err != nil {
-			return nil, err
-		}
-		return res.Graph, nil
-	case "metis":
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		res, err := gio.ReadMETIS(f)
-		if err != nil {
-			return nil, err
-		}
-		return res.Graph, nil
-	}
-	return nil, fmt.Errorf("unknown format %q", format)
 }
 
 func min(a, b int) int {

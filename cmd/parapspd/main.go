@@ -23,10 +23,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
-	"parapsp"
+	"parapsp/internal/core"
 	"parapsp/internal/gen"
 	"parapsp/internal/gio"
 	"parapsp/internal/graph"
@@ -34,12 +35,11 @@ import (
 )
 
 func main() {
+	var lf gio.LoadFlags
+	lf.Register(flag.CommandLine, "graph")
 	var (
-		in           = flag.String("graph", "", "input graph file (edge list; .gz accepted)")
-		format       = flag.String("format", "edgelist", "edgelist|mm|metis")
-		undirected   = flag.Bool("undirected", false, "edge-list only: treat edges as undirected")
-		weighted     = flag.Bool("weighted", false, "edge-list only: read a weight column")
 		genN         = flag.Int("gen", 0, "instead of -graph: serve a synthetic Barabasi-Albert graph with this many vertices")
+		kernelSel    = flag.String("kernel", "", "pin the subset-solver SSSP kernel: "+strings.Join(core.Kernels(), "|")+" (default: automatic)")
 		addr         = flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
 		workers      = flag.Int("workers", 1, "solver workers per subset solve")
 		cacheRows    = flag.Int("cache-rows", 256, "LRU row-cache capacity (4*n bytes per row)")
@@ -51,7 +51,7 @@ func main() {
 		seed         = flag.Int64("seed", 42, "random seed for -gen")
 	)
 	flag.Parse()
-	if (*in == "") == (*genN == 0) {
+	if (lf.Path == "") == (*genN == 0) {
 		fmt.Fprintln(os.Stderr, "parapspd: exactly one of -graph or -gen is required")
 		flag.Usage()
 		os.Exit(2)
@@ -63,7 +63,11 @@ func main() {
 	if *genN > 0 {
 		g, err = gen.BarabasiAlbert(*genN, 4, *seed, gen.Weighting{})
 	} else {
-		g, _, err = load(*in, *format, *undirected, *weighted)
+		var loaded *gio.Result
+		loaded, err = lf.Load()
+		if loaded != nil {
+			g = loaded.Graph
+		}
 	}
 	if err != nil {
 		fatal(err)
@@ -73,6 +77,7 @@ func main() {
 	start = time.Now()
 	s, err := serve.New(g, serve.Config{
 		Workers:        *workers,
+		Kernel:         *kernelSel,
 		CacheRows:      *cacheRows,
 		Landmarks:      *landmarks,
 		MaxInflight:    *maxInflight,
@@ -118,34 +123,6 @@ func main() {
 	fmt.Printf("parapspd: drained cleanly (requests=%d cache hits=%d misses=%d evictions=%d)\n",
 		snap["serve.requests"], snap["serve.cache.hits"], snap["serve.cache.misses"],
 		snap["serve.cache.evictions"])
-}
-
-// load reads the input graph in the selected format (same formats as
-// cmd/apsp).
-func load(path, format string, undirected, weighted bool) (*graph.Graph, []int64, error) {
-	switch format {
-	case "edgelist":
-		return parapsp.LoadEdgeList(path, undirected, weighted)
-	case "mm":
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, nil, err
-		}
-		defer f.Close()
-		return parapsp.ReadMatrixMarket(f)
-	case "metis":
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, nil, err
-		}
-		defer f.Close()
-		res, err := gio.ReadMETIS(f)
-		if err != nil {
-			return nil, nil, err
-		}
-		return res.Graph, res.Labels, nil
-	}
-	return nil, nil, fmt.Errorf("unknown format %q", format)
 }
 
 func fatal(err error) {

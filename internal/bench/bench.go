@@ -32,6 +32,11 @@ type Config struct {
 	// MaxMemBytes bounds the distance-matrix allocation; experiments
 	// that would exceed it are skipped with a note rather than thrashing.
 	MaxMemBytes uint64
+	// Kernel pins the SSSP kernel of the traced solve (RunTraced, i.e.
+	// apspbench -trace/-metrics) to a registered core kernel name; empty
+	// keeps the automatic selection. The comparison experiments ignore it
+	// — they sweep kernels themselves.
+	Kernel string
 }
 
 // Default returns the harness defaults: a thread sweep of 1-16, one run,

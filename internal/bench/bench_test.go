@@ -24,8 +24,8 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7", "fig8", "fig9", "fig9-amdahl", "fig10", "seqgap", "baselines",
 		"exactness", "complexity", "distmem", "workstats", "weighted", "oracle",
 		"ablation-queue", "ablation-buckets",
-		"ablation-threshold", "ablation-reuse", "kernels", "obs-overhead",
-		"serve", "batch",
+		"ablation-threshold", "ablation-reuse", "kernelcmp", "kernels",
+		"obs-overhead", "serve", "batch",
 	}
 	got := IDs()
 	if len(got) != len(want) {

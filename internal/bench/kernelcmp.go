@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"parapsp/internal/core"
+	"parapsp/internal/gen"
+	"parapsp/internal/graph"
+)
+
+// The kernelcmp experiment races the registered scalar SSSP kernels —
+// the paper's modified Dijkstra, Δ-stepping, and the heap ablation —
+// through the same ParAPSP pipeline on weighted power-law and grid
+// graphs. Every kernel must produce the identical distance matrix (the
+// checksums are asserted, not just reported); the interesting output is
+// the time and work-counter differences, which separate the queue
+// discipline from the fold/row-reuse machinery the pipeline shares.
+
+func init() {
+	register(Experiment{
+		ID:     "kernelcmp",
+		Paper:  "ours (kernel registry)",
+		Title:  "SSSP source-kernel comparison through the shared pipeline",
+		Expect: "identical checksums; dijkstra leads on power-law, delta competitive on grids (long-tail distances), heap pays queue overhead",
+		Run:    runKernelCompare,
+	})
+}
+
+// cmpKernels are the scalar kernels the experiment races. The lane
+// kernels (msbfs/sweep) are excluded: they answer a different question
+// (multi-source batching, see the batch experiment), not queue
+// discipline.
+var cmpKernels = []string{core.KernelDijkstra, core.KernelDelta, core.KernelHeap}
+
+// KernelCompareReport is the machine-readable result of the kernelcmp
+// experiment, written to BENCH_PR5.json by cmd/apspbench -kerneljson.
+type KernelCompareReport struct {
+	Kernels  []string               `json:"kernels"`
+	Datasets []KernelCompareDataset `json:"datasets"`
+}
+
+// KernelCompareDataset is one graph's kernel race.
+type KernelCompareDataset struct {
+	Dataset  string                `json:"dataset"`
+	Vertices int                   `json:"vertices"`
+	Arcs     int64                 `json:"arcs"`
+	Workers  int                   `json:"workers"`
+	Checksum uint64                `json:"checksum"` // shared by construction: divergence is an error
+	Rows     []KernelCompareResult `json:"rows"`
+}
+
+// KernelCompareResult is one kernel's solve on one dataset.
+type KernelCompareResult struct {
+	Kernel      string  `json:"kernel"`
+	ElapsedNs   int64   `json:"elapsed_ns"`
+	VsDijkstra  float64 `json:"vs_dijkstra"` // elapsed relative to the dijkstra row (1.0 = equal)
+	Pops        int64   `json:"pops"`
+	Enqueues    int64   `json:"enqueues"`
+	EdgeScans   int64   `json:"edge_scans"`
+	EdgeUpdates int64   `json:"edge_updates"`
+	Folds       int64   `json:"folds"`
+}
+
+// kernelCmpGraph builds one comparison graph: weighted (the kernels
+// differ only in how they order weighted relaxations), sized for a full
+// APSP matrix.
+func kernelCmpGraph(cfg Config, family string) (*graph.Graph, error) {
+	n := int(2000 * cfg.Scale)
+	if n < 256 {
+		n = 256
+	}
+	w := gen.Weighting{Min: 1, Max: 100}
+	switch family {
+	case "power-law":
+		return gen.PowerLawConfiguration(n, 2.5, 2, true, cfg.Seed, w)
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		return gen.Grid2D(side, side, true, cfg.Seed, w)
+	default:
+		return nil, fmt.Errorf("bench: unknown kernelcmp dataset %q", family)
+	}
+}
+
+// BuildKernelCompareReport runs the kernel race and returns the
+// structured report. A checksum divergence between kernels is an error,
+// not a report row — the registry's contract is exactness.
+func BuildKernelCompareReport(cfg Config) (*KernelCompareReport, error) {
+	cfg = cfg.normalized()
+	threads := sortedCopy(cfg.Threads)
+	workers := threads[0]
+	for _, p := range threads {
+		if p <= runtime.NumCPU() && p > workers {
+			workers = p
+		}
+	}
+	rep := &KernelCompareReport{Kernels: cmpKernels}
+	for _, family := range []string{"power-law", "grid"} {
+		g, err := kernelCmpGraph(cfg, family)
+		if err != nil {
+			return nil, err
+		}
+		ds := KernelCompareDataset{
+			Dataset:  family,
+			Vertices: g.N(),
+			Arcs:     g.NumArcs(),
+			Workers:  workers,
+		}
+		for _, kern := range cmpKernels {
+			var res *core.Result
+			elapsed := Measure(cfg.Runs, workers, func() {
+				r, err2 := core.Solve(g, core.ParAPSP, core.Options{Workers: workers, Kernel: kern})
+				if err2 != nil {
+					err = err2
+					return
+				}
+				res = r
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s on %s: %w", kern, family, err)
+			}
+			sum := res.D.Checksum()
+			if len(ds.Rows) == 0 {
+				ds.Checksum = sum
+			} else if sum != ds.Checksum {
+				return nil, fmt.Errorf("bench: kernel %s diverged on %s: checksum %016x, want %016x",
+					kern, family, sum, ds.Checksum)
+			}
+			ds.Rows = append(ds.Rows, KernelCompareResult{
+				Kernel:      kern,
+				ElapsedNs:   elapsed.Nanoseconds(),
+				Pops:        res.Stats.Pops,
+				Enqueues:    res.Stats.Enqueues,
+				EdgeScans:   res.Stats.EdgeScans,
+				EdgeUpdates: res.Stats.EdgeUpdates,
+				Folds:       res.Stats.Folds,
+			})
+		}
+		base := float64(ds.Rows[0].ElapsedNs)
+		for i := range ds.Rows {
+			if base > 0 {
+				ds.Rows[i].VsDijkstra = float64(ds.Rows[i].ElapsedNs) / base
+			}
+		}
+		rep.Datasets = append(rep.Datasets, ds)
+	}
+	return rep, nil
+}
+
+func runKernelCompare(cfg Config, w io.Writer) error {
+	rep, err := BuildKernelCompareReport(cfg)
+	if err != nil {
+		return err
+	}
+	for _, ds := range rep.Datasets {
+		t := &Table{
+			Title: fmt.Sprintf("%s (n=%d arcs=%d, %d workers, checksum %016x)",
+				ds.Dataset, ds.Vertices, ds.Arcs, ds.Workers, ds.Checksum),
+			Header: []string{"kernel", "elapsed", "vs dijkstra", "pops", "enqueues", "edge scans", "edge updates", "folds"},
+		}
+		for _, r := range ds.Rows {
+			t.AddRow(r.Kernel, FormatDuration(time.Duration(r.ElapsedNs)),
+				fmt.Sprintf("%.2fx", r.VsDijkstra),
+				r.Pops, r.Enqueues, r.EdgeScans, r.EdgeUpdates, r.Folds)
+		}
+		t.Fprint(w)
+	}
+	return nil
+}
+
+// WriteKernelCompareReport runs the kernelcmp experiment and writes its
+// structured report as indented JSON to path (the BENCH_PR5.json
+// artifact).
+func WriteKernelCompareReport(path string, cfg Config) error {
+	rep, err := BuildKernelCompareReport(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

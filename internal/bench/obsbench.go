@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"parapsp/internal/core"
+	"parapsp/internal/graph"
 	"parapsp/internal/obs"
 )
 
@@ -146,8 +147,14 @@ func RunTraced(cfg Config, workers int, traceW, metricsW io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return RunTracedOn(g, cfg, workers, traceW, metricsW)
+}
+
+// RunTracedOn is RunTraced on a caller-provided graph (apspbench -in).
+func RunTracedOn(g *graph.Graph, cfg Config, workers int, traceW, metricsW io.Writer) error {
+	cfg = cfg.normalized()
 	rec := obs.New(workers)
-	if _, err := core.Solve(g, core.ParAPSP, core.Options{Workers: workers, Obs: rec}); err != nil {
+	if _, err := core.Solve(g, core.ParAPSP, core.Options{Workers: workers, Kernel: cfg.Kernel, Obs: rec}); err != nil {
 		return err
 	}
 	rec.Stop()

@@ -1,13 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"parapsp/internal/graph"
 	"parapsp/internal/kernel"
 	"parapsp/internal/matrix"
 	"parapsp/internal/obs"
-	"parapsp/internal/sched"
 )
 
 // The multi-source batch engine. The scalar solvers run one source at a
@@ -268,87 +268,104 @@ func (sc *batchScratch) sweepSSSP(g *graph.Graph, sources []int32, rows [][]matr
 	return sweeps
 }
 
-// runBatches partitions the ordered sources into lane-width batches and
-// runs them under the scheduler, one batch per iteration, with pooled
-// per-worker scratch. rowFor returns the Inf-initialized destination row
-// of the i-th source; finish is called for each source index after its
-// batch completes (the full solver summarizes rows there; nil skips it).
-// With a recorder, each batch records a batch-sweep span on its worker's
-// lane (Index = batch ordinal, Arg = sweep count).
-func runBatches(g *graph.Graph, sources []int32, rowFor func(int) []matrix.Dist, finish func(int), workers int, rec *obs.Recorder) Counters {
-	k := len(sources)
-	nb := (k + batchLaneWidth - 1) / batchLaneWidth
-	weighted := g.Weighted()
-	scratches := make([]*batchScratch, workers)
-	counters := make([]Counters, workers)
-	sched.ParallelWorkersObs(nb, workers, sched.DynamicCyclic, rec, func(w, bi int) {
-		lo := bi * batchLaneWidth
-		hi := lo + batchLaneWidth
-		if hi > k {
-			hi = k
+// laneKernel registers the two multi-source batch engines as lane-width
+// source kernels: "msbfs" for unweighted graphs, "sweep" for weighted
+// ones. Grain() == batchLaneWidth makes the pipeline runner hand each Run
+// call one lane-width group of consecutive ordered sources — the batch the
+// engine solves with a single shared traversal.
+type laneKernel struct {
+	name     string
+	weighted bool
+}
+
+func init() {
+	RegisterKernel(laneKernel{name: KernelMSBFS, weighted: false})
+	RegisterKernel(laneKernel{name: KernelSweep, weighted: true})
+}
+
+func (k laneKernel) Name() string { return k.name }
+func (k laneKernel) Grain() int   { return batchLaneWidth }
+
+// Supports mirrors batchLegal for an explicitly selected lane kernel: the
+// engines are single-weighting by construction, and the scalar-only
+// mechanisms (paths, the queue ablations, reuse accounting) have no lane
+// formulation.
+func (k laneKernel) Supports(g *graph.Graph, opts Options) error {
+	if g.Weighted() != k.weighted {
+		want := "an unweighted"
+		if k.weighted {
+			want = "a weighted"
 		}
-		sc := scratches[w]
-		if sc == nil {
-			sc = getBatchScratch(g.N())
-			scratches[w] = sc
-		}
-		rows := sc.rows[:0]
-		for i := lo; i < hi; i++ {
-			rows = append(rows, rowFor(i))
-		}
-		sc.rows = rows
-		st := &counters[w]
-		var t0 int64
-		if rec != nil {
-			t0 = rec.Now()
-		}
-		var sweeps int64
-		if weighted {
-			sweeps = sc.sweepSSSP(g, sources[lo:hi], rows, st)
-		} else {
-			sweeps = sc.msbfs(g, sources[lo:hi], rows, st)
-		}
-		st.Batches++
-		st.BatchSources += int64(hi - lo)
-		st.BatchSweeps += sweeps
-		if rec != nil {
-			rec.Lane(w).Add(obs.Event{Phase: obs.PhaseBatchSweep,
-				Start: t0, End: rec.Now(), Index: int64(bi), Arg: sweeps})
-		}
-		if finish != nil {
-			for i := lo; i < hi; i++ {
-				finish(i)
-			}
-		}
-	})
+		return fmt.Errorf("%w: kernel %q needs %s graph", ErrInvalid, k.name, want)
+	}
+	if opts.TrackPaths || opts.PaperQueue || opts.HeapQueue || opts.DisableRowReuse {
+		return fmt.Errorf("%w: kernel %q cannot run the scalar-only options (paths/queue/reuse ablations)", ErrInvalid, k.name)
+	}
+	return nil
+}
+
+func (k laneKernel) Bind(rt *Runtime) KernelRun {
+	return &laneRun{
+		rt:        rt,
+		weighted:  k.weighted,
+		scratches: make([]*batchScratch, rt.Workers),
+		counters:  make([]Counters, rt.Workers),
+	}
+}
+
+type laneRun struct {
+	rt        *Runtime
+	weighted  bool
+	scratches []*batchScratch
+	counters  []Counters
+}
+
+// Run solves the lane-width source group rt.Sources[lo:hi] with one shared
+// traversal. With a recorder, the batch records a batch-sweep span on its
+// worker's lane (Index = batch ordinal, Arg = sweep count).
+func (r *laneRun) Run(w, lo, hi int) {
+	rt := r.rt
+	sc := r.scratches[w]
+	if sc == nil {
+		sc = getBatchScratch(rt.G.N())
+		r.scratches[w] = sc
+	}
+	rows := sc.rows[:0]
+	for i := lo; i < hi; i++ {
+		rows = append(rows, rt.Dest.row(rt.Sources[i]))
+	}
+	sc.rows = rows
+	st := &r.counters[w]
+	rec := rt.Rec
+	var t0 int64
+	if rec != nil {
+		t0 = rec.Now()
+	}
+	var sweeps int64
+	if r.weighted {
+		sweeps = sc.sweepSSSP(rt.G, rt.Sources[lo:hi], rows, st)
+	} else {
+		sweeps = sc.msbfs(rt.G, rt.Sources[lo:hi], rows, st)
+	}
+	st.Batches++
+	st.BatchSources += int64(hi - lo)
+	st.BatchSweeps += sweeps
+	if rec != nil {
+		rec.Lane(w).Add(obs.Event{Phase: obs.PhaseBatchSweep,
+			Start: t0, End: rec.Now(), Index: int64(lo / batchLaneWidth), Arg: sweeps})
+	}
+	for i := lo; i < hi; i++ {
+		rt.Dest.publish(rt.Flags, rt.Sources[i])
+	}
+}
+
+func (r *laneRun) Finish() Counters {
 	var total Counters
-	for w, sc := range scratches {
+	for w, sc := range r.scratches {
 		if sc != nil {
 			putBatchScratch(sc)
 		}
-		total.Add(counters[w])
+		total.Add(r.counters[w])
 	}
 	return total
-}
-
-// runBatchSolve is the batch engine behind the full Solve: every source's
-// row of D, in src order (nil = identity), batched lane-width at a time.
-// Rows are summarized on completion exactly as the scalar solver does, so
-// downstream consumers of the matrix summaries see no difference.
-func runBatchSolve(g *graph.Graph, src []int32, D *matrix.Matrix, workers int, opts Options) Counters {
-	n := g.N()
-	sourceAt := func(i int) int32 {
-		if src != nil {
-			return src[i]
-		}
-		return int32(i)
-	}
-	sources := make([]int32, n)
-	for i := range sources {
-		sources[i] = sourceAt(i)
-	}
-	return runBatches(g, sources,
-		func(i int) []matrix.Dist { return D.Row(int(sources[i])) },
-		func(i int) { D.SummarizeRow(int(sources[i])) },
-		workers, opts.Obs)
 }

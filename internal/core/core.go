@@ -47,38 +47,8 @@ const (
 	ParAPSP
 )
 
-// String returns the paper's name for the algorithm.
-func (a Algorithm) String() string {
-	switch a {
-	case SeqBasic:
-		return "seq-basic"
-	case SeqOptimized:
-		return "seq-optimized"
-	case SeqAdaptive:
-		return "seq-adaptive"
-	case ParAlg1:
-		return "ParAlg1"
-	case ParAlg2:
-		return "ParAlg2"
-	case ParAPSP:
-		return "ParAPSP"
-	default:
-		return fmt.Sprintf("Algorithm(%d)", int(a))
-	}
-}
-
-// Valid reports whether a names a known algorithm.
-func (a Algorithm) Valid() bool { return a >= SeqBasic && a <= ParAPSP }
-
-// ParseAlgorithm maps a name (as printed by String) to an Algorithm.
-func ParseAlgorithm(name string) (Algorithm, error) {
-	for a := SeqBasic; a <= ParAPSP; a++ {
-		if a.String() == name {
-			return a, nil
-		}
-	}
-	return 0, fmt.Errorf("core: unknown algorithm %q", name)
-}
+// Algorithm.String, ParseAlgorithm and Valid live in pipeline.go, driven
+// by the preset table that defines what each enum value executes.
 
 // Options tunes a Solve run. The zero value reproduces the paper's
 // configuration of the chosen algorithm.
@@ -108,8 +78,17 @@ type Options struct {
 	// HeapQueue switches the modified Dijkstra from the paper's FIFO
 	// label-correcting queue to a binary min-heap (classic Dijkstra with
 	// lazy deletion). Solutions are identical; this is the queue-discipline
-	// ablation. Incompatible with TrackPaths and PaperQueue.
+	// ablation. Incompatible with TrackPaths and PaperQueue. It is the
+	// legacy spelling of Kernel: "heap".
 	HeapQueue bool
+	// Kernel pins the SSSP source kernel by registry name ("dijkstra",
+	// "heap", "delta", "msbfs", "sweep" — see Kernels()). Empty means
+	// automatic: the paper's modified Dijkstra, or a multi-source lane
+	// kernel when the Batch dispatch policy fires. An explicit kernel
+	// bypasses the batch policy entirely; Solve fails with ErrInvalid when
+	// the kernel cannot solve the graph/options combination exactly (for
+	// example "msbfs" on a weighted graph).
+	Kernel string
 	// PaperQueue makes the modified Dijkstra enqueue duplicates exactly
 	// as written in Algorithm 1 line 16, instead of the default
 	// SPFA-style membership test. Semantics are identical; this exists
@@ -180,6 +159,9 @@ type Result struct {
 	// the modified-Dijkstra solvers, EngineMSBFS / EngineSweep when the
 	// batch dispatch took the multi-source path.
 	Engine string
+	// Kernel is the registry name of the SSSP kernel that ran (see
+	// Options.Kernel); "dijkstra" unless overridden or batch-dispatched.
+	Kernel string
 }
 
 // Total returns the overall elapsed time (ordering + SSSP phases).
@@ -194,8 +176,14 @@ var (
 // Solve runs the selected APSP algorithm on g and returns the distance
 // matrix plus phase timings. All algorithms produce the exact APSP
 // solution; they differ only in running time.
+//
+// A Solve is the full staged pipeline (see pipeline.go): the algorithm's
+// preset supplies the ordering stage and the sequential/parallel execution
+// mode, resolveKernel picks the SSSP source kernel, and runPipeline maps
+// ordered sources to workers under the loop schedule.
 func Solve(g *graph.Graph, alg Algorithm, opts Options) (*Result, error) {
-	if !alg.Valid() {
+	p := presetFor(alg)
+	if p == nil {
 		return nil, fmt.Errorf("%w: algorithm %d", ErrInvalid, int(alg))
 	}
 	if opts.Ordering != order.Identity && !opts.Ordering.Valid() {
@@ -222,36 +210,32 @@ func Solve(g *graph.Graph, alg Algorithm, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("%w: obs recorder has %d worker lanes, need %d",
 			ErrInvalid, opts.Obs.Workers(), workers)
 	}
+	kern, err := resolveKernel(alg, g, opts, n)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Algorithm: alg, Workers: workers}
+	effWorkers := workers
+	if p.sequential {
+		effWorkers = 1
+	}
 
-	// Phase 1: source ordering.
+	// Stage 1: source ordering.
 	start := time.Now()
 	var src []int32
-	var err error
-	ordering := func() {
-		switch alg {
-		case SeqBasic, ParAlg1, SeqAdaptive:
-			// Identity order; SeqAdaptive re-orders on the fly during phase 2.
-		case SeqOptimized, ParAlg2:
-			src = order.SelectionSort(g.Degrees(), ratioOrDefault(opts.Ratio))
-		case ParAPSP:
-			proc := opts.Ordering
-			if proc == order.Identity {
-				proc = order.MultiListsProc
-			}
-			cfg := opts.OrderingConfig
-			cfg.Workers = workers
-			src, err = order.Run(proc, g.Degrees(), cfg)
+	runPhase(opts.Obs, alg, obs.PhaseOrdering, func() {
+		if p.ordering != nil {
+			src, err = p.ordering(g, workers, opts)
 		}
-	}
-	runPhase(opts.Obs, alg, obs.PhaseOrdering, ordering)
+	})
 	if err != nil {
 		return nil, err
 	}
 	res.OrderingTime = time.Since(start)
 	res.Order = src
 
-	// Phase 2: iterated modified Dijkstra over the ordered sources.
+	// Stages 2-4: schedule the ordered sources onto the kernel; folds
+	// (completed-row reuse) happen inside the kernels via the flag vector.
 	D := matrix.New(n)
 	D.InitAPSP()
 	var nh *NextHop
@@ -259,28 +243,26 @@ func Solve(g *graph.Graph, alg Algorithm, opts Options) (*Result, error) {
 		nh = newNextHop(n)
 	}
 	start = time.Now()
-	res.Engine = EngineScalar
+	res.Engine = engineOf(kern)
+	res.Kernel = kern.Name()
 	runPhase(opts.Obs, alg, obs.PhaseSSSP, func() {
-		if batchLegal(alg, opts) && useBatch(opts.Batch, alg, n, n) {
-			// Multi-source batch dispatch: same distances, same source
-			// order, same row summaries — only the traversal engine
-			// changes. Sequential algorithms keep their single thread.
-			bw := workers
-			if alg == SeqBasic || alg == SeqOptimized {
-				bw = 1
-			}
-			res.Engine = engineName(g)
-			res.Stats = runBatchSolve(g, src, D, bw, opts)
+		if p.adaptive {
+			// The adaptive variant fuses ordering into execution (the next
+			// source depends on previous reuse counts); it bypasses the
+			// staged runner by definition.
+			res.Order = runAdaptive(g, D, opts)
 			return
 		}
-		switch alg {
-		case SeqBasic, SeqOptimized:
-			res.Stats = runSequential(g, src, D, nh, opts)
-		case SeqAdaptive:
-			res.Order = runAdaptive(g, D, opts)
-		case ParAlg1, ParAlg2, ParAPSP:
-			res.Stats = runParallel(g, src, D, nh, workers, scheduleFor(alg, opts), opts)
+		sources := src
+		if sources == nil {
+			sources = identitySources(n)
 		}
+		rt := &Runtime{
+			G: g, Opts: opts, Workers: effWorkers, Sources: sources,
+			Dest: rowDest{m: D}, Flags: newFlags(n), Next: nh,
+			Rec: opts.Obs, Seq: p.sequential,
+		}
+		res.Stats = runPipeline(rt, kern, scheduleFor(alg, opts))
 	})
 	res.SSSPTime = time.Since(start)
 	res.D = D
@@ -324,93 +306,6 @@ func scheduleFor(alg Algorithm, opts Options) sched.Scheme {
 	return sched.DynamicCyclic
 }
 
-// runSequential iterates the modified Dijkstra over sources in the given
-// order (nil = identity), single-threaded. This is Algorithms 2 and 3.
-func runSequential(g *graph.Graph, src []int32, D *matrix.Matrix, nh *NextHop, opts Options) Counters {
-	n := g.N()
-	flags := newFlags(n)
-	sc := newScratch(n)
-	var hsc *heapScratch
-	if opts.HeapQueue {
-		hsc = newHeapScratch(n)
-	}
-	rec := opts.Obs
-	if rec != nil {
-		// Sequential runs execute on the coordinator goroutine, so their
-		// iteration and fold-drain events go to the coordinator lane.
-		sc.attachObs(rec, rec.Coordinator())
-	}
-	for i := 0; i < n; i++ {
-		s := int32(i)
-		if src != nil {
-			s = src[i]
-		}
-		var t0 int64
-		if rec != nil {
-			t0 = rec.Now()
-		}
-		switch {
-		case nh != nil:
-			modifiedDijkstraPaths(g, s, D, nh, flags, sc, opts)
-		case hsc != nil:
-			modifiedDijkstraHeap(g, s, D, flags, hsc, opts)
-		default:
-			modifiedDijkstra(g, s, D, flags, sc, opts)
-		}
-		if rec != nil {
-			rec.Coordinator().Add(obs.Event{Phase: obs.PhaseIter, Start: t0, End: rec.Now(), Index: int64(i)})
-		}
-	}
-	return sc.stats
-}
-
-// runParallel is the shared engine of ParAlg1/ParAlg2/ParAPSP: a parallel
-// loop over the ordered sources, each iteration one full modified-Dijkstra
-// run. Workers keep private queue scratch; completed rows are published
-// through the atomic flag array, so concurrently running searches can fold
-// them in exactly as the sequential algorithm would.
-func runParallel(g *graph.Graph, src []int32, D *matrix.Matrix, nh *NextHop, workers int, scheme sched.Scheme, opts Options) Counters {
-	n := g.N()
-	flags := newFlags(n)
-	scratches := make([]*scratch, workers)
-	heapScratches := make([]*heapScratch, workers)
-	sched.ParallelWorkersObs(n, workers, scheme, opts.Obs, func(w, i int) {
-		s := int32(i)
-		if src != nil {
-			s = src[i]
-		}
-		if opts.HeapQueue {
-			hsc := heapScratches[w]
-			if hsc == nil {
-				hsc = newHeapScratch(n)
-				heapScratches[w] = hsc
-			}
-			modifiedDijkstraHeap(g, s, D, flags, hsc, opts)
-			return
-		}
-		sc := scratches[w]
-		if sc == nil {
-			sc = newScratch(n)
-			scratches[w] = sc
-			if opts.Obs != nil {
-				sc.attachObs(opts.Obs, opts.Obs.Lane(w))
-			}
-		}
-		if nh != nil {
-			modifiedDijkstraPaths(g, s, D, nh, flags, sc, opts)
-		} else {
-			modifiedDijkstra(g, s, D, flags, sc, opts)
-		}
-	})
-	var total Counters
-	for _, sc := range scratches {
-		if sc != nil {
-			total.Add(sc.stats)
-		}
-	}
-	return total
-}
-
 // OrderingOnly runs just the ordering procedure of a configuration and
 // returns the order and its elapsed time. The Section 4 experiments
 // (Table 1, Figures 4 and 6) time this phase in isolation.
@@ -423,19 +318,37 @@ func OrderingOnly(g *graph.Graph, proc order.Procedure, cfg order.Config) ([]int
 
 // SSSPPhase runs only the iterated-Dijkstra phase over a precomputed source
 // order and returns the distance matrix and elapsed time. Figure 5 times
-// this phase under orders produced by different procedures.
+// this phase under orders produced by different procedures. The batch
+// dispatch policy never fires here (the phase isolation exists to measure
+// the scalar kernels), but Options.Kernel still pins any kernel explicitly.
 func SSSPPhase(g *graph.Graph, src []int32, workers int, scheme sched.Scheme, opts Options) (*matrix.Matrix, time.Duration, error) {
 	n := g.N()
 	if src != nil && !order.IsPermutation(src, n) {
 		return nil, 0, fmt.Errorf("%w: source order is not a permutation of [0,%d)", ErrInvalid, n)
 	}
+	w := sched.Workers(workers)
+	if opts.Obs != nil && opts.Obs.Workers() < w {
+		return nil, 0, fmt.Errorf("%w: obs recorder has %d worker lanes, need %d",
+			ErrInvalid, opts.Obs.Workers(), w)
+	}
+	noBatch := opts
+	noBatch.Batch = BatchOff
+	kern, err := resolveKernel(ParAPSP, g, noBatch, n)
+	if err != nil {
+		return nil, 0, err
+	}
 	D := matrix.New(n)
 	D.InitAPSP()
 	start := time.Now()
-	if sched.Workers(workers) == 1 {
-		runSequential(g, src, D, nil, opts)
-	} else {
-		runParallel(g, src, D, nil, workers, scheme, opts)
+	sources := src
+	if sources == nil {
+		sources = identitySources(n)
 	}
+	rt := &Runtime{
+		G: g, Opts: opts, Workers: w, Sources: sources,
+		Dest: rowDest{m: D}, Flags: newFlags(n),
+		Rec: opts.Obs, Seq: w == 1,
+	}
+	runPipeline(rt, kern, scheme)
 	return D, time.Since(start), nil
 }

@@ -64,17 +64,16 @@ func newScratch(n int) *scratch {
 // lane, enabling fold-drain span recording.
 func (sc *scratch) attachObs(r *obs.Recorder, l *obs.Lane) { sc.obsRec, sc.obsLane = r, l }
 
-// foldRow folds the completed row t (published in D) into row at offset
+// foldRow folds the completed row t (published in dest) into row at offset
 // dt — D[s,v] <- min(D[s,v], dt + D[t,v]) — dispatching on t's
 // finite-entry summary: a row whose only finite entry is the diagonal is
 // skipped outright (dt + 0 == dt == row[t] already), a sparse row is
 // gathered through its finite-index list, and a dense row is swept over
-// its finite span only. Rows without a current summary (never the case
-// for rows published by this package, which summarize before setting the
-// flag) fall back to a full-width sweep.
-func foldRow(D *matrix.Matrix, row []matrix.Dist, t int32, dt matrix.Dist, st *Counters) {
-	rt := D.Row(int(t))
-	sum, ok := D.Summary(int(t))
+// its finite span only. Destinations without summaries (subset row blocks)
+// fall back to a full-width sweep.
+func foldRow(dest rowDest, row []matrix.Dist, t int32, dt matrix.Dist, st *Counters) {
+	rt := dest.row(t)
+	sum, ok := dest.summary(t)
 	if !ok {
 		st.FoldUpdates += kernel.FoldRow(row, rt, dt)
 		return
@@ -84,7 +83,7 @@ func foldRow(D *matrix.Matrix, row []matrix.Dist, t int32, dt matrix.Dist, st *C
 		st.FoldEntriesSkipped += int64(len(rt))
 		return
 	}
-	if idx := D.FiniteIndex(int(t)); idx != nil {
+	if idx := dest.finiteIndex(t); idx != nil {
 		st.FoldEntriesSkipped += int64(len(rt) - len(idx))
 		st.FoldUpdates += kernel.FoldRowIndexed(row, rt, dt, idx)
 		return
@@ -128,12 +127,12 @@ func foldRow(D *matrix.Matrix, row []matrix.Dist, t int32, dt matrix.Dist, st *C
 // processed with its latest tentative distance anyway. With
 // opts.PaperQueue the duplicate enqueues and fold-at-pop of the
 // pseudocode are kept verbatim (see paperDijkstra).
-func modifiedDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *scratch, opts Options) {
+func modifiedDijkstra(g *graph.Graph, s int32, dest rowDest, f *flags, sc *scratch, opts Options) {
 	if opts.PaperQueue {
-		paperDijkstra(g, s, D, f, sc, opts)
+		paperDijkstra(g, s, dest, f, sc, opts)
 		return
 	}
-	row := D.Row(int(s))
+	row := dest.row(s)
 	row[s] = 0 // line 2 (idempotent after InitAPSP)
 	reuse := !opts.DisableRowReuse
 
@@ -158,7 +157,7 @@ func modifiedDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *s
 				sc.inQueue[t] = false
 				st.Pops++
 				st.Folds++
-				foldRow(D, row, t, row[t], st)
+				foldRow(dest, row, t, row[t], st)
 			}
 			folds = folds[:0]
 			if sc.obsLane != nil {
@@ -213,8 +212,7 @@ func modifiedDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *s
 	}
 	sc.queue = q[:0]
 	sc.folds = folds[:0]
-	D.SummarizeRow(int(s))
-	f.set(s) // line 21: publish the completed row (and its summary)
+	dest.publish(f, s) // line 21: publish the completed row (and its summary)
 }
 
 // paperDijkstra is the pseudocode-verbatim queue discipline, kept for the
@@ -223,8 +221,8 @@ func modifiedDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *s
 // than batched. The inner loops still run through the kernels — they are
 // observationally identical to the scalar element loops, so the ablation
 // isolates the queue discipline alone.
-func paperDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *scratch, opts Options) {
-	row := D.Row(int(s))
+func paperDijkstra(g *graph.Graph, s int32, dest rowDest, f *flags, sc *scratch, opts Options) {
+	row := dest.row(s)
 	row[s] = 0
 	reuse := !opts.DisableRowReuse
 
@@ -245,7 +243,7 @@ func paperDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *scra
 		if reuse && t != s && f.done(t) {
 			// Lines 6-11: fold in the completed row of t.
 			st.Folds++
-			foldRow(D, row, t, dt, st)
+			foldRow(dest, row, t, dt, st)
 			continue
 		}
 
@@ -265,8 +263,7 @@ func paperDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *scra
 		sc.improved = imp[:0]
 	}
 	sc.queue = q[:0]
-	D.SummarizeRow(int(s))
-	f.set(s)
+	dest.publish(f, s)
 }
 
 // runAdaptive implements Peng et al.'s adaptive optimization as described
@@ -284,6 +281,7 @@ func paperDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *scra
 // this variant.
 func runAdaptive(g *graph.Graph, D *matrix.Matrix, opts Options) []int32 {
 	n := g.N()
+	dest := rowDest{m: D}
 	f := newFlags(n)
 	sc := newScratch(n)
 	degrees := g.Degrees()
@@ -308,7 +306,7 @@ func runAdaptive(g *graph.Graph, D *matrix.Matrix, opts Options) []int32 {
 		}
 		processed[best] = true
 		orderOut = append(orderOut, best)
-		adaptiveDijkstra(g, best, D, f, sc, reused, opts)
+		adaptiveDijkstra(g, best, dest, f, sc, reused, opts)
 	}
 	return orderOut
 }
@@ -318,8 +316,8 @@ func runAdaptive(g *graph.Graph, D *matrix.Matrix, opts Options) []int32 {
 // dispatch and queue compaction of the main solver but not the fold
 // batching — the adaptive variant is sequential by construction, so there
 // is no published-mid-relaxation row to defer.
-func adaptiveDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *scratch, reused []int64, opts Options) {
-	row := D.Row(int(s))
+func adaptiveDijkstra(g *graph.Graph, s int32, dest rowDest, f *flags, sc *scratch, reused []int64, opts Options) {
+	row := dest.row(s)
 	row[s] = 0
 	q := sc.queue[:0]
 	q = append(q, s)
@@ -337,7 +335,7 @@ func adaptiveDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *s
 		dt := row[t]
 		if !opts.DisableRowReuse && t != s && f.done(t) {
 			reused[t]++
-			foldRow(D, row, t, dt, st)
+			foldRow(dest, row, t, dt, st)
 			continue
 		}
 		adj, w := g.NeighborsW(t)
@@ -356,6 +354,64 @@ func adaptiveDijkstra(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *s
 		sc.improved = imp[:0]
 	}
 	sc.queue = q[:0]
-	D.SummarizeRow(int(s))
-	f.set(s)
+	dest.publish(f, s)
+}
+
+// dijkstraKernel registers the paper's modified Dijkstra (Algorithm 1) as
+// the default source kernel. It is the only kernel supporting every option
+// combination: TrackPaths routes to the next-hop variant, PaperQueue to
+// the pseudocode-verbatim queue discipline, DisableRowReuse simply skips
+// the folds.
+type dijkstraKernel struct{}
+
+func init() { RegisterKernel(dijkstraKernel{}) }
+
+func (dijkstraKernel) Name() string                                { return KernelDijkstra }
+func (dijkstraKernel) Supports(g *graph.Graph, opts Options) error { return nil }
+func (dijkstraKernel) Grain() int                                  { return 1 }
+
+func (dijkstraKernel) Bind(rt *Runtime) KernelRun {
+	return &dijkstraRun{rt: rt, scratches: make([]*scratch, rt.Workers)}
+}
+
+type dijkstraRun struct {
+	rt        *Runtime
+	scratches []*scratch
+}
+
+func (r *dijkstraRun) Run(w, lo, hi int) {
+	rt := r.rt
+	sc := r.scratches[w]
+	if sc == nil {
+		sc = getScratch(rt.G.N())
+		r.scratches[w] = sc
+		if rt.Rec != nil {
+			if rt.Seq {
+				// Sequential presets execute on the coordinator goroutine,
+				// so fold-drain events go to the coordinator lane.
+				sc.attachObs(rt.Rec, rt.Rec.Coordinator())
+			} else {
+				sc.attachObs(rt.Rec, rt.Rec.Lane(w))
+			}
+		}
+	}
+	for i := lo; i < hi; i++ {
+		s := rt.Sources[i]
+		if rt.Next != nil {
+			modifiedDijkstraPaths(rt.G, s, rt.Dest, rt.Next, rt.Flags, sc, rt.Opts)
+		} else {
+			modifiedDijkstra(rt.G, s, rt.Dest, rt.Flags, sc, rt.Opts)
+		}
+	}
+}
+
+func (r *dijkstraRun) Finish() Counters {
+	var total Counters
+	for _, sc := range r.scratches {
+		if sc != nil {
+			total.Add(sc.stats)
+			putScratch(sc)
+		}
+	}
+	return total
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"parapsp/internal/graph"
 	"parapsp/internal/matrix"
 )
@@ -75,8 +77,8 @@ func newHeapScratch(n int) *heapScratch {
 //
 // The solutions are identical; the HeapQueue ablation measures which queue
 // discipline wins on scale-free inputs (the paper implicitly chose FIFO).
-func modifiedDijkstraHeap(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, sc *heapScratch, opts Options) {
-	row := D.Row(int(s))
+func modifiedDijkstraHeap(g *graph.Graph, s int32, dest rowDest, f *flags, sc *heapScratch, opts Options) {
+	row := dest.row(s)
 	row[s] = 0
 	reuse := !opts.DisableRowReuse
 
@@ -100,9 +102,9 @@ func modifiedDijkstraHeap(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, s
 			// (the fold kernels update distances only), but the
 			// finite-span summary still narrows the sweep to the
 			// published row's non-Inf region.
-			rt := D.Row(int(t))
+			rt := dest.row(t)
 			lo, hi := 0, len(rt)
-			if sum, ok := D.Summary(int(t)); ok {
+			if sum, ok := dest.summary(t); ok {
 				if sum.Finite <= 1 {
 					continue // only the diagonal: dt+0 cannot improve row[t]
 				}
@@ -143,6 +145,52 @@ func modifiedDijkstraHeap(g *graph.Graph, s int32, D *matrix.Matrix, f *flags, s
 			}
 		}
 	}
-	D.SummarizeRow(int(s))
-	f.set(s)
+	dest.publish(f, s)
 }
+
+// heapKernel registers the heap formulation as the "heap" kernel — the
+// queue-discipline ablation, also reachable through the legacy
+// Options.HeapQueue flag. Path tracking and the paper-verbatim queue are
+// FIFO-solver mechanisms and are rejected.
+type heapKernel struct{}
+
+func init() { RegisterKernel(heapKernel{}) }
+
+func (heapKernel) Name() string { return KernelHeap }
+func (heapKernel) Grain() int   { return 1 }
+
+func (heapKernel) Supports(g *graph.Graph, opts Options) error {
+	if opts.TrackPaths {
+		return fmt.Errorf("%w: kernel %q does not track paths", ErrInvalid, KernelHeap)
+	}
+	if opts.PaperQueue {
+		return fmt.Errorf("%w: kernel %q has no paper-queue variant", ErrInvalid, KernelHeap)
+	}
+	return nil
+}
+
+func (heapKernel) Bind(rt *Runtime) KernelRun {
+	return &heapRun{rt: rt, scratches: make([]*heapScratch, rt.Workers)}
+}
+
+type heapRun struct {
+	rt        *Runtime
+	scratches []*heapScratch
+}
+
+func (r *heapRun) Run(w, lo, hi int) {
+	rt := r.rt
+	sc := r.scratches[w]
+	if sc == nil {
+		sc = newHeapScratch(rt.G.N())
+		r.scratches[w] = sc
+	}
+	for i := lo; i < hi; i++ {
+		modifiedDijkstraHeap(rt.G, rt.Sources[i], rt.Dest, rt.Flags, sc, rt.Opts)
+	}
+}
+
+// Finish returns zero counters: the heap variant has always left the work
+// counters unpopulated (Result.Stats documents this), and the ablation
+// compares wall time, not counter streams.
+func (r *heapRun) Finish() Counters { return Counters{} }

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"parapsp/internal/graph"
+	"parapsp/internal/kernel"
+	"parapsp/internal/matrix"
+)
+
+// The Δ-stepping source kernel (Meyer & Sanders; the shared-memory
+// formulation follows Kranjčević et al., arXiv:1604.02113). Vertices with
+// tentative distance d wait in bucket ⌊d/Δ⌋; bucket i is drained to a
+// fixpoint over the light edges (weight ≤ Δ) — a relaxation can re-fill
+// the bucket being drained — and the heavy edges (weight > Δ) of every
+// vertex settled in the bucket are then relaxed once, since a heavy edge
+// can only reach buckets > i. Δ=1 on an unweighted graph degenerates to
+// BFS (all edges light, one pass per bucket); larger Δ trades priority
+// precision for fewer, wider bucket phases.
+//
+// This kernel exists as the registry's proof of extensibility: it plugs
+// into the same pipeline seam as the paper's modified Dijkstra and
+// composes with the same completed-row reuse. When a popped vertex t has a
+// published final row, the row is folded into the current row and t's
+// edges — light AND heavy — are skipped: row t is final and the triangle
+// inequality D[t][x] ≤ D[t][u] + w(u,x) means the fold already bounds
+// every continuation through t, heavy edges included. For the same reason
+// fold-improved vertices are not re-bucketed (the argument of
+// modifiedDijkstra): relaxing an edge out of a fold-improved vertex v can
+// never beat dt + D[t][·], which the fold already wrote. A consequence is
+// that a popped vertex's distance may sit below its bucket's nominal
+// range; pushes are therefore clamped to never land behind the cursor
+// (label correcting makes late processing harmless, never wrong).
+type deltaKernel struct{}
+
+func init() { RegisterKernel(deltaKernel{}) }
+
+func (deltaKernel) Name() string { return KernelDelta }
+func (deltaKernel) Grain() int   { return 1 }
+
+func (deltaKernel) Supports(g *graph.Graph, opts Options) error {
+	if opts.TrackPaths {
+		return fmt.Errorf("%w: kernel %q does not track paths", ErrInvalid, KernelDelta)
+	}
+	if opts.PaperQueue {
+		return fmt.Errorf("%w: kernel %q has no paper-queue variant", ErrInvalid, KernelDelta)
+	}
+	return nil
+}
+
+// Bind computes the shared read-only preparation once per solve: Δ as the
+// mean edge weight (clamped to ≥ 1 — the classic auto-tuning heuristic)
+// and the light/heavy CSR split every worker then reads. Unweighted graphs
+// skip the split: with Δ=1 every unit edge is light and the original
+// adjacency serves as the light set.
+func (deltaKernel) Bind(rt *Runtime) KernelRun {
+	r := &deltaRun{rt: rt, scratches: make([]*deltaScratch, rt.Workers), delta: 1}
+	g := rt.G
+	if !g.Weighted() {
+		return r
+	}
+	n := g.N()
+	var total uint64
+	var m int
+	for v := 0; v < n; v++ {
+		_, w := g.NeighborsW(int32(v))
+		for _, wt := range w {
+			total += uint64(wt)
+		}
+		m += len(w)
+	}
+	if m > 0 {
+		r.delta = matrix.Dist(total / uint64(m))
+		if r.delta < 1 {
+			r.delta = 1
+		}
+	}
+	r.split = true
+	loff := make([]int32, n+1)
+	hoff := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		_, w := g.NeighborsW(int32(v))
+		for _, wt := range w {
+			if wt <= r.delta {
+				loff[v+1]++
+			} else {
+				hoff[v+1]++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		loff[v+1] += loff[v]
+		hoff[v+1] += hoff[v]
+	}
+	r.ladj = make([]int32, loff[n])
+	r.lw = make([]matrix.Dist, loff[n])
+	r.hadj = make([]int32, hoff[n])
+	r.hw = make([]matrix.Dist, hoff[n])
+	for v := 0; v < n; v++ {
+		adj, w := g.NeighborsW(int32(v))
+		li, hi := loff[v], hoff[v]
+		for j, u := range adj {
+			if w[j] <= r.delta {
+				r.ladj[li], r.lw[li] = u, w[j]
+				li++
+			} else {
+				r.hadj[hi], r.hw[hi] = u, w[j]
+				hi++
+			}
+		}
+	}
+	r.loff, r.hoff = loff, hoff
+	return r
+}
+
+type deltaRun struct {
+	rt        *Runtime
+	scratches []*deltaScratch
+	delta     matrix.Dist
+	// split marks the light/heavy CSR as built (weighted graphs only);
+	// offsets index the usual adjacency layout: vertex v's light edges are
+	// ladj[loff[v]:loff[v+1]], heavy likewise.
+	split      bool
+	loff, hoff []int32
+	ladj, hadj []int32
+	lw, hw     []matrix.Dist
+}
+
+// deltaScratch is the per-worker state of one Δ-stepping run: the bucket
+// array (indexed by absolute bucket number, grown on demand), the inverse
+// map bucketOf (-1 = not queued; a pop whose bucketOf disagrees with the
+// cursor is a stale entry left by a re-push into an earlier bucket), the
+// settled set R of the current bucket awaiting heavy relaxation, and the
+// improved-vertex buffer of the relaxation kernels. Every run ends with
+// buckets empty, bucketOf all -1 and inR all false, so the scratch pools
+// across sources and solves like the FIFO solver's.
+type deltaScratch struct {
+	buckets  [][]int32
+	bucketOf []int32
+	rvec     []int32
+	inR      []bool
+	improved []int32
+	stats    Counters
+	maxB     int
+}
+
+var deltaPool sync.Pool
+
+func getDeltaScratch(n int) *deltaScratch {
+	sc, _ := deltaPool.Get().(*deltaScratch)
+	if sc == nil {
+		sc = &deltaScratch{}
+	}
+	if len(sc.bucketOf) < n {
+		sc.bucketOf = make([]int32, n)
+		for i := range sc.bucketOf {
+			sc.bucketOf[i] = -1
+		}
+		sc.inR = make([]bool, n)
+	}
+	return sc
+}
+
+func putDeltaScratch(sc *deltaScratch) {
+	sc.stats = Counters{}
+	deltaPool.Put(sc)
+}
+
+// push queues v in bucket b unless it is already there; a previous entry
+// in another bucket is left behind as a stale tombstone (cheaper than
+// removal — the pop loop skips it via bucketOf).
+func (sc *deltaScratch) push(v int32, b int, st *Counters) {
+	if sc.bucketOf[v] == int32(b) {
+		return
+	}
+	sc.bucketOf[v] = int32(b)
+	for len(sc.buckets) <= b {
+		sc.buckets = append(sc.buckets, nil)
+	}
+	sc.buckets[b] = append(sc.buckets[b], v)
+	if b > sc.maxB {
+		sc.maxB = b
+	}
+	st.Enqueues++
+}
+
+func (r *deltaRun) Run(w, lo, hi int) {
+	sc := r.scratches[w]
+	if sc == nil {
+		sc = getDeltaScratch(r.rt.G.N())
+		r.scratches[w] = sc
+	}
+	for i := lo; i < hi; i++ {
+		r.source(r.rt.Sources[i], sc)
+	}
+}
+
+func (r *deltaRun) Finish() Counters {
+	var total Counters
+	for _, sc := range r.scratches {
+		if sc != nil {
+			total.Add(sc.stats)
+			putDeltaScratch(sc)
+		}
+	}
+	return total
+}
+
+// source runs one Δ-stepping SSSP from s into dest's row.
+func (r *deltaRun) source(s int32, sc *deltaScratch) {
+	rt := r.rt
+	g := rt.G
+	dest := rt.Dest
+	f := rt.Flags
+	row := dest.row(s)
+	row[s] = 0
+	reuse := !rt.Opts.DisableRowReuse
+	delta := r.delta
+	st := &sc.stats
+
+	sc.maxB = 0
+	sc.push(s, 0, st)
+	rvec := sc.rvec[:0]
+	for cur := 0; cur <= sc.maxB; cur++ {
+		// Light phase: drain bucket cur to a fixpoint. Iterating by index
+		// keeps appends made during the drain visible.
+		for i := 0; i < len(sc.buckets[cur]); i++ {
+			t := sc.buckets[cur][i]
+			if sc.bucketOf[t] != int32(cur) {
+				continue // stale: t moved to an earlier bucket and was done there
+			}
+			sc.bucketOf[t] = -1
+			st.Pops++
+			dt := row[t]
+
+			if reuse && t != s && f.done(t) {
+				// Fold instead of expanding: the final row covers every
+				// continuation through t, heavy edges included, so t skips
+				// the settled set R too.
+				st.Folds++
+				foldRow(dest, row, t, dt, st)
+				continue
+			}
+
+			var adj []int32
+			var wts []matrix.Dist
+			if r.split {
+				a, b := r.loff[t], r.loff[t+1]
+				adj, wts = r.ladj[a:b], r.lw[a:b]
+			} else {
+				adj = g.Neighbors(t)
+			}
+			st.EdgeScans += int64(len(adj))
+			imp := sc.improved[:0]
+			if wts == nil {
+				imp = kernel.RelaxUnweighted(row, adj, matrix.AddSat(dt, 1), imp)
+			} else {
+				imp = kernel.RelaxWeighted(row, adj, wts, dt, imp)
+			}
+			st.EdgeUpdates += int64(len(imp))
+			for _, v := range imp {
+				b := int(row[v] / delta)
+				if b < cur {
+					// The source distance sat below the bucket's nominal
+					// range (fold-improved); processing v in the current
+					// bucket is the earliest still-open slot.
+					b = cur
+				}
+				sc.push(v, b, st)
+			}
+			sc.improved = imp[:0]
+			if r.split && !sc.inR[t] {
+				sc.inR[t] = true
+				rvec = append(rvec, t)
+			}
+		}
+		sc.buckets[cur] = sc.buckets[cur][:0]
+
+		// Heavy phase: one relaxation of the heavy edges of every vertex
+		// settled in this bucket, with its now-final-for-this-bucket
+		// distance. Heavy targets land in buckets > cur (clamped likewise
+		// when a fold dragged the source distance back).
+		for _, t := range rvec {
+			sc.inR[t] = false
+			dt := row[t]
+			a, b := r.hoff[t], r.hoff[t+1]
+			adj, wts := r.hadj[a:b], r.hw[a:b]
+			st.EdgeScans += int64(len(adj))
+			imp := sc.improved[:0]
+			imp = kernel.RelaxWeighted(row, adj, wts, dt, imp)
+			st.EdgeUpdates += int64(len(imp))
+			for _, v := range imp {
+				bk := int(row[v] / delta)
+				if bk <= cur {
+					bk = cur + 1
+				}
+				sc.push(v, bk, st)
+			}
+			sc.improved = imp[:0]
+		}
+		rvec = rvec[:0]
+	}
+	sc.rvec = rvec[:0]
+	dest.publish(f, s)
+}

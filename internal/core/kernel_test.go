@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// batteryKernels is the explicit list of kernels the differential battery
+// exercises. TestKernelRegistryCovered pins it against the live registry,
+// so registering a new kernel without adding it here (and thereby to the
+// battery) fails CI.
+var batteryKernels = []string{
+	KernelDelta,
+	KernelDijkstra,
+	KernelHeap,
+	KernelMSBFS,
+	KernelSweep,
+}
+
+// TestKernelRegistryCovered is the registry-completeness check: every
+// registered kernel must appear in the differential battery.
+func TestKernelRegistryCovered(t *testing.T) {
+	reg := Kernels()
+	if len(reg) != len(batteryKernels) {
+		t.Fatalf("registry has kernels %v, battery covers %v — add new kernels to batteryKernels", reg, batteryKernels)
+	}
+	for i, name := range reg {
+		if batteryKernels[i] != name {
+			t.Fatalf("registry has kernels %v, battery covers %v", reg, batteryKernels)
+		}
+	}
+}
+
+// TestKernelsMatchDijkstra is the differential battery of the kernel
+// registry: every registered kernel must produce checksum-identical
+// distance matrices to the default modified Dijkstra on the power-law /
+// grid / disconnected graphs, directed and undirected, weighted and
+// unweighted, at 1, 2 and 8 workers. Kernels that reject a combination via
+// Supports (the single-weighting lane kernels) are skipped there — the
+// completeness test above ensures every kernel still runs somewhere.
+func TestKernelsMatchDijkstra(t *testing.T) {
+	for _, family := range batteryFamilies {
+		for _, directed := range []bool{false, true} {
+			for _, weighted := range []bool{false, true} {
+				g := batteryGraph(t, family, directed, weighted, 7)
+				base, err := Solve(g, ParAPSP, Options{Workers: 2, Batch: BatchOff})
+				if err != nil {
+					t.Fatalf("%s baseline: %v", family, err)
+				}
+				want := base.D.Checksum()
+				if base.Kernel != KernelDijkstra {
+					t.Fatalf("baseline ran kernel %q, want %q", base.Kernel, KernelDijkstra)
+				}
+				for _, name := range batteryKernels {
+					kern, err := LookupKernel(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if kern.Supports(g, Options{}) != nil {
+						continue // e.g. msbfs on a weighted graph
+					}
+					for _, workers := range []int{1, 2, 8} {
+						res, err := Solve(g, ParAPSP, Options{Workers: workers, Kernel: name})
+						if err != nil {
+							t.Fatalf("%s/%s/w=%d: %v", family, name, workers, err)
+						}
+						if res.Kernel != name {
+							t.Fatalf("%s/%s/w=%d: ran kernel %q", family, name, workers, res.Kernel)
+						}
+						if got := res.D.Checksum(); got != want {
+							t.Errorf("%s directed=%v weighted=%v kernel=%s workers=%d: checksum %x, dijkstra %x",
+								family, directed, weighted, name, workers, got, want)
+						}
+						if !res.D.Equal(base.D) {
+							t.Fatalf("%s/%s/w=%d: distance matrices differ", family, name, workers)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelSubsetMatchesSolve runs every kernel through SolveSubset and
+// checks the subset rows against the full solve, covering the second
+// destination type (the summary-less subset row block).
+func TestKernelSubsetMatchesSolve(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := batteryGraph(t, "power-law", false, weighted, 11)
+		full, err := Solve(g, ParAPSP, Options{Workers: 2, Batch: BatchOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources := []int32{0, 3, 17, 42, 191, 250}
+		for _, name := range batteryKernels {
+			kern, err := LookupKernel(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kern.Supports(g, Options{}) != nil {
+				continue
+			}
+			sub, err := SolveSubset(g, sources, Options{Workers: 2, Kernel: name})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if sub.Kernel != name {
+				t.Fatalf("subset ran kernel %q, want %q", sub.Kernel, name)
+			}
+			for _, s := range sources {
+				row := sub.Row(s)
+				for v := 0; v < g.N(); v++ {
+					if row[v] != full.D.At(int(s), v) {
+						t.Fatalf("weighted=%v kernel=%s: D[%d][%d] = %d, want %d",
+							weighted, name, s, v, row[v], full.D.At(int(s), v))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelOptionValidation pins the dispatch errors of resolveKernel.
+func TestKernelOptionValidation(t *testing.T) {
+	g := batteryGraph(t, "grid", false, true, 3)
+	cases := []struct {
+		name string
+		alg  Algorithm
+		opts Options
+	}{
+		{"unknown kernel", ParAPSP, Options{Kernel: "nope"}},
+		{"heapqueue contradicts kernel", ParAPSP, Options{HeapQueue: true, Kernel: KernelDelta}},
+		{"adaptive cannot swap kernels", SeqAdaptive, Options{Kernel: KernelDelta}},
+		{"msbfs needs unweighted", ParAPSP, Options{Kernel: KernelMSBFS}},
+		{"delta cannot track paths", ParAPSP, Options{Kernel: KernelDelta, TrackPaths: true}},
+		{"sweep cannot disable reuse", ParAPSP, Options{Kernel: KernelSweep, DisableRowReuse: true}},
+	}
+	for _, tc := range cases {
+		if _, err := Solve(g, tc.alg, tc.opts); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: got %v, want ErrInvalid", tc.name, err)
+		}
+	}
+	// HeapQueue with the matching explicit kernel name is fine.
+	if _, err := Solve(g, ParAPSP, Options{HeapQueue: true, Kernel: KernelHeap}); err != nil {
+		t.Errorf("HeapQueue + Kernel=heap: %v", err)
+	}
+	// Delta composes with the reuse ablation (it just never folds).
+	res, err := Solve(g, ParAPSP, Options{Kernel: KernelDelta, DisableRowReuse: true})
+	if err != nil {
+		t.Fatalf("delta without reuse: %v", err)
+	}
+	base, err := Solve(g, ParAPSP, Options{Batch: BatchOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D.Checksum() != base.D.Checksum() {
+		t.Error("delta without reuse diverged from baseline")
+	}
+}
+
+// FuzzAlgorithmRoundTrip pins that ParseAlgorithm inverts Algorithm.String
+// for every registered preset, and that parseable strings round-trip — a
+// new preset cannot silently desync the two since both scan one table.
+func FuzzAlgorithmRoundTrip(f *testing.F) {
+	for _, a := range Algorithms() {
+		f.Add(a.String())
+	}
+	f.Add("not-an-algorithm")
+	f.Fuzz(func(t *testing.T, name string) {
+		a, err := ParseAlgorithm(name)
+		if err != nil {
+			return // unparseable input: nothing to round-trip
+		}
+		if !a.Valid() {
+			t.Fatalf("ParseAlgorithm(%q) = %d, which is not Valid", name, int(a))
+		}
+		if got := a.String(); got != name {
+			t.Fatalf("ParseAlgorithm(%q).String() = %q", name, got)
+		}
+		back, err := ParseAlgorithm(a.String())
+		if err != nil || back != a {
+			t.Fatalf("round trip of %q: %v, %v", name, back, err)
+		}
+	})
+}

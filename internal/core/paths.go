@@ -117,8 +117,8 @@ func (nh *NextHop) Verify(g *graph.Graph, D *matrix.Matrix, s, v int32) error {
 // D[s,v] <- D[s,t]+D[t,v] it is likewise the first hop toward t, which the
 // triangle inequality shows lies on a shortest s->v path once all rows
 // converge.
-func modifiedDijkstraPaths(g *graph.Graph, s int32, D *matrix.Matrix, nh *NextHop, f *flags, sc *scratch, opts Options) {
-	row := D.Row(int(s))
+func modifiedDijkstraPaths(g *graph.Graph, s int32, dest rowDest, nh *NextHop, f *flags, sc *scratch, opts Options) {
+	row := dest.row(s)
 	next := nh.row(s)
 	row[s] = 0
 
@@ -148,9 +148,9 @@ func modifiedDijkstraPaths(g *graph.Graph, s int32, D *matrix.Matrix, nh *NextHo
 			// fold kernels update distances only), but the finite-span
 			// summary still narrows the sweep to the published row's
 			// non-Inf region.
-			rt := D.Row(int(t))
+			rt := dest.row(t)
 			lo, hi := 0, len(rt)
-			if sum, ok := D.Summary(int(t)); ok {
+			if sum, ok := dest.summary(t); ok {
 				if sum.Finite <= 1 {
 					continue // only the diagonal: dt+0 cannot improve row[t]
 				}
@@ -193,6 +193,5 @@ func modifiedDijkstraPaths(g *graph.Graph, s int32, D *matrix.Matrix, nh *NextHo
 		}
 	}
 	sc.queue = q[:0]
-	D.SummarizeRow(int(s))
-	f.set(s)
+	dest.publish(f, s)
 }

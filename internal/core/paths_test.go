@@ -126,6 +126,100 @@ func TestPathPicksShortestOfAlternatives(t *testing.T) {
 	}
 }
 
+// TestPathsDisconnected covers path reconstruction across components: no
+// path may be fabricated between islands, every intra-island pair must
+// reconstruct and verify, and At stays -1 for cross-island pairs.
+func TestPathsDisconnected(t *testing.T) {
+	g := batteryGraph(t, "disconnected", false, true, 19)
+	res, err := Solve(g, ParAPSP, Options{Workers: 3, TrackPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int32(g.N())
+	island := func(v int32) int32 { return v / 100 } // batteryGraph: 3 islands of 100
+	var cross, within int
+	for s := int32(0); s < n; s += 7 {
+		for v := int32(0); v < n; v += 3 {
+			if err := res.Next.Verify(g, res.D, s, v); err != nil {
+				t.Fatalf("verify %d->%d: %v", s, v, err)
+			}
+			if island(s) != island(v) {
+				cross++
+				if res.D.At(int(s), int(v)) != matrix.Inf {
+					t.Fatalf("cross-island distance %d->%d = %d", s, v, res.D.At(int(s), int(v)))
+				}
+				if p := res.Next.Path(s, v); p != nil {
+					t.Fatalf("cross-island path %d->%d = %v", s, v, p)
+				}
+				if hop := res.Next.At(int(s), int(v)); hop != -1 {
+					t.Fatalf("cross-island next hop %d->%d = %d", s, v, hop)
+				}
+			} else if s != v && res.D.At(int(s), int(v)) != matrix.Inf {
+				within++
+				if p := res.Next.Path(s, v); len(p) < 2 || p[0] != s || p[len(p)-1] != v {
+					t.Fatalf("path %d->%d = %v", s, v, p)
+				}
+			}
+		}
+	}
+	if cross == 0 || within == 0 {
+		t.Fatalf("degenerate sampling: cross=%d within=%d", cross, within)
+	}
+}
+
+// TestPathsSelfLoops pins that self loops (kept explicitly via the
+// builder) never enter a reconstructed path: a positive-weight loop can't
+// lie on any shortest path, the diagonal stays 0, and s->s reconstructs to
+// the single-vertex path.
+func TestPathsSelfLoops(t *testing.T) {
+	b := graph.NewBuilder(5, false).KeepSelfLoops()
+	edges := []graph.Edge{
+		{From: 0, To: 0, W: 2}, // self loop on a through-vertex
+		{From: 0, To: 1, W: 1},
+		{From: 1, To: 1, W: 5},
+		{From: 1, To: 2, W: 1},
+		{From: 2, To: 3, W: 4},
+		{From: 3, To: 3, W: 1},
+		// vertex 4 only has its loop: unreachable from the rest.
+		{From: 4, To: 4, W: 3},
+	}
+	for _, e := range edges {
+		if err := b.AddWeighted(e.From, e.To, e.W); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(g, ParAPSP, Options{Workers: 2, TrackPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := int32(0); s < 5; s++ {
+		if d := res.D.At(int(s), int(s)); d != 0 {
+			t.Errorf("D[%d][%d] = %d, want 0 despite the self loop", s, s, d)
+		}
+		if p := res.Next.Path(s, s); len(p) != 1 || p[0] != s {
+			t.Errorf("self path of %d = %v", s, p)
+		}
+		for v := int32(0); v < 5; v++ {
+			if err := res.Next.Verify(g, res.D, s, v); err != nil {
+				t.Errorf("verify %d->%d: %v", s, v, err)
+			}
+			for _, u := range res.Next.Path(s, v) {
+				_ = u // Path panics on loops; reaching here means no cycle
+			}
+		}
+	}
+	if got := res.D.At(0, 3); got != 6 {
+		t.Errorf("D[0][3] = %d, want 6 (loops must not shorten paths)", got)
+	}
+	if res.Next.Path(0, 4) != nil {
+		t.Error("loop-only vertex 4 reachable")
+	}
+}
+
 func TestTrackPathsRejectedForAdaptive(t *testing.T) {
 	g, _ := graph.FromPairs(2, true, [][2]int32{{0, 1}})
 	if _, err := Solve(g, SeqAdaptive, Options{TrackPaths: true}); !errors.Is(err, ErrInvalid) {

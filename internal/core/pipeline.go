@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"parapsp/internal/graph"
+	"parapsp/internal/obs"
+	"parapsp/internal/order"
+	"parapsp/internal/sched"
+)
+
+// The staged pipeline behind every solver entry point. An APSP solve is
+//
+//	Ordering → Schedule → SourceKernel → Fold
+//
+// stage one produces the source order, stage two maps ordered sources to
+// workers (internal/sched), stage three runs one SSSP kernel per source
+// (kernelreg.go), and stage four — completed-row reuse through the atomic
+// flag vector — lives inside the kernels, which fold any published row
+// they encounter. The paper's Algorithm values are canned presets over
+// these stages; runPipeline is the one runner all of Solve, SolveSubset
+// and SSSPPhase execute through.
+
+// preset is one canned pipeline configuration: the ordering stage plus
+// the execution markers of a paper Algorithm.
+type preset struct {
+	alg  Algorithm
+	name string
+	// ordering runs stage one; nil is the identity order.
+	ordering func(g *graph.Graph, workers int, opts Options) ([]int32, error)
+	// sequential pins the SSSP stage to one worker on the coordinator
+	// goroutine (the paper's sequential baselines).
+	sequential bool
+	// adaptive marks Peng et al.'s adaptive variant, the one fused
+	// pipeline: its ordering is interleaved with execution (the next
+	// source depends on the reuse counts of the previous ones), so it
+	// bypasses the staged runner by definition.
+	adaptive bool
+}
+
+// presets registers the paper's Algorithm values as pipelines, in enum
+// order. Algorithm.String and ParseAlgorithm are driven by this table, so
+// a new preset cannot desync the two (the round-trip fuzz test pins it).
+var presets = []preset{
+	{alg: SeqBasic, name: "seq-basic", sequential: true},
+	{alg: SeqOptimized, name: "seq-optimized", ordering: selectionOrdering, sequential: true},
+	{alg: SeqAdaptive, name: "seq-adaptive", sequential: true, adaptive: true},
+	{alg: ParAlg1, name: "ParAlg1"},
+	{alg: ParAlg2, name: "ParAlg2", ordering: selectionOrdering},
+	{alg: ParAPSP, name: "ParAPSP", ordering: multiListsOrdering},
+}
+
+// presetFor returns the pipeline preset of a, or nil when a is not a
+// registered algorithm.
+func presetFor(a Algorithm) *preset {
+	for i := range presets {
+		if presets[i].alg == a {
+			return &presets[i]
+		}
+	}
+	return nil
+}
+
+// Algorithms returns the registered algorithm presets in enum order.
+func Algorithms() []Algorithm {
+	out := make([]Algorithm, len(presets))
+	for i := range presets {
+		out[i] = presets[i].alg
+	}
+	return out
+}
+
+// selectionOrdering is the sequential O(n^2) selection sort of
+// Algorithms 3 and 4 (stage one of SeqOptimized/ParAlg2).
+func selectionOrdering(g *graph.Graph, workers int, opts Options) ([]int32, error) {
+	return order.SelectionSort(g.Degrees(), ratioOrDefault(opts.Ratio)), nil
+}
+
+// multiListsOrdering is ParAPSP's stage one: the MultiLists parallel
+// ordering by default, overridable through Options.Ordering.
+func multiListsOrdering(g *graph.Graph, workers int, opts Options) ([]int32, error) {
+	proc := opts.Ordering
+	if proc == order.Identity {
+		proc = order.MultiListsProc
+	}
+	cfg := opts.OrderingConfig
+	cfg.Workers = workers
+	return order.Run(proc, g.Degrees(), cfg)
+}
+
+// identitySources materializes the identity order; kernels always see an
+// explicit source slice.
+func identitySources(n int) []int32 {
+	src := make([]int32, n)
+	for i := range src {
+		src[i] = int32(i)
+	}
+	return src
+}
+
+// runPipeline executes the SourceKernel stage of a solve: it binds the
+// kernel to the runtime, maps Grain-sized source groups to workers under
+// the schedule, and returns the aggregated counters. Scalar iterations of
+// the sequential presets run on the coordinator goroutine (recording
+// per-iteration spans, as the sequential baselines always did); everything
+// else goes through the scheduler, whose per-worker claim loop records the
+// same spans on the worker lanes.
+func runPipeline(rt *Runtime, kern SourceKernel, scheme sched.Scheme) Counters {
+	kr := kern.Bind(rt)
+	k := len(rt.Sources)
+	grain := kern.Grain()
+	nb := (k + grain - 1) / grain
+	if grain > 1 {
+		// Lane-width groups always dispatch dynamically: a static map of
+		// variable-cost batches would just re-create the load imbalance
+		// the dynamic schedule exists to avoid.
+		scheme = sched.DynamicCyclic
+	}
+	if rt.Seq && grain == 1 {
+		rec := rt.Rec
+		for i := 0; i < nb; i++ {
+			var t0 int64
+			if rec != nil {
+				t0 = rec.Now()
+			}
+			kr.Run(0, i, i+1)
+			if rec != nil {
+				rec.Coordinator().Add(obs.Event{Phase: obs.PhaseIter, Start: t0, End: rec.Now(), Index: int64(i)})
+			}
+		}
+		return kr.Finish()
+	}
+	sched.ParallelWorkersObs(nb, rt.Workers, scheme, rt.Rec, func(w, bi int) {
+		lo := bi * grain
+		hi := lo + grain
+		if hi > k {
+			hi = k
+		}
+		kr.Run(w, lo, hi)
+	})
+	return kr.Finish()
+}
+
+// String returns the paper's name for the algorithm, driven by the preset
+// table.
+func (a Algorithm) String() string {
+	if p := presetFor(a); p != nil {
+		return p.name
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Valid reports whether a names a registered algorithm preset.
+func (a Algorithm) Valid() bool { return presetFor(a) != nil }
+
+// ParseAlgorithm maps a name (as printed by String) to an Algorithm. It
+// scans the same preset table String prints from, so the two cannot
+// drift apart.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for i := range presets {
+		if presets[i].name == name {
+			return presets[i].alg, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q", name)
+}

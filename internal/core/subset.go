@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"parapsp/internal/graph"
-	"parapsp/internal/kernel"
 	"parapsp/internal/matrix"
 	"parapsp/internal/sched"
 )
@@ -23,6 +22,9 @@ type SubsetResult struct {
 	// the per-source modified Dijkstra, EngineMSBFS / EngineSweep for the
 	// multi-source batch engine. The rows are identical either way.
 	Engine string
+	// Kernel is the registry name of the SSSP kernel that produced the
+	// rows (see Options.Kernel).
+	Kernel string
 	rowIdx map[int32]int
 	n      int
 	rows   []matrix.Dist // len(Sources) * n, row-major
@@ -110,32 +112,26 @@ func SolveSubset(g *graph.Graph, sources []int32, opts Options) (*SubsetResult, 
 	}
 
 	workers := sched.Workers(opts.Workers)
-	if batchLegal(ParAPSP, opts) && useBatch(opts.Batch, ParAPSP, n, k) {
-		// Multi-source batch dispatch: lane-width groups of subset rows
-		// solved by one shared traversal each. Completed-row reuse does
-		// not cross batch groups (see batch.go); the rows are identical.
-		res.Engine = engineName(g)
-		runBatches(g, uniq,
-			func(i int) []matrix.Dist { return res.rows[i*n : (i+1)*n] },
-			nil, workers, opts.Obs)
-		return res, nil
+	if opts.Obs != nil && opts.Obs.Workers() < workers {
+		return nil, fmt.Errorf("%w: obs recorder has %d worker lanes, need %d",
+			ErrInvalid, opts.Obs.Workers(), workers)
 	}
-	res.Engine = EngineScalar
-	f := newFlags(n)
-	scratches := make([]*scratch, workers)
-	sched.ParallelWorkers(k, workers, sched.DynamicCyclic, func(w, i int) {
-		sc := scratches[w]
-		if sc == nil {
-			sc = getScratch(n)
-			scratches[w] = sc
-		}
-		subsetDijkstra(g, uniq[i], res, f, sc, opts)
-	})
-	for _, sc := range scratches {
-		if sc != nil {
-			putScratch(sc)
-		}
+	// Same pipeline as the full Solve, with the subset row block as the
+	// destination. resolveKernel applies the batch dispatch policy (the
+	// lane kernels solve lane-width groups of subset rows with one shared
+	// traversal each; reuse does not cross groups, the rows are identical)
+	// or honors an explicit Options.Kernel.
+	kern, err := resolveKernel(ParAPSP, g, opts, k)
+	if err != nil {
+		return nil, err
 	}
+	res.Engine = engineOf(kern)
+	res.Kernel = kern.Name()
+	rt := &Runtime{
+		G: g, Opts: opts, Workers: workers, Sources: uniq,
+		Dest: rowDest{sub: res}, Flags: newFlags(n), Rec: opts.Obs,
+	}
+	runPipeline(rt, kern, sched.DynamicCyclic)
 	return res, nil
 }
 
@@ -161,61 +157,4 @@ func putScratch(sc *scratch) {
 	sc.stats = Counters{}
 	sc.obsRec, sc.obsLane = nil, nil
 	scratchPool.Put(sc)
-}
-
-// subsetDijkstra is the modified Dijkstra over a SubsetResult: identical to
-// modifiedDijkstra except that completed rows are looked up through the
-// subset's row index (flags are only ever set for subset sources, so a
-// flagged vertex always has a row).
-func subsetDijkstra(g *graph.Graph, s int32, res *SubsetResult, f *flags, sc *scratch, opts Options) {
-	row := res.Row(s)
-	row[s] = 0
-	dedup := !opts.PaperQueue
-	reuse := !opts.DisableRowReuse
-
-	q := sc.queue[:0]
-	q = append(q, s)
-	if dedup {
-		sc.inQueue[s] = true
-	}
-	head := 0
-	for head < len(q) {
-		t := q[head]
-		head++
-		if head > queueCompactMin && head*2 >= len(q) {
-			q = q[:copy(q, q[head:])]
-			head = 0
-		}
-		if dedup {
-			sc.inQueue[t] = false
-		}
-		dt := row[t]
-
-		if reuse && t != s && f.done(t) {
-			// Subset rows live outside the Matrix, so there is no
-			// finite-span summary to dispatch on; the blocked kernel
-			// sweeps the full row.
-			kernel.FoldRow(row, res.Row(t), dt)
-			continue
-		}
-
-		adj, w := g.NeighborsW(t)
-		imp := sc.improved[:0]
-		if w == nil {
-			imp = kernel.RelaxUnweighted(row, adj, matrix.AddSat(dt, 1), imp)
-		} else {
-			imp = kernel.RelaxWeighted(row, adj, w, dt, imp)
-		}
-		for _, v := range imp {
-			if !dedup {
-				q = append(q, v)
-			} else if !sc.inQueue[v] {
-				sc.inQueue[v] = true
-				q = append(q, v)
-			}
-		}
-		sc.improved = imp[:0]
-	}
-	sc.queue = q[:0]
-	f.set(s)
 }

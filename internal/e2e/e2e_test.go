@@ -123,11 +123,12 @@ func TestGraphinfoSmoke(t *testing.T) {
 
 func TestApspSmoke(t *testing.T) {
 	g := tinyGraph(t)
-	out := run(t, 0, build(t, "apsp"),
+	bin := build(t, "apsp")
+	out := run(t, 0, bin,
 		"-in", g, "-undirected", "-workers", "2", "-path", "0,9")
 	wantLines(t, out,
 		"loaded",
-		"APSP (ParAPSP, 2 workers):",
+		"APSP (ParAPSP, kernel dijkstra, 2 workers):",
 		"diameter:",
 		"radius:",
 		"average path length:",
@@ -135,6 +136,10 @@ func TestApspSmoke(t *testing.T) {
 	)
 	// A 60-vertex BA graph is connected, so the path query must resolve.
 	wantLines(t, out, "shortest path 0 -> 9")
+
+	// A pinned kernel is reported back and computes the same diameter.
+	out = run(t, 0, bin, "-in", g, "-undirected", "-workers", "2", "-kernel", "delta")
+	wantLines(t, out, "kernel delta", "diameter: 5")
 }
 
 func TestApspbenchSmoke(t *testing.T) {

@@ -1,0 +1,56 @@
+package gio
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Load reads a graph file in any of the supported container formats:
+// "edgelist" (SNAP/KONECT, transparently gunzipped), "mm" (Matrix Market)
+// or "metis". It is the one entry point the command-line binaries share;
+// opts applies to the edge-list parser only (the other formats encode
+// direction and weights themselves).
+func Load(path, format string, opts Options) (*Result, error) {
+	switch format {
+	case "edgelist":
+		return ReadFile(path, opts)
+	case "mm", "metis":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if format == "mm" {
+			return ReadMatrixMarket(f)
+		}
+		return ReadMETIS(f)
+	}
+	return nil, fmt.Errorf("gio: unknown format %q (want edgelist|mm|metis)", format)
+}
+
+// LoadFlags bundles the graph-input flags every binary repeats: the input
+// path, the container format, and the edge-list direction/weight options.
+// Register it on a FlagSet, then call Load after flag parsing.
+type LoadFlags struct {
+	// Path is the input file (the flag is named by Register; empty means
+	// the user did not provide one — callers decide whether that is fatal).
+	Path       string
+	Format     string
+	Undirected bool
+	Weighted   bool
+}
+
+// Register declares the flags on fs. inName names the path flag ("in" for
+// the analysis tools, "graph" for the daemon); the rest are uniform.
+func (lf *LoadFlags) Register(fs *flag.FlagSet, inName string) {
+	fs.StringVar(&lf.Path, inName, "", "input graph file (edge lists may be .gz)")
+	fs.StringVar(&lf.Format, "format", "edgelist", "edgelist|mm|metis")
+	fs.BoolVar(&lf.Undirected, "undirected", false, "edge-list only: treat edges as undirected")
+	fs.BoolVar(&lf.Weighted, "weighted", false, "edge-list only: read a third column as edge weight")
+}
+
+// Load reads the graph the parsed flags describe.
+func (lf *LoadFlags) Load() (*Result, error) {
+	return Load(lf.Path, lf.Format, Options{Undirected: lf.Undirected, Weighted: lf.Weighted})
+}

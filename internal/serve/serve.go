@@ -50,6 +50,12 @@ type Config struct {
 	// Workers is the worker count of each subset solve (and the oracle
 	// build). Values below 1 mean 1.
 	Workers int
+	// Kernel pins the SSSP kernel of every subset solve to a registered
+	// core kernel name (core.Kernels()); empty keeps the automatic
+	// selection. Pinning bypasses the batch dispatch policy, exactly as
+	// core.Options.Kernel does. Validated at New time against the served
+	// graph, so an unsupported kernel fails at startup, not per query.
+	Kernel string
 	// CacheRows is the LRU capacity in distance rows (default 256). Each
 	// row costs 4*n bytes.
 	CacheRows int
@@ -187,6 +193,15 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		httpSrv: &httpServerRef{},
 	}
+	if cfg.Kernel != "" {
+		k, err := core.LookupKernel(cfg.Kernel)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if err := k.Supports(g, core.Options{Workers: cfg.Workers, Kernel: cfg.Kernel}); err != nil {
+			return nil, fmt.Errorf("serve: kernel %q cannot serve this graph: %w", cfg.Kernel, err)
+		}
+	}
 	if g.Undirected() {
 		s.tr = g
 	} else {
@@ -270,11 +285,23 @@ func (s *Server) checkVertex(v int32) error {
 // and the return of the *Kind query variants: which machinery produced the
 // answers — the multi-source batch engine, the scalar subset solver, or no
 // solver at all (cache hits, oracle bounds, and trivial u==v queries).
+// When a solve runs, the reported value is qualified with the SSSP kernel
+// that executed it, "<engine>/<kernel>": "batch/msbfs", "batch/sweep",
+// "scalar/dijkstra", "scalar/delta", ... SolverCache stays unqualified —
+// no kernel ran.
 const (
 	SolverBatch  = "batch"
 	SolverScalar = "scalar"
 	SolverCache  = "cache"
 )
+
+// solverKind renders the qualified kind of a completed subset solve.
+func solverKind(sub *core.SubsetResult) string {
+	if sub.Batched() {
+		return SolverBatch + "/" + sub.Kernel
+	}
+	return SolverScalar + "/" + sub.Kernel
+}
 
 // Dist answers a single distance query; tol > 0 permits an approximate
 // answer from the oracle bounds when the cache is cold (see Batch).
@@ -310,9 +337,10 @@ func (s *Server) Batch(ctx context.Context, qs []Query, tol float64) ([]Answer, 
 	return as, err
 }
 
-// BatchKind is Batch plus the solver kind of the request: SolverBatch or
-// SolverScalar when a subset solve ran for the cache-missing sources,
-// SolverCache when every query was answered without one.
+// BatchKind is Batch plus the solver kind of the request: a
+// kernel-qualified "batch/..." or "scalar/..." value when a subset solve
+// ran for the cache-missing sources, SolverCache when every query was
+// answered without one.
 func (s *Server) BatchKind(ctx context.Context, qs []Query, tol float64) ([]Answer, string, error) {
 	if len(qs) == 0 {
 		return nil, "", fmt.Errorf("serve: empty batch")
@@ -401,25 +429,29 @@ func distToJSON(d matrix.Dist) int64 {
 // rows resolves the distance rows of the given sources through the cache:
 // sources this caller owns are solved in one subset batch, sources pending
 // under another request are waited on. The returned rows are immutable
-// shared snapshots. The kind reports which solver ran: SolverBatch or
-// SolverScalar when this caller owned sources, SolverCache when every
-// source was already resident or pending under another request.
+// shared snapshots. The kind reports which solver ran: a kernel-qualified
+// "batch/..." or "scalar/..." value when this caller owned sources,
+// SolverCache when every source was already resident or pending under
+// another request.
 func (s *Server) rows(ctx context.Context, sources []int32) (map[int32][]matrix.Dist, string, error) {
 	kind := SolverCache
 	acq := s.cache.acquire(sources, s.m)
 	if len(acq.owned) > 0 {
-		sub, err := core.SolveSubset(s.g, acq.owned, core.Options{Workers: s.cfg.Workers, Batch: s.cfg.Batch})
+		sub, err := core.SolveSubset(s.g, acq.owned, core.Options{
+			Workers: s.cfg.Workers,
+			Batch:   s.cfg.Batch,
+			Kernel:  s.cfg.Kernel,
+		})
 		if err != nil {
 			s.cache.fulfill(acq.owned, nil, err, s.m)
 			return nil, "", err
 		}
 		s.m.solves.Add(1)
 		s.m.solvedRows.Add(int64(len(acq.owned)))
+		kind = solverKind(sub)
 		if sub.Batched() {
-			kind = SolverBatch
 			s.m.batchSolves.Add(1)
 		} else {
-			kind = SolverScalar
 			s.m.scalarSolves.Add(1)
 		}
 		s.cache.fulfill(acq.owned, func(src int32) []matrix.Dist {

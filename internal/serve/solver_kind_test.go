@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -12,9 +13,9 @@ import (
 )
 
 // The solver-kind surface: every query reports whether the multi-source
-// batch engine, the scalar subset solver, or the cache answered it —
-// through the *Kind API variants, the X-Parapsp-Solver header, and the
-// serve.solve.batch/scalar counters.
+// batch engine, the scalar subset solver, or the cache answered it — and
+// which SSSP kernel ran — through the *Kind API variants, the
+// X-Parapsp-Solver header, and the serve.solve.batch/scalar counters.
 
 func TestSolverKindAPI(t *testing.T) {
 	g := testGraph(t, 150, 21)
@@ -25,8 +26,8 @@ func TestSolverKindAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kind != SolverBatch {
-		t.Fatalf("cold DistKind under BatchForce: kind %q, want %q", kind, SolverBatch)
+	if want := SolverBatch + "/" + core.KernelMSBFS; kind != want {
+		t.Fatalf("cold DistKind under BatchForce: kind %q, want %q", kind, want)
 	}
 	if _, kind, err = s.DistKind(ctx, 3, 10, 0); err != nil || kind != SolverCache {
 		t.Fatalf("warm DistKind: kind %q err %v, want %q", kind, err, SolverCache)
@@ -40,13 +41,54 @@ func TestSolverKindAPI(t *testing.T) {
 			snap["serve.solve.batch"], snap["serve.solve.scalar"])
 	}
 
-	// A scalar-pinned server reports scalar on the same cold query.
+	// A scalar-pinned server reports the scalar default on the same cold
+	// query.
 	s2 := newTestServer(t, g, Config{Workers: 2, Landmarks: -1, Batch: core.BatchOff})
-	if _, kind, err := s2.DistKind(ctx, 3, 9, 0); err != nil || kind != SolverScalar {
-		t.Fatalf("cold DistKind under BatchOff: kind %q err %v, want %q", kind, err, SolverScalar)
+	if _, kind, err := s2.DistKind(ctx, 3, 9, 0); err != nil || kind != SolverScalar+"/"+core.KernelDijkstra {
+		t.Fatalf("cold DistKind under BatchOff: kind %q err %v, want scalar/dijkstra", kind, err)
 	}
 	if got := s2.Metrics().Snapshot()["serve.solve.scalar"]; got != 1 {
 		t.Fatalf("serve.solve.scalar = %d, want 1", got)
+	}
+}
+
+// TestSolverKindPinnedKernel pins Config.Kernel end to end: the pinned
+// kernel bypasses the batch policy, shows up in the reported kind, and
+// still answers exactly (the cached row from a delta solve agrees with a
+// dijkstra server's answer).
+func TestSolverKindPinnedKernel(t *testing.T) {
+	g := testGraph(t, 150, 23)
+	ctx := context.Background()
+	pinned := newTestServer(t, g, Config{Workers: 2, Landmarks: -1, Kernel: core.KernelDelta})
+	plain := newTestServer(t, g, Config{Workers: 2, Landmarks: -1, Batch: core.BatchOff})
+
+	ap, kind, err := pinned.DistKind(ctx, 7, 90, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := SolverScalar + "/" + core.KernelDelta; kind != want {
+		t.Fatalf("pinned DistKind: kind %q, want %q", kind, want)
+	}
+	ad, _, err := plain.DistKind(ctx, 7, 90, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Dist != ad.Dist {
+		t.Fatalf("delta answer %d != dijkstra answer %d", ap.Dist, ad.Dist)
+	}
+}
+
+// TestServeRejectsBadKernel pins that kernel validation happens at New
+// time: unknown names and kernels that cannot serve the graph fail
+// startup instead of every query.
+func TestServeRejectsBadKernel(t *testing.T) {
+	g := testGraph(t, 60, 24) // unweighted
+	if _, err := New(g, Config{Kernel: "bogus"}); !errors.Is(err, core.ErrInvalid) {
+		t.Fatalf("unknown kernel: err %v, want ErrInvalid", err)
+	}
+	// sweep is weighted-only; the test graph is unweighted.
+	if _, err := New(g, Config{Kernel: core.KernelSweep}); err == nil {
+		t.Fatal("sweep kernel accepted on an unweighted graph")
 	}
 }
 
@@ -64,8 +106,9 @@ func TestSolverKindHeader(t *testing.T) {
 		return rec
 	}
 
-	if got := get("/dist?u=5&v=9").Header().Get(solverHeader); got != SolverBatch {
-		t.Fatalf("cold /dist header %q, want %q", got, SolverBatch)
+	coldKind := SolverBatch + "/" + core.KernelMSBFS
+	if got := get("/dist?u=5&v=9").Header().Get(solverHeader); got != coldKind {
+		t.Fatalf("cold /dist header %q, want %q", got, coldKind)
 	}
 	if got := get("/dist?u=5&v=10").Header().Get(solverHeader); got != SolverCache {
 		t.Fatalf("warm /dist header %q, want %q", got, SolverCache)
@@ -82,7 +125,7 @@ func TestSolverKindHeader(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("POST /batch: status %d: %s", rec.Code, rec.Body.String())
 	}
-	if got := rec.Header().Get(solverHeader); got != SolverBatch {
-		t.Fatalf("cold /batch header %q, want %q", got, SolverBatch)
+	if got := rec.Header().Get(solverHeader); got != coldKind {
+		t.Fatalf("cold /batch header %q, want %q", got, coldKind)
 	}
 }

@@ -14,8 +14,8 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test ./... (fuzz seed corpus + cmd e2e smoke included)"
-go test ./...
+echo "== go test -shuffle=on ./... (fuzz seed corpus + cmd e2e smoke included)"
+go test -shuffle=on ./...
 
 echo "== go test -race . ./internal/..."
 go test -race . ./internal/...
@@ -23,8 +23,8 @@ go test -race . ./internal/...
 echo "== kernel microbenchmarks (1 iteration, smoke)"
 go test -run '^$' -bench . -benchtime=1x ./internal/kernel/
 
-echo "== batch differential suite (batch engines vs scalar, race-enabled)"
-go test -race -run 'TestBatch' -count=1 ./internal/core/
+echo "== kernel differential suite (registry battery + batch engines vs scalar, race-enabled)"
+go test -race -run 'TestBatch|TestKernel' -count=1 ./internal/core/
 
 echo "== obs exporters (trace + metrics smoke, tiny scale)"
 tmpdir="$(mktemp -d)"
@@ -40,5 +40,9 @@ go run ./scripts/jsonok "$tmpdir/serve.json"
 echo "== batch bench (tiny scale, report JSON smoke; asserts batch == scalar checksums)"
 go run ./cmd/apspbench -scale 0.05 -batchjson "$tmpdir/batch.json"
 go run ./scripts/jsonok "$tmpdir/batch.json"
+
+echo "== kernel comparison bench (tiny scale, report JSON smoke; asserts kernel checksums agree)"
+go run ./cmd/apspbench -scale 0.2 -threads 1,2 -kerneljson "$tmpdir/kernelcmp.json"
+go run ./scripts/jsonok "$tmpdir/kernelcmp.json"
 
 echo "OK"
