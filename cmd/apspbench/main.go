@@ -6,7 +6,7 @@
 //	apspbench -list
 //	apspbench -exp fig8,fig9
 //	apspbench -exp all -scale 1.0 -threads 1,2,4,8,16 -runs 3
-//	apspbench -kerneljson BENCH_PR5.json
+//	apspbench -kerneljson BENCH_PR6.json
 //	apspbench -in roads.txt -weighted -kernel delta -trace trace.json
 //
 // Every experiment prints the paper's expected qualitative shape next to
@@ -38,7 +38,7 @@ func main() {
 		runs    = flag.Int("runs", 1, "repetitions per measurement (paper: 10)")
 		seed    = flag.Int64("seed", 42, "random seed for the synthetic datasets")
 		maxMem  = flag.Uint64("maxmem-mb", 4096, "distance-matrix memory bound in MiB")
-		kern    = flag.String("kernel", "", "pin the SSSP kernel of the -trace/-metrics solve: "+strings.Join(core.Kernels(), "|")+" (default: automatic)")
+		kern    = flag.String("kernel", "", "SSSP kernel of the -trace/-metrics solve: "+strings.Join(core.Kernels(), "|")+", or "+core.KernelAuto+" to pick from graph features (default: static policy)")
 		bjson   = flag.String("benchjson", "", "write the kernels experiment report as JSON to this path and exit")
 		kjson   = flag.String("kerneljson", "", "write the kernelcmp experiment report as JSON to this path and exit")
 		batchj  = flag.String("batchjson", "", "write the batch experiment report as JSON to this path and exit")

@@ -39,7 +39,7 @@ func main() {
 	lf.Register(flag.CommandLine, "graph")
 	var (
 		genN         = flag.Int("gen", 0, "instead of -graph: serve a synthetic Barabasi-Albert graph with this many vertices")
-		kernelSel    = flag.String("kernel", "", "pin the subset-solver SSSP kernel: "+strings.Join(core.Kernels(), "|")+" (default: automatic)")
+		kernelSel    = flag.String("kernel", "", "subset-solver SSSP kernel: "+strings.Join(core.Kernels(), "|")+", or "+core.KernelAuto+" to pick per solve from graph features (default: static policy)")
 		addr         = flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
 		workers      = flag.Int("workers", 1, "solver workers per subset solve")
 		cacheRows    = flag.Int("cache-rows", 256, "LRU row-cache capacity (4*n bytes per row)")

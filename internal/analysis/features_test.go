@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"testing"
+
+	"parapsp/internal/graph"
+)
+
+// TestFeaturesPath pins the FeatureSet on an undirected path: regular
+// degrees (skew ≈ 1 against the interior mean) and a diameter lower bound
+// that the double sweep finds exactly (the path IS its own diameter).
+func TestFeaturesPath(t *testing.T) {
+	var pairs [][2]int32
+	for i := 0; i < 9; i++ {
+		pairs = append(pairs, [2]int32{int32(i), int32(i + 1)})
+	}
+	g, err := graph.FromPairs(10, true, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Features(g)
+	if fs.Vertices != 10 || fs.Arcs != 18 {
+		t.Fatalf("n=%d m=%d, want 10/18", fs.Vertices, fs.Arcs)
+	}
+	if fs.Weighted || fs.Directed {
+		t.Errorf("weighted=%v directed=%v, want false/false", fs.Weighted, fs.Directed)
+	}
+	if fs.MinDegree != 1 || fs.MaxDegree != 2 {
+		t.Errorf("degree range [%d,%d], want [1,2]", fs.MinDegree, fs.MaxDegree)
+	}
+	if fs.DiameterLB != 9 {
+		t.Errorf("DiameterLB = %d, want 9 (the path length)", fs.DiameterLB)
+	}
+	if fs.DegreeSkew > 1.2 {
+		t.Errorf("DegreeSkew = %f, want ≈1 on a path", fs.DegreeSkew)
+	}
+}
+
+// TestFeaturesStar pins the heavy-tail signal: a star's hub makes the
+// skew equal max/mean = (n-1)/mean, far above any regular graph.
+func TestFeaturesStar(t *testing.T) {
+	var pairs [][2]int32
+	for i := 1; i < 33; i++ {
+		pairs = append(pairs, [2]int32{0, int32(i)})
+	}
+	g, err := graph.FromPairs(33, true, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Features(g)
+	if fs.MaxDegree != 32 {
+		t.Fatalf("MaxDegree = %d, want 32", fs.MaxDegree)
+	}
+	if fs.DegreeSkew < 10 {
+		t.Errorf("DegreeSkew = %f, want ≫ 1 on a star", fs.DegreeSkew)
+	}
+	if fs.DiameterLB != 2 {
+		t.Errorf("DiameterLB = %d, want 2", fs.DiameterLB)
+	}
+}
+
+// TestFeaturesEmpty covers the degenerate shapes.
+func TestFeaturesEmpty(t *testing.T) {
+	g, err := graph.FromPairs(0, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := Features(g); fs.Vertices != 0 {
+		t.Errorf("empty graph: %+v", fs)
+	}
+	g, err = graph.FromPairs(3, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Features(g)
+	if fs.Arcs != 0 || fs.DiameterLB != 0 || fs.DegreeSkew != 0 {
+		t.Errorf("edgeless graph: %+v", fs)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// benchRaceEnabled mirrors core's race-detector guard for tests: the race
+// runtime instruments allocations, so steady-state alloc pins only hold
+// in uninstrumented builds.
+const benchRaceEnabled = true

@@ -82,12 +82,15 @@ type Options struct {
 	// legacy spelling of Kernel: "heap".
 	HeapQueue bool
 	// Kernel pins the SSSP source kernel by registry name ("dijkstra",
-	// "heap", "delta", "msbfs", "sweep" — see Kernels()). Empty means
-	// automatic: the paper's modified Dijkstra, or a multi-source lane
-	// kernel when the Batch dispatch policy fires. An explicit kernel
-	// bypasses the batch policy entirely; Solve fails with ErrInvalid when
-	// the kernel cannot solve the graph/options combination exactly (for
-	// example "msbfs" on a weighted graph).
+	// "heap", "delta", "deltastar", "rho", "pardij", "msbfs", "sweep" —
+	// see Kernels()). Empty means the static default: the paper's
+	// modified Dijkstra, or a multi-source lane kernel when the Batch
+	// dispatch policy fires. The special value "auto" (KernelAuto) selects
+	// adaptively from the graph's measured features (kauto.go);
+	// Result.Kernel reports the kernel that actually ran. An explicit
+	// kernel bypasses the batch policy entirely; Solve fails with
+	// ErrInvalid when the kernel cannot solve the graph/options
+	// combination exactly (for example "msbfs" on a weighted graph).
 	Kernel string
 	// PaperQueue makes the modified Dijkstra enqueue duplicates exactly
 	// as written in Algorithm 1 line 16, instead of the default

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sync"
+
+	"parapsp/internal/analysis"
+	"parapsp/internal/graph"
+)
+
+// Adaptive kernel selection: Options.Kernel = KernelAuto asks resolveKernel
+// to pick the concrete kernel from cheap graph features instead of the
+// static default policy. The decision table below is calibrated against
+// the kernelcmp regression gate (scripts/kernelgate.sh): the gate fails CI
+// when auto lands more than a few percent off the measured per-dataset
+// best, so the table cannot silently rot as kernels evolve.
+//
+// The features (analysis.Features: weightedness, mean/max degree, degree
+// skew, a double-sweep BFS diameter lower bound) cost O(n + m) — two BFS
+// sweeps and a degree scan — which is amortized over a k-source solve and
+// cached per graph besides (graphs are immutable once built; the serve
+// daemon solves thousands of subsets against one graph).
+
+// autoSkewHeavyTail is the degree skew (max/mean) above which a graph is
+// treated as heavy-tailed. Regular meshes sit at ≈1–2, the benchmark
+// power-law graphs at ≥20; 8 splits the two regimes with a wide margin.
+const autoSkewHeavyTail = 8.0
+
+// featureCache memoizes analysis.Features per graph. Keyed by identity:
+// graphs are immutable after Build, and the handful of graphs a process
+// solves against keeps the cache trivially small.
+var featureCache sync.Map // *graph.Graph -> analysis.FeatureSet
+
+func graphFeatures(g *graph.Graph) analysis.FeatureSet {
+	if v, ok := featureCache.Load(g); ok {
+		return v.(analysis.FeatureSet)
+	}
+	fs := analysis.Features(g)
+	featureCache.Store(g, fs)
+	return fs
+}
+
+// autoSelect picks the kernel for a k-source solve. It only returns
+// kernels whose Supports accepts (g, opts): the option gates mirror
+// batchLegal and the per-kernel Supports rules.
+//
+// The table, in decision order:
+//
+//  1. Path tracking and the paper-verbatim queue exist only in the FIFO
+//     solver: dijkstra.
+//  2. Unweighted multi-source regime (parallel algorithm, ≥
+//     batchMinSources sources on ≥ batchMinVertices vertices, batching
+//     not disabled): msbfs — bit-parallel levels amortize the edge
+//     stream 64 ways and BFS levels are the exact distances. The
+//     weighted lane kernel (sweep) is deliberately NOT in the table:
+//     kernelcmp measures it several times slower than the scalar kernels
+//     on full weighted APSP (a lane batch forgoes completed-row reuse,
+//     and folds dominate weighted solves); callers who want it for
+//     narrow weighted subsets can still name it explicitly.
+//  3. Unweighted scalar solves: dijkstra (label-correcting FIFO is BFS
+//     with folds; the stepping kernels only add bucket overhead at Δ=1).
+//  4. Weighted heavy-tailed graphs (skew ≥ autoSkewHeavyTail): deltastar
+//     — measured 0.74× dijkstra on the weighted power-law dataset
+//     (distance-ordered popping folds high-degree hub rows early, and
+//     the lazy buckets make the ordering nearly free).
+//  5. Weighted meshes: dijkstra — kernelcmp shows bucket ordering buys
+//     nothing when every frontier is narrow and fold targets are few
+//     (every stepping kernel is ≥1.1× there).
+func autoSelect(alg Algorithm, g *graph.Graph, opts Options, k int) string {
+	if opts.TrackPaths || opts.PaperQueue {
+		return KernelDijkstra
+	}
+	if !g.Weighted() {
+		laneOK := !opts.DisableRowReuse && opts.Batch != BatchOff &&
+			alg >= ParAlg1 && k >= batchMinSources && g.N() >= batchMinVertices
+		if laneOK {
+			return KernelMSBFS
+		}
+		return KernelDijkstra
+	}
+	if graphFeatures(g).DegreeSkew >= autoSkewHeavyTail {
+		return KernelDeltaStar
+	}
+	return KernelDijkstra
+}

@@ -49,82 +49,19 @@ func (deltaKernel) Supports(g *graph.Graph, opts Options) error {
 	return nil
 }
 
-// Bind computes the shared read-only preparation once per solve: Δ as the
-// mean edge weight (clamped to ≥ 1 — the classic auto-tuning heuristic)
-// and the light/heavy CSR split every worker then reads. Unweighted graphs
-// skip the split: with Δ=1 every unit edge is light and the original
-// adjacency serves as the light set.
+// Bind computes the shared read-only preparation once per solve: the
+// bucket width (deltaWidth's heuristic: mean edge weight, narrowed on
+// dense graphs, clamped to a positive floor) and the light/heavy CSR
+// split every worker then reads — both shared with the lazy stepping
+// kernels via buildLHSplit (ksplit.go).
 func (deltaKernel) Bind(rt *Runtime) KernelRun {
-	r := &deltaRun{rt: rt, scratches: make([]*deltaScratch, rt.Workers), delta: 1}
-	g := rt.G
-	if !g.Weighted() {
-		return r
-	}
-	n := g.N()
-	var total uint64
-	var m int
-	for v := 0; v < n; v++ {
-		_, w := g.NeighborsW(int32(v))
-		for _, wt := range w {
-			total += uint64(wt)
-		}
-		m += len(w)
-	}
-	if m > 0 {
-		r.delta = matrix.Dist(total / uint64(m))
-		if r.delta < 1 {
-			r.delta = 1
-		}
-	}
-	r.split = true
-	loff := make([]int32, n+1)
-	hoff := make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		_, w := g.NeighborsW(int32(v))
-		for _, wt := range w {
-			if wt <= r.delta {
-				loff[v+1]++
-			} else {
-				hoff[v+1]++
-			}
-		}
-	}
-	for v := 0; v < n; v++ {
-		loff[v+1] += loff[v]
-		hoff[v+1] += hoff[v]
-	}
-	r.ladj = make([]int32, loff[n])
-	r.lw = make([]matrix.Dist, loff[n])
-	r.hadj = make([]int32, hoff[n])
-	r.hw = make([]matrix.Dist, hoff[n])
-	for v := 0; v < n; v++ {
-		adj, w := g.NeighborsW(int32(v))
-		li, hi := loff[v], hoff[v]
-		for j, u := range adj {
-			if w[j] <= r.delta {
-				r.ladj[li], r.lw[li] = u, w[j]
-				li++
-			} else {
-				r.hadj[hi], r.hw[hi] = u, w[j]
-				hi++
-			}
-		}
-	}
-	r.loff, r.hoff = loff, hoff
-	return r
+	return &deltaRun{rt: rt, scratches: make([]*deltaScratch, rt.Workers), lh: buildLHSplit(rt.G)}
 }
 
 type deltaRun struct {
 	rt        *Runtime
 	scratches []*deltaScratch
-	delta     matrix.Dist
-	// split marks the light/heavy CSR as built (weighted graphs only);
-	// offsets index the usual adjacency layout: vertex v's light edges are
-	// ladj[loff[v]:loff[v+1]], heavy likewise.
-	split      bool
-	loff, hoff []int32
-	ladj, hadj []int32
-	lw, hw     []matrix.Dist
+	lh        lhSplit
 }
 
 // deltaScratch is the per-worker state of one Δ-stepping run: the bucket
@@ -216,7 +153,7 @@ func (r *deltaRun) source(s int32, sc *deltaScratch) {
 	row := dest.row(s)
 	row[s] = 0
 	reuse := !rt.Opts.DisableRowReuse
-	delta := r.delta
+	delta := r.lh.delta
 	st := &sc.stats
 
 	sc.maxB = 0
@@ -243,14 +180,7 @@ func (r *deltaRun) source(s int32, sc *deltaScratch) {
 				continue
 			}
 
-			var adj []int32
-			var wts []matrix.Dist
-			if r.split {
-				a, b := r.loff[t], r.loff[t+1]
-				adj, wts = r.ladj[a:b], r.lw[a:b]
-			} else {
-				adj = g.Neighbors(t)
-			}
+			adj, wts := r.lh.light(g, t)
 			st.EdgeScans += int64(len(adj))
 			imp := sc.improved[:0]
 			if wts == nil {
@@ -270,7 +200,7 @@ func (r *deltaRun) source(s int32, sc *deltaScratch) {
 				sc.push(v, b, st)
 			}
 			sc.improved = imp[:0]
-			if r.split && !sc.inR[t] {
+			if r.lh.split && !sc.inR[t] {
 				sc.inR[t] = true
 				rvec = append(rvec, t)
 			}
@@ -284,8 +214,7 @@ func (r *deltaRun) source(s int32, sc *deltaScratch) {
 		for _, t := range rvec {
 			sc.inR[t] = false
 			dt := row[t]
-			a, b := r.hoff[t], r.hoff[t+1]
-			adj, wts := r.hadj[a:b], r.hw[a:b]
+			adj, wts := r.lh.heavy(t)
 			st.EdgeScans += int64(len(adj))
 			imp := sc.improved[:0]
 			imp = kernel.RelaxWeighted(row, adj, wts, dt, imp)

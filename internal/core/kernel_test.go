@@ -11,9 +11,12 @@ import (
 // battery) fails CI.
 var batteryKernels = []string{
 	KernelDelta,
+	KernelDeltaStar,
 	KernelDijkstra,
 	KernelHeap,
 	KernelMSBFS,
+	KernelParDij,
+	KernelRho,
 	KernelSweep,
 }
 
@@ -134,6 +137,11 @@ func TestKernelOptionValidation(t *testing.T) {
 		{"msbfs needs unweighted", ParAPSP, Options{Kernel: KernelMSBFS}},
 		{"delta cannot track paths", ParAPSP, Options{Kernel: KernelDelta, TrackPaths: true}},
 		{"sweep cannot disable reuse", ParAPSP, Options{Kernel: KernelSweep, DisableRowReuse: true}},
+		{"heapqueue contradicts auto", ParAPSP, Options{HeapQueue: true, Kernel: KernelAuto}},
+		{"adaptive cannot run auto", SeqAdaptive, Options{Kernel: KernelAuto}},
+		{"pardij cannot track paths", ParAPSP, Options{Kernel: KernelParDij, TrackPaths: true}},
+		{"deltastar has no paper queue", ParAPSP, Options{Kernel: KernelDeltaStar, PaperQueue: true}},
+		{"auto contradicts forced batch", ParAPSP, Options{Kernel: KernelAuto, Batch: BatchForce}},
 	}
 	for _, tc := range cases {
 		if _, err := Solve(g, tc.alg, tc.opts); !errors.Is(err, ErrInvalid) {
@@ -158,6 +166,70 @@ func TestKernelOptionValidation(t *testing.T) {
 	}
 }
 
+// TestKernelAutoResolves pins the adaptive selector: "auto" always
+// resolves to a concrete registry kernel (Result.Kernel never reports
+// "auto"), the choice solves exactly, and the documented table rows hold
+// on their signature graphs. SolveSubset with a conflicting Batch: Force
+// is the registry-misuse case — auto owns the engine choice.
+func TestKernelAutoResolves(t *testing.T) {
+	for _, family := range batteryFamilies {
+		for _, weighted := range []bool{false, true} {
+			g := batteryGraph(t, family, false, weighted, 13)
+			base, err := Solve(g, ParAPSP, Options{Workers: 2, Batch: BatchOff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Solve(g, ParAPSP, Options{Workers: 2, Kernel: KernelAuto})
+			if err != nil {
+				t.Fatalf("%s weighted=%v: %v", family, weighted, err)
+			}
+			if res.Kernel == KernelAuto || res.Kernel == "" {
+				t.Fatalf("%s: Result.Kernel = %q, want a resolved registry name", family, res.Kernel)
+			}
+			if _, err := LookupKernel(res.Kernel); err != nil {
+				t.Fatalf("%s: auto resolved to unregistered kernel %q", family, res.Kernel)
+			}
+			if res.D.Checksum() != base.D.Checksum() {
+				t.Errorf("%s weighted=%v: auto (%s) diverged from baseline", family, weighted, res.Kernel)
+			}
+		}
+	}
+
+	// Table rows on signature graphs: unweighted scalar-regime solves pick
+	// dijkstra (the battery graphs are below batchMinVertices, so the lane
+	// regime never fires there).
+	g := batteryGraph(t, "power-law", false, false, 13)
+	res, err := Solve(g, ParAPSP, Options{Workers: 2, Kernel: KernelAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != KernelDijkstra {
+		t.Errorf("unweighted small graph: auto picked %q, want %q", res.Kernel, KernelDijkstra)
+	}
+	// Path tracking always lands on the FIFO solver.
+	g = batteryGraph(t, "grid", false, true, 13)
+	res, err = Solve(g, ParAPSP, Options{Workers: 2, Kernel: KernelAuto, TrackPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != KernelDijkstra {
+		t.Errorf("TrackPaths: auto picked %q, want %q", res.Kernel, KernelDijkstra)
+	}
+
+	// SolveSubset accepts auto and reports the resolved kernel; with a
+	// conflicting explicit Batch: Force it must refuse.
+	sub, err := SolveSubset(g, []int32{1, 2, 3}, Options{Kernel: KernelAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Kernel == KernelAuto || sub.Kernel == "" {
+		t.Errorf("subset: Kernel = %q, want resolved name", sub.Kernel)
+	}
+	if _, err := SolveSubset(g, []int32{1, 2, 3}, Options{Kernel: KernelAuto, Batch: BatchForce}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("subset auto + Batch=force: got %v, want ErrInvalid", err)
+	}
+}
+
 // FuzzAlgorithmRoundTrip pins that ParseAlgorithm inverts Algorithm.String
 // for every registered preset, and that parseable strings round-trip — a
 // new preset cannot silently desync the two since both scan one table.
@@ -166,6 +238,9 @@ func FuzzAlgorithmRoundTrip(f *testing.F) {
 		f.Add(a.String())
 	}
 	f.Add("not-an-algorithm")
+	// Kernel names (notably "auto") are not algorithm names: they must
+	// fail ParseAlgorithm rather than alias a preset.
+	f.Add("auto")
 	f.Fuzz(func(t *testing.T, name string) {
 		a, err := ParseAlgorithm(name)
 		if err != nil {

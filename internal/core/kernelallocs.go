@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+// KernelSteadyAllocs measures the steady-state heap allocations per
+// solved source of one kernel on g: the kernel is bound once, a warm-up
+// prefix of sources grows the pooled scratch to its high-water mark (and
+// publishes rows, so the fold path is live), and then a single source is
+// re-solved `runs` times with its row and completion flag reset between
+// runs. The returned value is the mean number of mallocs one re-solve
+// performed — 0 for the pooled scalar kernels, which is exactly what the
+// kernelcmp report's allocs_per_solve column and the bench assertions
+// pin. The count is process-global (runtime.MemStats.Mallocs), so callers
+// must not run concurrent work while measuring.
+func KernelSteadyAllocs(g *graph.Graph, name string, runs int) (float64, error) {
+	n := g.N()
+	if n < 2 {
+		return 0, fmt.Errorf("%w: allocation probe needs ≥ 2 vertices", ErrInvalid)
+	}
+	if runs < 1 {
+		runs = 10
+	}
+	opts := Options{Kernel: name}
+	kern, err := resolveKernel(ParAPSP, g, opts, n)
+	if err != nil {
+		return 0, err
+	}
+	D := matrix.New(n)
+	D.InitAPSP()
+	f := newFlags(n)
+	sources := make([]int32, n)
+	for i := range sources {
+		sources[i] = int32(i)
+	}
+	// The measured source is the max-degree vertex: its row is dense in
+	// the giant component, so re-publishing its summary never allocates a
+	// finite-index list (a sparse fringe vertex would, charging the
+	// kernel for a matrix-layer allocation).
+	maxV := int32(0)
+	for v := int32(1); v < int32(n); v++ {
+		if g.OutDegree(v) > g.OutDegree(maxV) {
+			maxV = v
+		}
+	}
+	rt := &Runtime{
+		G:       g,
+		Opts:    opts,
+		Workers: 1,
+		Sources: sources,
+		Dest:    rowDest{m: D},
+		Flags:   f,
+	}
+	run := kern.Bind(rt)
+	defer run.Finish()
+
+	// Warm one grain-aligned prefix plus the measured source, so every
+	// lazily-created buffer exists before counting starts.
+	warm := kern.Grain()
+	if warm >= n {
+		warm = n - 1
+	}
+	sources[warm], sources[maxV] = sources[maxV], sources[warm]
+	run.Run(0, 0, warm)
+	s := warm
+	sv := sources[s]
+	resolve := func() {
+		row := D.Row(int(sv))
+		for i := range row {
+			row[i] = matrix.Inf
+		}
+		row[sv] = 0
+		f.v[sv].Store(0)
+		run.Run(0, s, s+1)
+	}
+	resolve()
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		resolve()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs), nil
+}

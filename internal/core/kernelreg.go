@@ -28,12 +28,18 @@ import (
 //	           variants (dijkstra.go, paths.go)
 //	heap     - classic Dijkstra with lazy deletion, the queue-discipline
 //	           ablation (heap.go)
-//	delta    - Δ-stepping with light/heavy edge split and auto-tuned Δ
-//	           (kdelta.go)
-//	msbfs    - bit-parallel multi-source BFS, 64 sources per lane word,
-//	           unweighted graphs only (batch.go)
-//	sweep    - lane-major shared-sweep label-correcting SSSP, weighted
-//	           graphs only (batch.go)
+//	delta     - Δ-stepping with light/heavy edge split and auto-tuned Δ
+//	            (kdelta.go)
+//	deltastar - lazy-batched Δ*-stepping: bucket maintenance deferred into
+//	            append-only pending lists validated at pop (ksteps.go)
+//	rho       - lazy-batched ρ-stepping: flat pool, each step expands the ρ
+//	            smallest tentative distances (ksteps.go)
+//	pardij    - exact Dijkstra with intra-source parallel edge relaxation
+//	            over dmin+wmin phases (kpardij.go)
+//	msbfs     - bit-parallel multi-source BFS, 64 sources per lane word,
+//	            unweighted graphs only (batch.go)
+//	sweep     - lane-major shared-sweep label-correcting SSSP, weighted
+//	            graphs only (batch.go)
 //
 // Every kernel computes the exact same distances; the differential battery
 // in kernel_test.go pins that across the registry at 1/2/8 workers.
@@ -41,12 +47,21 @@ import (
 // Kernel name constants. The lane kernels reuse the engine names so
 // Result.Engine / SubsetResult.Engine keep their published values.
 const (
-	KernelDijkstra = "dijkstra"
-	KernelHeap     = "heap"
-	KernelDelta    = "delta"
-	KernelMSBFS    = EngineMSBFS
-	KernelSweep    = EngineSweep
+	KernelDijkstra  = "dijkstra"
+	KernelHeap      = "heap"
+	KernelDelta     = "delta"
+	KernelDeltaStar = "deltastar"
+	KernelRho       = "rho"
+	KernelParDij    = "pardij"
+	KernelMSBFS     = EngineMSBFS
+	KernelSweep     = EngineSweep
 )
+
+// KernelAuto is the adaptive pseudo-kernel: not a registry entry but a
+// request to pick one from the graph's features (kauto.go). resolveKernel
+// replaces it with a concrete kernel before Bind, so Result.Kernel and the
+// serve layer's X-Parapsp-Solver header always report the resolved name.
+const KernelAuto = "auto"
 
 // SourceKernel is one registered SSSP kernel: the pipeline stage that
 // turns one ordered source (or one lane-width group of sources) into final
@@ -212,6 +227,19 @@ func resolveKernel(alg Algorithm, g *graph.Graph, opts Options, k int) (SourceKe
 		}
 		if alg == SeqAdaptive {
 			return nil, fmt.Errorf("%w: SeqAdaptive interleaves ordering with execution and cannot swap kernels", ErrInvalid)
+		}
+		if opts.Kernel == KernelAuto {
+			// Adaptive selection (kauto.go). Forcing the batch engine
+			// contradicts handing the engine choice to the selector —
+			// callers who know they want lanes should name the kernel.
+			if opts.Batch == BatchForce {
+				return nil, fmt.Errorf("%w: Batch=force contradicts Kernel=%q (auto owns the engine choice)", ErrInvalid, KernelAuto)
+			}
+			kern := kernelRegistry[autoSelect(alg, g, opts, k)]
+			if err := kern.Supports(g, opts); err != nil {
+				return nil, err
+			}
+			return kern, nil
 		}
 		kern, err := LookupKernel(opts.Kernel)
 		if err != nil {

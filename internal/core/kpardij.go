@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+// The intra-source parallel Dijkstra kernel, in the style of Kainer &
+// Träff (arXiv:1903.12085). Every other scalar kernel parallelizes
+// *across* sources only; pardij extracts parallelism from a single
+// search: with dmin the smallest live heap key and wmin the global
+// minimum edge weight, every heap entry with key ≤ dmin + wmin is already
+// final (no relaxation chain can undercut it — each hop costs ≥ wmin), so
+// the whole phase set settles at once and its out-edges relax in
+// parallel.
+//
+// Phase structure per settle set S:
+//
+//  1. Pop S = all live entries with key ≤ dmin + wmin (exact distances).
+//  2. Sequentially fold members with published rows (fold-at-pop reuse).
+//     Folds cannot improve a member of S: a fold writes dt + D[t][v] ≥
+//     dmin + wmin, and S's distances are ≤ dmin + wmin with equality only
+//     when no improvement results — so S's distances are final before the
+//     parallel phase reads them.
+//  3. Relax the out-edges of the remaining members. When the set is at
+//     least pardijGrain vertices the relaxation fans out across transient
+//     helper goroutines: the row and settled vectors are strictly
+//     read-only during the fan-out and each helper appends (v, nd)
+//     candidates to its own buffer, so there is no write sharing at all;
+//     the coordinator then merges the buffers sequentially (re-checking
+//     nd < row[v], pushing unsettled improvements). Below the grain the
+//     goroutine overhead outweighs the work and relaxation stays scalar.
+//
+// Fold-improved heap entries need no re-push: their keys go stale and die
+// at pop (dt > row[t]), and the fold already bounds every continuation
+// through the improved vertex (the modifiedDijkstra triangle argument),
+// so distance order over the *remaining expansions* is preserved.
+
+// pardijGrain is the settle-set size above which edge relaxation fans out
+// across helper goroutines. It is a variable so tests can force the
+// parallel path on small graphs; the default is sized so the fan-out only
+// triggers where per-phase work dwarfs goroutine startup.
+var pardijGrain = 128
+
+// pardijFanMax caps the helpers one phase spawns.
+const pardijFanMax = 8
+
+type pardijKernel struct{}
+
+func init() { RegisterKernel(pardijKernel{}) }
+
+func (pardijKernel) Name() string { return KernelParDij }
+func (pardijKernel) Grain() int   { return 1 }
+
+func (pardijKernel) Supports(g *graph.Graph, opts Options) error {
+	if opts.TrackPaths {
+		return fmt.Errorf("%w: kernel %q does not track paths", ErrInvalid, KernelParDij)
+	}
+	if opts.PaperQueue {
+		return fmt.Errorf("%w: kernel %q has no paper-queue variant", ErrInvalid, KernelParDij)
+	}
+	return nil
+}
+
+// Bind computes wmin, the global minimum edge weight — the phase width of
+// the settle criterion (1 on unweighted graphs: phases are BFS levels).
+func (pardijKernel) Bind(rt *Runtime) KernelRun {
+	r := &pardijRun{
+		rt:        rt,
+		scratches: make([]*pardijScratch, rt.Workers),
+		stats:     make([]Counters, rt.Workers),
+		grain:     pardijGrain,
+		fan:       rt.Workers,
+		wmin:      1,
+	}
+	if r.fan > pardijFanMax {
+		r.fan = pardijFanMax
+	}
+	g := rt.G
+	if g.Weighted() {
+		wmin := matrix.Inf
+		for v := 0; v < g.N(); v++ {
+			_, w := g.NeighborsW(int32(v))
+			for _, wt := range w {
+				if wt < wmin {
+					wmin = wt
+				}
+			}
+		}
+		if wmin != matrix.Inf {
+			// Zero-weight edges leave wmin = 0: phases degenerate to one
+			// key level, which stays exact (the settle proof needs the
+			// true minimum — clamping up would settle too eagerly).
+			r.wmin = wmin
+		}
+	}
+	return r
+}
+
+type pardijRun struct {
+	rt        *Runtime
+	scratches []*pardijScratch
+	stats     []Counters
+	grain     int
+	fan       int
+	wmin      matrix.Dist
+}
+
+// pardijCand is one helper's candidate buffer: the (vertex, distance)
+// improvements it proposed, plus its edge-scan count folded into the
+// shared counters at merge time.
+type pardijCand struct {
+	v     []int32
+	d     []matrix.Dist
+	scans int64
+}
+
+// pardijScratch is the per-worker state: heap with lazy deletion and a
+// settled bitmap with touched-list reset (as in heapScratch), the phase
+// buffers, and the per-helper candidate buffers.
+type pardijScratch struct {
+	heap    distHeap
+	settled []bool
+	touched []int32
+	expand  []int32
+	cands   []pardijCand
+}
+
+var pardijPool sync.Pool
+
+func getPardijScratch(n, fan int) *pardijScratch {
+	sc, _ := pardijPool.Get().(*pardijScratch)
+	if sc == nil {
+		sc = &pardijScratch{}
+	}
+	if len(sc.settled) < n {
+		sc.settled = make([]bool, n)
+	}
+	if len(sc.cands) < fan {
+		sc.cands = make([]pardijCand, fan)
+	}
+	return sc
+}
+
+func putPardijScratch(sc *pardijScratch) { pardijPool.Put(sc) }
+
+func (r *pardijRun) Run(w, lo, hi int) {
+	sc := r.scratches[w]
+	if sc == nil {
+		sc = getPardijScratch(r.rt.G.N(), r.fan)
+		r.scratches[w] = sc
+	}
+	for i := lo; i < hi; i++ {
+		r.source(r.rt.Sources[i], sc, &r.stats[w])
+	}
+}
+
+func (r *pardijRun) Finish() Counters {
+	var total Counters
+	for i, sc := range r.scratches {
+		if sc != nil {
+			total.Add(r.stats[i])
+			putPardijScratch(sc)
+		}
+	}
+	return total
+}
+
+// source runs one phased exact Dijkstra from s into dest's row.
+func (r *pardijRun) source(s int32, sc *pardijScratch, st *Counters) {
+	rt := r.rt
+	g := rt.G
+	dest := rt.Dest
+	f := rt.Flags
+	row := dest.row(s)
+	row[s] = 0
+	reuse := !rt.Opts.DisableRowReuse
+
+	h := &sc.heap
+	h.reset()
+	for _, v := range sc.touched {
+		sc.settled[v] = false
+	}
+	sc.touched = sc.touched[:0]
+
+	h.push(s, 0)
+	st.Enqueues++
+	for len(h.vs) > 0 {
+		t, dt := h.pop()
+		if sc.settled[t] || dt > row[t] {
+			continue // stale entry
+		}
+		theta := matrix.AddSat(dt, r.wmin)
+
+		// Collect the phase's settle set: every live key ≤ dmin + wmin is
+		// final. Fold members with published rows right away (folds write
+		// the row, which must be quiescent before the parallel relax, and
+		// cannot improve distances ≤ theta — see the file comment).
+		expand := sc.expand[:0]
+		v, d := t, dt
+		for {
+			sc.settled[v] = true
+			sc.touched = append(sc.touched, v)
+			st.Pops++
+			if reuse && v != s && f.done(v) {
+				st.Folds++
+				foldRow(dest, row, v, d, st)
+			} else {
+				expand = append(expand, v)
+			}
+			for len(h.vs) > 0 {
+				if sc.settled[h.vs[0]] || h.ds[0] > row[h.vs[0]] {
+					h.pop() // drop stale entries without leaving the loop
+					continue
+				}
+				break
+			}
+			if len(h.vs) == 0 || h.ds[0] > theta {
+				break
+			}
+			v, d = h.pop()
+		}
+		sc.expand = expand
+
+		if len(expand) >= r.grain && r.fan > 1 {
+			r.relaxParallel(g, row, expand, sc, st)
+		} else {
+			for _, t := range expand {
+				r.relaxSeq(g, row, t, sc, st)
+			}
+		}
+	}
+	dest.publish(f, s)
+}
+
+// relaxSeq relaxes t's out-edges on the coordinator.
+func (r *pardijRun) relaxSeq(g *graph.Graph, row []matrix.Dist, t int32, sc *pardijScratch, st *Counters) {
+	adj, w := g.NeighborsW(t)
+	st.EdgeScans += int64(len(adj))
+	dt := row[t]
+	for i, v := range adj {
+		wt := matrix.Dist(1)
+		if w != nil {
+			wt = w[i]
+		}
+		if nd := matrix.AddSat(dt, wt); nd < row[v] {
+			row[v] = nd
+			st.EdgeUpdates++
+			if !sc.settled[v] {
+				sc.heap.push(v, nd)
+				st.Enqueues++
+			}
+		}
+	}
+}
+
+// relaxParallel fans the settle set's out-edges across helper goroutines.
+// During the fan-out row and settled are read-only and each helper owns
+// its candidate buffer; wg.Wait orders every helper write before the
+// sequential merge, so the phase is free of data races by construction
+// (the race-enabled battery exercises this path via the test grain).
+func (r *pardijRun) relaxParallel(g *graph.Graph, row []matrix.Dist, expand []int32, sc *pardijScratch, st *Counters) {
+	fan := r.fan
+	chunk := (len(expand) + fan - 1) / fan
+	var wg sync.WaitGroup
+	for j := 0; j < fan; j++ {
+		lo := j * chunk
+		hi := lo + chunk
+		if hi > len(expand) {
+			hi = len(expand)
+		}
+		c := &sc.cands[j]
+		c.v, c.d, c.scans = c.v[:0], c.d[:0], 0
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(c *pardijCand, part []int32) {
+			defer wg.Done()
+			for _, t := range part {
+				adj, w := g.NeighborsW(t)
+				c.scans += int64(len(adj))
+				dt := row[t]
+				for i, v := range adj {
+					wt := matrix.Dist(1)
+					if w != nil {
+						wt = w[i]
+					}
+					if nd := matrix.AddSat(dt, wt); nd < row[v] && !sc.settled[v] {
+						c.v = append(c.v, v)
+						c.d = append(c.d, nd)
+					}
+				}
+			}
+		}(c, expand[lo:hi])
+	}
+	wg.Wait()
+	for j := 0; j < fan; j++ {
+		c := &sc.cands[j]
+		st.EdgeScans += c.scans
+		for i, v := range c.v {
+			if nd := c.d[i]; nd < row[v] {
+				row[v] = nd
+				st.EdgeUpdates++
+				sc.heap.push(v, nd)
+				st.Enqueues++
+			}
+		}
+	}
+}

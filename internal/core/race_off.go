@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation pins skip under it (instrumentation allocates).
+const raceEnabled = false

@@ -51,10 +51,13 @@ type Config struct {
 	// build). Values below 1 mean 1.
 	Workers int
 	// Kernel pins the SSSP kernel of every subset solve to a registered
-	// core kernel name (core.Kernels()); empty keeps the automatic
-	// selection. Pinning bypasses the batch dispatch policy, exactly as
-	// core.Options.Kernel does. Validated at New time against the served
-	// graph, so an unsupported kernel fails at startup, not per query.
+	// core kernel name (core.Kernels()); empty keeps the static default
+	// policy, and core.KernelAuto ("auto") picks per solve from measured
+	// graph features. Pinning a concrete kernel bypasses the batch
+	// dispatch policy, exactly as core.Options.Kernel does. Either way
+	// the X-Parapsp-Solver response header reports the kernel that
+	// actually ran. Validated at New time against the served graph, so an
+	// unsupported kernel fails at startup, not per query.
 	Kernel string
 	// CacheRows is the LRU capacity in distance rows (default 256). Each
 	// row costs 4*n bytes.
@@ -193,7 +196,10 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		httpSrv: &httpServerRef{},
 	}
-	if cfg.Kernel != "" {
+	// "auto" is not a registry entry — the resolver replaces it per solve
+	// (and its fallback, dijkstra, supports every graph), so only concrete
+	// kernel names need the startup validation.
+	if cfg.Kernel != "" && cfg.Kernel != core.KernelAuto {
 		k, err := core.LookupKernel(cfg.Kernel)
 		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)

@@ -78,6 +78,44 @@ func TestSolverKindPinnedKernel(t *testing.T) {
 	}
 }
 
+// TestSolverKindAutoKernel pins Config.Kernel = "auto" end to end: New
+// accepts it without registry validation (it is not a registry entry),
+// the per-solve resolution picks a concrete kernel, and the reported
+// kind — API and X-Parapsp-Solver header alike — names that resolved
+// kernel, never the literal "auto".
+func TestSolverKindAutoKernel(t *testing.T) {
+	g := testGraph(t, 150, 25)
+	ctx := context.Background()
+	s := newTestServer(t, g, Config{Workers: 2, Landmarks: -1, Kernel: core.KernelAuto})
+	plain := newTestServer(t, g, Config{Workers: 2, Landmarks: -1, Batch: core.BatchOff})
+
+	// One cold source on a small unweighted graph is below the batch
+	// thresholds, so auto resolves to the scalar dijkstra kernel.
+	aa, kind, err := s.DistKind(ctx, 7, 90, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := SolverScalar + "/" + core.KernelDijkstra; kind != want {
+		t.Fatalf("auto DistKind: kind %q, want %q", kind, want)
+	}
+	ad, _, err := plain.DistKind(ctx, 7, 90, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aa.Dist != ad.Dist {
+		t.Fatalf("auto answer %d != plain answer %d", aa.Dist, ad.Dist)
+	}
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/dist?u=9&v=40", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /dist: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(solverHeader); got != SolverScalar+"/"+core.KernelDijkstra {
+		t.Fatalf("auto /dist header %q, want the resolved kernel, not %q", got, core.KernelAuto)
+	}
+}
+
 // TestServeRejectsBadKernel pins that kernel validation happens at New
 // time: unknown names and kernels that cannot serve the graph fail
 // startup instead of every query.

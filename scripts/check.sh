@@ -45,4 +45,7 @@ echo "== kernel comparison bench (tiny scale, report JSON smoke; asserts kernel 
 go run ./cmd/apspbench -scale 0.2 -threads 1,2 -kerneljson "$tmpdir/kernelcmp.json"
 go run ./scripts/jsonok "$tmpdir/kernelcmp.json"
 
+echo "== kernel regression gate (reduced-scale measurement vs checked-in baseline)"
+scripts/kernelgate.sh
+
 echo "OK"
