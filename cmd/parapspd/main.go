@@ -49,6 +49,7 @@ func main() {
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound after SIGTERM")
 		seed         = flag.Int64("seed", 42, "random seed for -gen")
+		shardID      = flag.String("shard-id", "", "identity label reported in /healthz when this daemon is one shard of a parapsprouter cluster")
 	)
 	flag.Parse()
 	if (lf.Path == "") == (*genN == 0) {
@@ -83,6 +84,7 @@ func main() {
 		MaxInflight:    *maxInflight,
 		MaxBatch:       *maxBatch,
 		RequestTimeout: *timeout,
+		ShardID:        *shardID,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,108 @@
+// Command parapsprouter is the stateless cluster front end for a set of
+// parapspd shards: it owns shard membership (consistent hashing on source
+// id), fans /dist, /path and /batch requests out to the owning shards,
+// merges the answers, and routes around failures with health probes,
+// hedged requests, and bounded retries.
+//
+// Usage:
+//
+//	parapspd -gen 20000 -seed 7 -addr :8081 -shard-id s0 &
+//	parapspd -gen 20000 -seed 7 -addr :8082 -shard-id s1 &
+//	parapsprouter -shards s0=127.0.0.1:8081,s1=127.0.0.1:8082 -addr :8080 &
+//	curl 'localhost:8080/dist?u=3&v=17'
+//
+// Every shard must serve the same graph (the router cross-checks the
+// vertex count from /healthz and refuses mismatched replicas); sharding
+// partitions the *source* space, so ownership decides which replica's row
+// cache warms, while any surviving replica can still answer any query
+// exactly during failover. SIGINT/SIGTERM drain gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parapsp/internal/cluster"
+)
+
+func main() {
+	var (
+		shards       = flag.String("shards", "", "comma-separated shard list, entries id=host:port (or bare host:port for auto ids)")
+		addr         = flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
+		probeEvery   = flag.Duration("probe-interval", 250*time.Millisecond, "shard health-probe period")
+		probeTimeout = flag.Duration("probe-timeout", 2*time.Second, "one probe's round-trip bound")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "fixed hedge delay before trying the next owner (0 = adaptive: owner's p90 latency)")
+		maxAttempts  = flag.Int("max-attempts", 3, "shards tried per subrequest (first + hedges + retries)")
+		maxBatch     = flag.Int("max-batch", 256, "largest accepted /batch request")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound after SIGTERM")
+	)
+	flag.Parse()
+	if *shards == "" {
+		fmt.Fprintln(os.Stderr, "parapsprouter: -shards is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	membership, err := cluster.ParseShards(*shards)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := cluster.New(cluster.Config{
+		Shards:         membership,
+		ProbeInterval:  *probeEvery,
+		ProbeTimeout:   *probeTimeout,
+		HedgeAfter:     *hedgeAfter,
+		MaxAttempts:    *maxAttempts,
+		MaxBatch:       *maxBatch,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("parapsprouter: routing for %d shards\n", len(membership))
+	r.Start()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("parapsprouter: listening on %s\n", l.Addr())
+
+	hs := &http.Server{Handler: r.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(l) }()
+	select {
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+		return
+	case <-ctx.Done():
+	}
+
+	fmt.Println("parapsprouter: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	r.Close()
+	snap := r.Metrics().Snapshot()
+	fmt.Printf("parapsprouter: drained cleanly (requests=%d routed=%d merged=%d hedges=%d failed=%d unavailable=%d)\n",
+		snap["cluster.requests"], snap["cluster.routed"], snap["cluster.merged"],
+		snap["cluster.hedges"], snap["cluster.failed"], snap["cluster.unavailable"])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "parapsprouter:", err)
+	os.Exit(1)
+}

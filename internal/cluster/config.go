@@ -1,0 +1,130 @@
+// Package cluster shards parapspd across machines: a stateless
+// router/coordinator owns shard membership (consistent hashing on source
+// id over N parapspd replicas), fans /dist, /path and /batch requests out
+// to the owning shards, merges rows, and stays correct under failure.
+//
+// The decomposition is the one internal/dist validates as a single-machine
+// simulation and the paper names as future work: partition the *source*
+// space. Every shard serves the same graph; ownership only decides which
+// replica's row cache warms for a source, so any surviving replica can
+// answer any query exactly — failover changes latency, never answers.
+// That is what makes the router stateless: it holds no rows, only
+// membership, and correctness under a SIGKILLed shard reduces to "retry
+// the subrequest on the next owner".
+//
+// Failure handling, in order of escalation: per-shard health probes
+// (consuming the /healthz draining flag, so a draining shard leaves the
+// ring before its final 503), hedged requests after a per-shard latency
+// percentile, bounded retry with backoff to a surviving replica, and
+// 503-with-Retry-After only when no owner is reachable. Every subrequest
+// attempt is accounted into exactly one of three cluster.* counters, so
+// the books always balance: routed == merged + hedge_cancelled + failed.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// ErrConfig marks shard-membership parse/validation failures. Anything
+// wrapping it is a startup error (or a 4xx on a future reconfiguration
+// endpoint), never a panic — FuzzParseShardConfig pins that contract.
+var ErrConfig = errors.New("cluster: bad shard config")
+
+// Shard is one parapspd replica in the membership table.
+type Shard struct {
+	// ID is the stable shard name consistent hashing keys on. Moving a
+	// replica to a new address keeps its ring segment iff the ID is kept.
+	ID string
+	// Addr is the replica's host:port.
+	Addr string
+}
+
+// URL returns the shard's base HTTP URL.
+func (s Shard) URL() string { return "http://" + s.Addr }
+
+func (s Shard) String() string { return s.ID + "=" + s.Addr }
+
+// maxShards bounds a parsed membership list; beyond this the config is
+// almost certainly malformed input, not a real cluster.
+const maxShards = 1024
+
+// ParseShards parses a comma-separated shard list, each entry either
+// "id=host:port" or bare "host:port" (ids auto-assigned s0, s1, ... in
+// list order). IDs must be non-empty [A-Za-z0-9._-] and unique; addresses
+// must split into a non-empty host and a numeric port in [1,65535] and be
+// unique. Every error wraps ErrConfig.
+func ParseShards(s string) ([]Shard, error) {
+	entries := strings.Split(s, ",")
+	shards := make([]Shard, 0, len(entries))
+	ids := make(map[string]bool)
+	addrs := make(map[string]bool)
+	for i, e := range entries {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			return nil, fmt.Errorf("%w: empty entry at position %d", ErrConfig, i)
+		}
+		id, addr := fmt.Sprintf("s%d", len(shards)), e
+		if at := strings.IndexByte(e, '='); at >= 0 {
+			id, addr = e[:at], e[at+1:]
+			if err := checkID(id); err != nil {
+				return nil, err
+			}
+		}
+		if err := checkAddr(addr); err != nil {
+			return nil, err
+		}
+		if ids[id] {
+			return nil, fmt.Errorf("%w: duplicate shard id %q", ErrConfig, id)
+		}
+		if addrs[addr] {
+			return nil, fmt.Errorf("%w: duplicate shard address %q", ErrConfig, addr)
+		}
+		ids[id] = true
+		addrs[addr] = true
+		shards = append(shards, Shard{ID: id, Addr: addr})
+		if len(shards) > maxShards {
+			return nil, fmt.Errorf("%w: more than %d shards", ErrConfig, maxShards)
+		}
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("%w: empty shard list", ErrConfig)
+	}
+	return shards, nil
+}
+
+func checkID(id string) error {
+	if id == "" {
+		return fmt.Errorf("%w: empty shard id", ErrConfig)
+	}
+	if len(id) > 64 {
+		return fmt.Errorf("%w: shard id longer than 64 bytes", ErrConfig)
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("%w: shard id %q: invalid character %q", ErrConfig, id, r)
+		}
+	}
+	return nil
+}
+
+func checkAddr(addr string) error {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("%w: address %q: %v", ErrConfig, addr, err)
+	}
+	if host == "" {
+		return fmt.Errorf("%w: address %q: empty host", ErrConfig, addr)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil || p < 1 || p > 65535 {
+		return fmt.Errorf("%w: address %q: port must be in [1,65535]", ErrConfig, addr)
+	}
+	return nil
+}

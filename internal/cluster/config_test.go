@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseShardsValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []Shard
+	}{
+		{"s0=127.0.0.1:8081", []Shard{{"s0", "127.0.0.1:8081"}}},
+		{"s0=127.0.0.1:8081,s1=127.0.0.1:8082", []Shard{{"s0", "127.0.0.1:8081"}, {"s1", "127.0.0.1:8082"}}},
+		// Bare addresses auto-assign ids in list order.
+		{"127.0.0.1:1,127.0.0.1:2", []Shard{{"s0", "127.0.0.1:1"}, {"s1", "127.0.0.1:2"}}},
+		// Mixed, with whitespace tolerated around entries.
+		{" a=host-1:80 , host2:81 ", []Shard{{"a", "host-1:80"}, {"s1", "host2:81"}}},
+		// IPv6 literals go through net.SplitHostPort.
+		{"v6=[::1]:9000", []Shard{{"v6", "[::1]:9000"}}},
+	}
+	for _, c := range cases {
+		got, err := ParseShards(c.in)
+		if err != nil {
+			t.Fatalf("ParseShards(%q): %v", c.in, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("ParseShards(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("ParseShards(%q)[%d] = %v, want %v", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestParseShardsRejects(t *testing.T) {
+	cases := []string{
+		"",                                    // empty list
+		",",                                   // empty entries
+		"s0=127.0.0.1:8081,",                  // trailing empty entry
+		"s0=127.0.0.1:8081,s0=127.0.0.1:8082", // duplicate id
+		"a=127.0.0.1:80,b=127.0.0.1:80",       // duplicate address
+		"=127.0.0.1:80",                       // empty id
+		"s 0=127.0.0.1:80",                    // invalid id character
+		"s0=127.0.0.1",                        // no port
+		"s0=:80",                              // empty host
+		"s0=127.0.0.1:0",                      // port out of range
+		"s0=127.0.0.1:70000",                  // port out of range
+		"s0=127.0.0.1:http",                   // non-numeric port
+	}
+	for _, in := range cases {
+		if _, err := ParseShards(in); !errors.Is(err, ErrConfig) {
+			t.Fatalf("ParseShards(%q) = %v, want ErrConfig", in, err)
+		}
+	}
+}
+
+func TestNewRejectsBadMembership(t *testing.T) {
+	cases := [][]Shard{
+		nil,
+		{{ID: "a", Addr: "127.0.0.1:80"}, {ID: "a", Addr: "127.0.0.1:81"}},
+		{{ID: "a", Addr: "h:80"}, {ID: "b", Addr: "h:80"}},
+		{{ID: "", Addr: "127.0.0.1:80"}},
+		{{ID: "a", Addr: "nonsense"}},
+	}
+	for i, shards := range cases {
+		if _, err := New(Config{Shards: shards}); !errors.Is(err, ErrConfig) {
+			t.Fatalf("case %d: New = %v, want ErrConfig", i, err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParseShardConfig pins the membership-parsing contract, mirroring
+// serve's FuzzParseQuery: arbitrary shard lists — malformed entries,
+// duplicate ids, bad addresses, hostile lengths — never panic, and either
+// parse into a fully validated membership table or fail with an error
+// wrapping ErrConfig (a startup/4xx error, never a 5xx class crash). A
+// successful parse must also be accepted by New, so nothing the parser
+// admits can fail membership validation later. The seed corpus under
+// testdata/fuzz/FuzzParseShardConfig runs as plain regression cases in
+// every `go test` pass.
+func FuzzParseShardConfig(f *testing.F) {
+	f.Add("s0=127.0.0.1:8081,s1=127.0.0.1:8082")
+	f.Add("127.0.0.1:1,127.0.0.1:2,127.0.0.1:3")
+	f.Add("s0=127.0.0.1:8081,s0=127.0.0.1:8082")
+	f.Add("a=127.0.0.1:80,b=127.0.0.1:80")
+	f.Add("=127.0.0.1:80")
+	f.Add("s0=127.0.0.1:0,s1=127.0.0.1:70000")
+	f.Add(",,,")
+	f.Add("v6=[::1]:9000,v7=[::2]:9001")
+	f.Add("x=host:port")
+	f.Add(strings.Repeat("s=1:2,", 400))
+	f.Fuzz(func(t *testing.T, in string) {
+		shards, err := ParseShards(in)
+		if err != nil {
+			if !errors.Is(err, ErrConfig) {
+				t.Fatalf("ParseShards(%q) error %v does not wrap ErrConfig", in, err)
+			}
+			if shards != nil {
+				t.Fatalf("ParseShards(%q) returned shards alongside an error", in)
+			}
+			return
+		}
+		// A nil-error parse must be a valid membership: non-empty, bounded,
+		// unique ids and addresses, well-formed entries.
+		if len(shards) == 0 || len(shards) > maxShards {
+			t.Fatalf("ParseShards(%q) accepted %d shards", in, len(shards))
+		}
+		ids := make(map[string]bool, len(shards))
+		addrs := make(map[string]bool, len(shards))
+		for _, sh := range shards {
+			if err := checkID(sh.ID); err != nil {
+				t.Fatalf("ParseShards(%q) accepted invalid id %q: %v", in, sh.ID, err)
+			}
+			if err := checkAddr(sh.Addr); err != nil {
+				t.Fatalf("ParseShards(%q) accepted invalid address %q: %v", in, sh.Addr, err)
+			}
+			if ids[sh.ID] || addrs[sh.Addr] {
+				t.Fatalf("ParseShards(%q) accepted duplicate shard %v", in, sh)
+			}
+			ids[sh.ID], addrs[sh.Addr] = true, true
+		}
+		// And the router constructor must agree with the parser.
+		r, err := New(Config{Shards: shards})
+		if err != nil {
+			t.Fatalf("New rejected a parsed membership %v: %v", shards, err)
+		}
+		if r.Healthy() != len(shards) {
+			t.Fatalf("fresh router has %d healthy of %d shards", r.Healthy(), len(shards))
+		}
+	})
+}

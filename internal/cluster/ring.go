@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// vnodesPerShard is the number of ring points each shard contributes.
+// 64 points over ≤ a few dozen shards keeps the max/mean source-ownership
+// imbalance under ~1.3 (TestRingBalance pins it) while a membership
+// rebuild stays microseconds.
+const vnodesPerShard = 64
+
+// hash64 is FNV-1a with a splitmix64 finalizer. Plain FNV spreads poorly
+// over the short, near-identical keys the ring feeds it ("s0#17",
+// sequential vertex ids) — enough to skew shard ownership ~2x — so the
+// finalizer avalanches the bits before they become circle positions.
+// Speed and spread, not cryptographic strength.
+func hash64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return fmix64(h)
+}
+
+// hashSource places a source vertex on the ring circle.
+func hashSource(src int32) uint64 {
+	return fmix64(uint64(uint32(src)) ^ 0x9e3779b97f4a7c15)
+}
+
+// fmix64 is the splitmix64 output permutation: a cheap full-avalanche
+// bijection on uint64.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// ring is an immutable consistent-hash ring over the currently healthy
+// shards. Membership changes build a new ring and swap it atomically, so
+// lookups never lock: a request routed mid-update sees either the old or
+// the new ring, both internally consistent.
+type ring struct {
+	points []ringPoint
+	shards []Shard // healthy shards, in stable membership order
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int32 // index into shards
+}
+
+func buildRing(healthy []Shard) *ring {
+	r := &ring{shards: healthy}
+	if len(healthy) == 0 {
+		return r
+	}
+	r.points = make([]ringPoint, 0, len(healthy)*vnodesPerShard)
+	for si, sh := range healthy {
+		for v := 0; v < vnodesPerShard; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(sh.ID + "#" + itoa(v)),
+				shard: int32(si),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on shard index so equal hashes order deterministically.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// itoa avoids strconv in the rebuild loop's import footprint creep; vnode
+// counts are tiny.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// owners returns every healthy shard in preference order for src: the
+// ring walk starting at src's point, first-occurrence-distinct. Index 0
+// is the owner; the rest are the hedge/retry chain. Returns nil when the
+// ring is empty.
+func (r *ring) owners(src int32) []Shard {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hashSource(src)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	out := make([]Shard, 0, len(r.shards))
+	seen := make([]bool, len(r.shards))
+	for n := 0; n < len(r.points) && len(out) < len(r.shards); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, r.shards[p.shard])
+		}
+	}
+	return out
+}
+
+// membership is the mutable shard table behind the atomic ring pointer.
+// Health transitions rebuild the ring under the mutex; readers only touch
+// the pointer.
+type membership struct {
+	mu      sync.Mutex
+	shards  []Shard
+	healthy []bool
+	ring    atomic.Pointer[ring]
+}
+
+func newMembership(shards []Shard) *membership {
+	m := &membership{
+		shards:  append([]Shard(nil), shards...),
+		healthy: make([]bool, len(shards)),
+	}
+	for i := range m.healthy {
+		m.healthy[i] = true
+	}
+	m.rebuildLocked()
+	return m
+}
+
+// rebuildLocked swaps in a ring over the currently healthy shards; the
+// caller holds mu.
+func (m *membership) rebuildLocked() {
+	var live []Shard
+	for i, ok := range m.healthy {
+		if ok {
+			live = append(live, m.shards[i])
+		}
+	}
+	m.ring.Store(buildRing(live))
+}
+
+// setHealthy transitions one shard's health, rebuilding the ring on
+// change. It reports whether the state actually flipped, so callers can
+// count up/down transitions exactly once.
+func (m *membership) setHealthy(id string, ok bool) (changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, sh := range m.shards {
+		if sh.ID != id {
+			continue
+		}
+		if m.healthy[i] == ok {
+			return false
+		}
+		m.healthy[i] = ok
+		m.rebuildLocked()
+		return true
+	}
+	return false
+}
+
+// current returns the live ring snapshot.
+func (m *membership) current() *ring { return m.ring.Load() }
+
+// healthyCount returns the number of shards currently in the ring.
+func (m *membership) healthyCount() int {
+	return len(m.current().shards)
+}
+
+// snapshot copies the table for /healthz reporting.
+func (m *membership) snapshot() ([]Shard, []bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Shard(nil), m.shards...), append([]bool(nil), m.healthy...)
+}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testShards(n int) []Shard {
+	shards := make([]Shard, n)
+	for i := range shards {
+		shards[i] = Shard{ID: fmt.Sprintf("s%d", i), Addr: fmt.Sprintf("127.0.0.1:%d", 8081+i)}
+	}
+	return shards
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := buildRing(testShards(5))
+	b := buildRing(testShards(5))
+	for src := int32(0); src < 500; src++ {
+		oa, ob := a.owners(src), b.owners(src)
+		if len(oa) != 5 || len(ob) != 5 {
+			t.Fatalf("owners(%d) lengths %d/%d, want 5", src, len(oa), len(ob))
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("owners(%d) differ between identical rings: %v vs %v", src, oa, ob)
+			}
+		}
+	}
+}
+
+func TestRingOwnersDistinct(t *testing.T) {
+	r := buildRing(testShards(4))
+	for src := int32(0); src < 200; src++ {
+		seen := map[string]bool{}
+		for _, sh := range r.owners(src) {
+			if seen[sh.ID] {
+				t.Fatalf("owners(%d) repeats shard %s", src, sh.ID)
+			}
+			seen[sh.ID] = true
+		}
+		if len(seen) != 4 {
+			t.Fatalf("owners(%d) covers %d of 4 shards", src, len(seen))
+		}
+	}
+}
+
+// TestRingBalance pins the vnode count's load guarantee: over a large
+// source space, the most-loaded shard owns at most ~1.6x the mean. A
+// regression here (e.g. dropping vnodes to 1) would silently turn one
+// shard into a hotspot.
+func TestRingBalance(t *testing.T) {
+	const n, sources = 5, 20000
+	r := buildRing(testShards(n))
+	counts := map[string]int{}
+	for src := int32(0); src < sources; src++ {
+		counts[r.owners(src)[0].ID]++
+	}
+	mean := float64(sources) / n
+	for id, c := range counts {
+		if f := float64(c) / mean; f > 1.6 || f < 0.4 {
+			t.Fatalf("shard %s owns %d sources (%.2fx mean); distribution %v", id, c, f, counts)
+		}
+	}
+}
+
+// TestRingConsistency is the property that names the technique: removing
+// one shard only remaps the sources that shard owned. Everything else
+// keeps its owner, so a failure invalidates 1/N of the cache warmth, not
+// all of it.
+func TestRingConsistency(t *testing.T) {
+	shards := testShards(5)
+	full := buildRing(shards)
+	without := buildRing(append(append([]Shard(nil), shards[:2]...), shards[3:]...))
+	removed := shards[2].ID
+	moved := 0
+	for src := int32(0); src < 5000; src++ {
+		before := full.owners(src)[0]
+		after := without.owners(src)[0]
+		if before.ID == removed {
+			moved++
+			continue // this source had to move
+		}
+		if after != before {
+			t.Fatalf("source %d moved from %s to %s though %s was the shard removed",
+				src, before.ID, after.ID, removed)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed shard owned no sources; balance test should have caught this")
+	}
+}
+
+// TestRingFailoverChain: when a shard dies, the sources it owned fail
+// over to the shard that was next in their owner chain — the same shard
+// a hedged or retried request would already have been sent to.
+func TestRingFailoverChain(t *testing.T) {
+	shards := testShards(4)
+	full := buildRing(shards)
+	dead := shards[1]
+	var live []Shard
+	for _, sh := range shards {
+		if sh.ID != dead.ID {
+			live = append(live, sh)
+		}
+	}
+	degraded := buildRing(live)
+	for src := int32(0); src < 2000; src++ {
+		chain := full.owners(src)
+		if chain[0].ID != dead.ID {
+			continue
+		}
+		if got, want := degraded.owners(src)[0], chain[1]; got != want {
+			t.Fatalf("source %d failed over to %s, want next-in-chain %s", src, got.ID, want.ID)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if owners := buildRing(nil).owners(7); owners != nil {
+		t.Fatalf("empty ring returned owners %v", owners)
+	}
+}
+
+func TestMembershipTransitions(t *testing.T) {
+	m := newMembership(testShards(3))
+	if got := m.healthyCount(); got != 3 {
+		t.Fatalf("fresh membership: %d healthy, want 3", got)
+	}
+	if !m.setHealthy("s1", false) {
+		t.Fatal("marking s1 down reported no change")
+	}
+	if m.setHealthy("s1", false) {
+		t.Fatal("re-marking s1 down reported a change")
+	}
+	if got := m.healthyCount(); got != 2 {
+		t.Fatalf("%d healthy after one down, want 2", got)
+	}
+	for src := int32(0); src < 500; src++ {
+		for _, sh := range m.current().owners(src) {
+			if sh.ID == "s1" {
+				t.Fatalf("unhealthy shard s1 still owns source %d", src)
+			}
+		}
+	}
+	if !m.setHealthy("s1", true) {
+		t.Fatal("recovering s1 reported no change")
+	}
+	if got := m.healthyCount(); got != 3 {
+		t.Fatalf("%d healthy after recovery, want 3", got)
+	}
+	if m.setHealthy("unknown", false) {
+		t.Fatal("unknown shard id reported a change")
+	}
+}

@@ -47,6 +47,39 @@ func (m *Metrics) Counter(name string) *Counter {
 	return c
 }
 
+// Timing is a pair of counters recording a duration distribution's mass:
+// <name>.count observations and <name>.sum_ns total nanoseconds. It rides
+// the plain counter registry, so timings export through Snapshot/WriteJSON
+// with no new machinery; consumers derive the mean and rate. The cluster
+// router publishes one per shard (cluster.shard.<id>.latency) to back its
+// hedging decisions with visible data.
+type Timing struct {
+	count, sum *Counter
+}
+
+// Timing returns the named timing, creating its counter pair on first use.
+func (m *Metrics) Timing(name string) Timing {
+	return Timing{count: m.Counter(name + ".count"), sum: m.Counter(name + ".sum_ns")}
+}
+
+// Observe records one duration in nanoseconds.
+func (t Timing) Observe(ns int64) {
+	t.count.Add(1)
+	t.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (t Timing) Count() int64 { return t.count.Load() }
+
+// MeanNs returns the mean observation in nanoseconds (0 when empty).
+func (t Timing) MeanNs() int64 {
+	n := t.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return t.sum.Load() / n
+}
+
 // Snapshot returns a point-in-time copy of every counter.
 func (m *Metrics) Snapshot() map[string]int64 {
 	m.mu.Lock()

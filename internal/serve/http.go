@@ -200,12 +200,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// healthBody is the /healthz payload. Beyond liveness and graph shape it
+// carries what a cluster router's health prober needs to manage the ring:
+// the draining flag (set the moment Shutdown begins, before the final
+// 503s), the admission load, and the cache hit rate, plus the shard's
+// configured identity.
 type healthBody struct {
-	Status     string `json:"status"`
-	Vertices   int    `json:"vertices"`
-	Arcs       int64  `json:"arcs"`
-	CachedRows int    `json:"cached_rows"`
-	Landmarks  int    `json:"landmarks"`
+	Status       string  `json:"status"` // "ok" | "draining"
+	ShardID      string  `json:"shard_id,omitempty"`
+	Vertices     int     `json:"vertices"`
+	Arcs         int64   `json:"arcs"`
+	CachedRows   int     `json:"cached_rows"`
+	Landmarks    int     `json:"landmarks"`
+	Inflight     int     `json:"inflight"`
+	Draining     bool    `json:"draining"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -213,12 +222,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.orc != nil {
 		landmarks = len(s.orc.Landmarks())
 	}
+	status := "ok"
+	draining := s.Draining()
+	if draining {
+		status = "draining"
+	}
+	hitRate := 0.0
+	if lookups := s.m.lookups.Load(); lookups > 0 {
+		hitRate = float64(s.m.hits.Load()) / float64(lookups)
+	}
 	writeJSON(w, http.StatusOK, healthBody{
-		Status:     "ok",
-		Vertices:   s.g.N(),
-		Arcs:       s.g.NumArcs(),
-		CachedRows: s.CachedRows(),
-		Landmarks:  landmarks,
+		Status:       status,
+		ShardID:      s.cfg.ShardID,
+		Vertices:     s.g.N(),
+		Arcs:         s.g.NumArcs(),
+		CachedRows:   s.CachedRows(),
+		Landmarks:    landmarks,
+		Inflight:     s.Inflight(),
+		Draining:     draining,
+		CacheHitRate: hitRate,
 	})
 }
 

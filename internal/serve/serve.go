@@ -82,6 +82,10 @@ type Config struct {
 	// Metrics is the registry the server publishes its counters into
 	// (serve.*); nil creates a private registry.
 	Metrics *obs.Metrics
+	// ShardID is an optional identity label reported in /healthz. A
+	// cluster router matches it against its membership table; standalone
+	// daemons leave it empty.
+	ShardID string
 }
 
 func (c Config) withDefaults() Config {
@@ -234,6 +238,19 @@ func (s *Server) Metrics() *obs.Metrics { return s.cfg.Metrics }
 
 // CachedRows returns the number of distance rows currently resident.
 func (s *Server) CachedRows() int { return s.cache.Len() }
+
+// Inflight returns the number of currently admitted units of work
+// (foreground queries plus background refinements holding a slot).
+func (s *Server) Inflight() int { return len(s.sem) }
+
+// Draining reports whether Shutdown has begun: new work is being refused
+// with ErrClosed. A cluster router's health prober consumes this through
+// /healthz to take the shard out of the ring before its final 503.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
 
 // begin admits one unit of work: it refuses when the server is draining
 // and registers the work so Shutdown can wait for it. Every begin must be

@@ -26,6 +26,10 @@ go test -run '^$' -bench . -benchtime=1x ./internal/kernel/
 echo "== kernel differential suite (registry battery + batch engines vs scalar, race-enabled)"
 go test -race -run 'TestBatch|TestKernel' -count=1 ./internal/core/
 
+echo "== cluster chaos e2e + shard-config fuzz corpus (race-enabled)"
+go test -race -run 'TestClusterChaos|TestRouter|TestDifferentialPartitioning|FuzzParseShardConfig' \
+    -count=1 ./internal/e2e/ ./internal/cluster/
+
 echo "== obs exporters (trace + metrics smoke, tiny scale)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
