@@ -10,7 +10,13 @@
 //	curl 'localhost:8080/dist?u=3&v=17&tol=0.5'     # approximate ok
 //	curl 'localhost:8080/path?u=3&v=17'
 //	curl -d '{"queries":[{"u":1,"v":2},{"u":1,"v":9}]}' localhost:8080/batch
+//	curl -d '{"op":"insert","u":3,"v":17,"w":2}' localhost:8080/edge
 //	curl 'localhost:8080/metrics'
+//
+// The graph is mutable while serving: POST /edge applies one edge
+// insert/delete/reweight and publishes a new immutable snapshot without
+// blocking readers; every response carries the answering snapshot's
+// version in X-Parapsp-Graph-Version.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests complete, background
 // refinements finish, then the process exits 0.

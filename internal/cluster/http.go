@@ -24,6 +24,15 @@ const shardHeader = "X-Parapsp-Shard"
 // see the same observability with or without the cluster in front.
 const solverHeader = "X-Parapsp-Solver"
 
+// versionHeader mirrors serve's per-response graph version. The router
+// passes it through on single-shard routes, and on a merged /batch it
+// refuses to combine shard responses computed at different versions: a
+// mutation that has reached one replica but not another would otherwise
+// mix distances from two different graphs into one answer set. Skewed
+// merges answer 409 + Retry-After — replicas converge as the mutation
+// propagates, so the client simply retries.
+const versionHeader = "X-Parapsp-Graph-Version"
+
 // maxBatchBody mirrors serve's /batch body bound.
 const maxBatchBody = 1 << 20
 
@@ -95,6 +104,9 @@ func (r *Router) writeRouteError(w http.ResponseWriter, err error) {
 func writeForwarded(w http.ResponseWriter, res *fwdResult) {
 	if kind := res.header.Get(solverHeader); kind != "" {
 		w.Header().Set(solverHeader, kind)
+	}
+	if ver := res.header.Get(versionHeader); ver != "" {
+		w.Header().Set(versionHeader, ver)
 	}
 	if ct := res.header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
@@ -224,6 +236,27 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 	}
+	// Version-skew gate: all contributing shards must have answered at the
+	// same graph version, or the merge would mix two different graphs.
+	mergedVer := ""
+	for _, gr := range results {
+		ver := gr.res.header.Get(versionHeader)
+		if ver == "" {
+			continue
+		}
+		if mergedVer == "" {
+			mergedVer = ver
+			continue
+		}
+		if ver != mergedVer {
+			r.m.versionSkew.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusConflict, errorBody{
+				Error: fmt.Sprintf("cluster: graph version skew across shards (%s vs %s); retry after replicas converge", mergedVer, ver),
+			})
+			return
+		}
+	}
 	answers := make([]serve.Answer, len(qs))
 	shardIDs := make([]string, 0, len(results))
 	kinds := make([]string, 0, len(results))
@@ -250,6 +283,9 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 	if len(kinds) > 0 {
 		w.Header().Set(solverHeader, strings.Join(kinds, ","))
 	}
+	if mergedVer != "" {
+		w.Header().Set(versionHeader, mergedVer)
+	}
 	writeJSON(w, http.StatusOK, batchAnswers{Answers: answers})
 }
 
@@ -266,6 +302,11 @@ type shardHealth struct {
 	ID      string `json:"id"`
 	Addr    string `json:"addr"`
 	Healthy bool   `json:"healthy"`
+	// GraphVersion is the shard's graph version from its last successful
+	// probe (0 before any). Divergent values are expected transiently
+	// while a mutation propagates; the /batch merge gate turns them into
+	// 409s instead of mixed answers.
+	GraphVersion uint64 `json:"graph_version,omitempty"`
 }
 
 type clusterHealth struct {
@@ -279,7 +320,10 @@ func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	shards, healthy := r.mem.snapshot()
 	body := clusterHealth{Vertices: r.n.Load()}
 	for i, sh := range shards {
-		body.Shards = append(body.Shards, shardHealth{ID: sh.ID, Addr: sh.Addr, Healthy: healthy[i]})
+		body.Shards = append(body.Shards, shardHealth{
+			ID: sh.ID, Addr: sh.Addr, Healthy: healthy[i],
+			GraphVersion: r.vers[sh.ID].Load(),
+		})
 		if healthy[i] {
 			body.Healthy++
 		}

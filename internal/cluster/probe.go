@@ -17,6 +17,12 @@ import (
 type probeHealth struct {
 	Draining bool  `json:"draining"`
 	Vertices int64 `json:"vertices"`
+	// GraphVersion is recorded per shard for /healthz observability.
+	// Unlike Vertices it is NOT a health criterion: replicas legitimately
+	// diverge for the propagation window of a mutation, and evicting the
+	// laggards would turn every update into a partial outage. The /batch
+	// merge gate handles skew at answer time instead.
+	GraphVersion uint64 `json:"graph_version"`
 }
 
 // Start launches the background health prober: every ProbeInterval, all
@@ -94,6 +100,9 @@ func (r *Router) probeShard(sh Shard) bool {
 	if hb.Draining {
 		r.m.probeFailures.Add(1)
 		return false
+	}
+	if hb.GraphVersion > 0 {
+		r.vers[sh.ID].Store(hb.GraphVersion)
 	}
 	if hb.Vertices > 0 {
 		if !r.n.CompareAndSwap(0, hb.Vertices) && r.n.Load() != hb.Vertices {

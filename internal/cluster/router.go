@@ -111,6 +111,7 @@ type routerMetrics struct {
 	hedges, retries                               *obs.Counter
 	probes, probeFailures, probeMismatch          *obs.Counter
 	shardUp, shardDown, shardsHealthy             *obs.Counter
+	versionSkew                                   *obs.Counter
 }
 
 func newRouterMetrics(reg *obs.Metrics) *routerMetrics {
@@ -135,6 +136,9 @@ func newRouterMetrics(reg *obs.Metrics) *routerMetrics {
 		shardUp:        reg.Counter("cluster.shard_up"),
 		shardDown:      reg.Counter("cluster.shard_down"),
 		shardsHealthy:  reg.Counter("cluster.shards_healthy"),
+		// version_skew counts /batch merges refused (409) because the
+		// contributing shards answered at different graph versions.
+		versionSkew: reg.Counter("cluster.version_skew"),
 	}
 }
 
@@ -151,6 +155,13 @@ type Router struct {
 	// (0 = unknown); shards reporting a different order are refused as
 	// misconfigured. Used to 400 out-of-range queries at the edge.
 	n atomic.Int64
+	// vers tracks each shard's last-probed graph version (0 = unknown),
+	// keyed by shard ID. Purely observational — /healthz exposes it and
+	// operators watch it converge after mutations; the authoritative skew
+	// gate reads the versions off the actual merged responses instead,
+	// because a probe is always a little stale. Fixed key set after New,
+	// so reads need no lock.
+	vers map[string]*atomic.Uint64
 
 	stopProbe            chan struct{}
 	probeWG              sync.WaitGroup
@@ -187,11 +198,13 @@ func New(cfg Config) (*Router, error) {
 		mem:       newMembership(cfg.Shards),
 		m:         newRouterMetrics(cfg.Metrics),
 		lat:       make(map[string]*latencyWindow, len(cfg.Shards)),
+		vers:      make(map[string]*atomic.Uint64, len(cfg.Shards)),
 		client:    cfg.Client,
 		stopProbe: make(chan struct{}),
 	}
 	for _, sh := range cfg.Shards {
 		r.lat[sh.ID] = newLatencyWindow(cfg.Metrics.Timing("cluster.shard." + sh.ID + ".latency"))
+		r.vers[sh.ID] = new(atomic.Uint64)
 	}
 	r.m.shardsHealthy.Set(int64(r.mem.healthyCount()))
 	return r, nil

@@ -1,0 +1,116 @@
+package dyn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"parapsp/internal/baseline"
+	"parapsp/internal/core"
+	"parapsp/internal/gen"
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+// TestMetamorphicRepairEqualsScratch is the metamorphic property behind
+// the whole dynamic subsystem: maintaining every distance row through a
+// random mutation sequence with the incremental rules (retag unaffected
+// rows, RepairImprove repairable ones, full re-solve stale ones) must be
+// checksum-identical to solving the final graph from scratch — across
+// directed/undirected × weighted/unweighted × power-law/grid topologies
+// and 1/2/8-worker from-scratch solves, race-clean.
+func TestMetamorphicRepairEqualsScratch(t *testing.T) {
+	topologies := []struct {
+		name string
+		make func(t *testing.T, undirected bool, w gen.Weighting) *graph.Graph
+	}{
+		{"powerlaw", func(t *testing.T, undirected bool, w gen.Weighting) *graph.Graph {
+			g, err := gen.PowerLawConfiguration(60, 2.5, 2, undirected, 17, w)
+			if err != nil {
+				t.Fatalf("gen: %v", err)
+			}
+			return g
+		}},
+		{"grid", func(t *testing.T, undirected bool, w gen.Weighting) *graph.Graph {
+			g, err := gen.Grid2D(8, 8, undirected, 19, w)
+			if err != nil {
+				t.Fatalf("gen: %v", err)
+			}
+			return g
+		}},
+	}
+	for _, topo := range topologies {
+		for _, undirected := range []bool{false, true} {
+			for _, w := range []gen.Weighting{{}, {Min: 1, Max: 9}} {
+				weighted := w.Min != 0
+				name := fmt.Sprintf("%s/undirected=%v/weighted=%v", topo.name, undirected, weighted)
+				t.Run(name, func(t *testing.T) {
+					g := topo.make(t, undirected, w)
+					runMetamorphic(t, g, w)
+				})
+			}
+		}
+	}
+}
+
+func runMetamorphic(t *testing.T, g *graph.Graph, w gen.Weighting) {
+	n := g.N()
+	st := NewStore(g, nil)
+	rng := rand.New(rand.NewSource(23))
+
+	// Seed all n rows from scratch, then maintain them incrementally.
+	rows := make([][]matrix.Dist, n)
+	for src := 0; src < n; src++ {
+		rows[src] = make([]matrix.Dist, n)
+		baseline.DijkstraSSSP(g, int32(src), rows[src])
+	}
+
+	var retagged, repaired, resolved int
+	const steps = 40
+	for step := 0; step < steps; step++ {
+		op := randomOp(rng, st.Current().G, w)
+		next, ch, err := st.Mutate(op, nil)
+		if err != nil {
+			t.Fatalf("step %d %v: %v", step, op, err)
+		}
+		arcs := ch.Arcs(next.G.Undirected())
+		for src := 0; src < n; src++ {
+			switch Classify(rows[src], ch, next.G.Undirected()) {
+			case RowUnaffected:
+				retagged++
+			case RowRepairable:
+				RepairImprove(next.G, rows[src], arcs...)
+				repaired++
+			case RowStale:
+				baseline.DijkstraSSSP(next.G, int32(src), rows[src])
+				resolved++
+			}
+		}
+	}
+	t.Logf("rows maintained over %d mutations: retagged=%d repaired=%d resolved=%d",
+		steps, retagged, repaired, resolved)
+	if repaired == 0 {
+		t.Fatal("mutation sequence never exercised the repair path")
+	}
+
+	// From-scratch solves of the final graph at 1/2/8 workers must be
+	// checksum-identical to the incrementally maintained rows.
+	final := st.Current().G
+	sources := make([]int32, n)
+	for i := range sources {
+		sources[i] = int32(i)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		sub, err := core.SolveSubset(final, sources, core.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("SolveSubset(workers=%d): %v", workers, err)
+		}
+		concat := make([]matrix.Dist, 0, n*n)
+		for _, src := range sub.Sources {
+			concat = append(concat, rows[src]...)
+		}
+		if got, want := matrix.ChecksumDists(concat), sub.Checksum(); got != want {
+			t.Fatalf("workers=%d: incremental checksum %x != from-scratch %x", workers, got, want)
+		}
+	}
+}

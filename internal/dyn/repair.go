@@ -1,0 +1,78 @@
+package dyn
+
+import (
+	"container/heap"
+
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+// RepairImprove repairs row in place after the improving arcs appeared in
+// g (the *new* graph): a decrease-only Dijkstra seeded at each arc head
+// with the distance the arc now offers. Because labels only ever drop and
+// weights are positive, the search settles each vertex at its exact new
+// distance while touching only vertices whose label actually improves —
+// the pruned-repair property that makes an edge insert orders of
+// magnitude cheaper than re-solving the row. Returns the number of
+// distinct vertices whose label dropped.
+//
+// row must be the exact distance row of the graph *before* the change,
+// and g the graph *after* it (the relaxation must see the new arc, or
+// cascaded improvements through it would be missed).
+func RepairImprove(g *graph.Graph, row []matrix.Dist, arcs ...Arc) int {
+	var h repairHeap
+	improved := 0
+	touched := make(map[int32]bool)
+	lower := func(v int32, d matrix.Dist) {
+		row[v] = d
+		if !touched[v] {
+			touched[v] = true
+			improved++
+		}
+		heap.Push(&h, repairItem{v: v, d: d})
+	}
+	for _, a := range arcs {
+		if nd := matrix.AddSat(row[a.U], a.W); nd < row[a.V] {
+			lower(a.V, nd)
+		}
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(repairItem)
+		if it.d > row[it.v] {
+			continue // stale: a shorter label was found after the push
+		}
+		adj, wts := g.NeighborsW(it.v)
+		for i, t := range adj {
+			w := matrix.Dist(1)
+			if wts != nil {
+				w = wts[i]
+			}
+			if nd := matrix.AddSat(it.d, w); nd < row[t] {
+				lower(t, nd)
+			}
+		}
+	}
+	return improved
+}
+
+// repairItem is one (vertex, tentative distance) heap entry.
+type repairItem struct {
+	v int32
+	d matrix.Dist
+}
+
+// repairHeap is a binary min-heap by distance with lazy deletion, sized
+// for the handful of vertices a typical repair touches.
+type repairHeap []repairItem
+
+func (h repairHeap) Len() int           { return len(h) }
+func (h repairHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h repairHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *repairHeap) Push(x any)        { *h = append(*h, x.(repairItem)) }
+func (h *repairHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	it := old[n]
+	*h = old[:n]
+	return it
+}

@@ -1,0 +1,114 @@
+package dyn
+
+import (
+	"math/rand"
+	"testing"
+
+	"parapsp/internal/baseline"
+	"parapsp/internal/gen"
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+// TestRepairDifferential drives random mutations through the
+// Classify/RepairImprove rules one row at a time and checks every
+// resulting row against Floyd-Warshall on the mutated graph: unaffected
+// rows must already be exact, repairable rows must be exact after the
+// decrease-only repair, and stale verdicts must only ever be issued when
+// the row actually needs a re-solve is *allowed* (a stale verdict is
+// conservative, but an unaffected/repaired verdict must never leave a
+// wrong row behind).
+func TestRepairDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		undirected bool
+		w          gen.Weighting
+	}{
+		{"directed-unweighted", false, gen.Weighting{}},
+		{"directed-weighted", false, gen.Weighting{Min: 1, Max: 9}},
+		{"undirected-unweighted", true, gen.Weighting{}},
+		{"undirected-weighted", true, gen.Weighting{Min: 1, Max: 9}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 48
+			g := testGraph(t, n, tc.undirected, 11, tc.w)
+			st := NewStore(g, nil)
+			rng := rand.New(rand.NewSource(13))
+			for step := 0; step < 60; step++ {
+				old := st.Current()
+				op := randomOp(rng, old.G, tc.w)
+				oldTruth := baseline.FloydWarshall(old.G)
+				next, ch, err := st.Mutate(op, nil)
+				if err != nil {
+					t.Fatalf("step %d %v: %v", step, op, err)
+				}
+				newTruth := baseline.FloydWarshall(next.G)
+				arcs := ch.Arcs(next.G.Undirected())
+				for src := 0; src < n; src++ {
+					row := make([]matrix.Dist, n)
+					copy(row, oldTruth.Row(src))
+					verdict := Classify(row, ch, next.G.Undirected())
+					switch verdict {
+					case RowUnaffected:
+						// Must already be exact for the new graph.
+						for x := 0; x < n; x++ {
+							if row[x] != newTruth.At(src, x) {
+								t.Fatalf("step %d %v: unaffected row %d wrong at %d: %d != %d",
+									step, op, src, x, row[x], newTruth.At(src, x))
+							}
+						}
+					case RowRepairable:
+						improved := RepairImprove(next.G, row, arcs...)
+						if improved == 0 {
+							t.Fatalf("step %d %v: repairable row %d repaired nothing", step, op, src)
+						}
+						for x := 0; x < n; x++ {
+							if row[x] != newTruth.At(src, x) {
+								t.Fatalf("step %d %v: repaired row %d wrong at %d: %d != %d",
+									step, op, src, x, row[x], newTruth.At(src, x))
+							}
+						}
+					case RowStale:
+						if ch.Kind != KindWorsen {
+							t.Fatalf("step %d %v: stale verdict on %v change", step, op, ch.Kind)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// randomOp draws a valid mutation against g's current edge set: inserts
+// pick absent pairs, deletes and reweights pick existing arcs.
+func randomOp(rng *rand.Rand, g *graph.Graph, w gen.Weighting) EdgeOp {
+	n := int32(g.N())
+	weight := func() matrix.Dist {
+		if w.Min == 0 && w.Max == 0 {
+			return 1
+		}
+		return w.Min + matrix.Dist(rng.Int63n(int64(w.Max-w.Min+1)))
+	}
+	for {
+		u := rng.Int31n(n)
+		v := rng.Int31n(n - 1)
+		if v >= u {
+			v++
+		}
+		_, exists := g.ArcWeight(u, v)
+		switch rng.Intn(3) {
+		case 0: // insert
+			if !exists {
+				return EdgeOp{Op: OpInsert, U: u, V: v, W: weight()}
+			}
+		case 1: // delete
+			if exists {
+				return EdgeOp{Op: OpDelete, U: u, V: v}
+			}
+		default: // reweight (skipped on unweighted workloads: weight is pinned to 1)
+			if exists && !(w.Min == 0 && w.Max == 0) {
+				return EdgeOp{Op: OpReweight, U: u, V: v, W: weight()}
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"parapsp/internal/matrix"
+)
+
+// Copy-on-write mutation. A Graph is immutable; the dynamic-graph layer
+// (internal/dyn) evolves one by deriving successor graphs with single-arc
+// splices. Each splice allocates fresh offsets/targets/weights arrays —
+// O(n + m) memcpy — and never touches the receiver, so readers holding
+// the old Graph keep an exact snapshot for as long as they need it.
+
+// Errors returned by the copy-on-write mutators.
+var (
+	ErrNoArc    = errors.New("graph: arc does not exist")
+	ErrSelfLoop = errors.New("graph: self-loop arcs are not supported")
+)
+
+// ArcWeight returns the weight of the arc from→to and whether it exists.
+// For parallel arcs (KeepParallelEdges inputs) the minimum weight is
+// reported, which is the only one a shortest path can use.
+func (g *Graph) ArcWeight(from, to int32) (matrix.Dist, bool) {
+	if from < 0 || int(from) >= g.N() || to < 0 || int(to) >= g.N() {
+		return 0, false
+	}
+	adj, wts := g.NeighborsW(from)
+	var best matrix.Dist
+	ok := false
+	for i, t := range adj {
+		if t != to {
+			continue
+		}
+		w := matrix.Dist(1)
+		if wts != nil {
+			w = wts[i]
+		}
+		if !ok || w < best {
+			best, ok = w, true
+		}
+	}
+	return best, ok
+}
+
+// WithArc returns a copy of g in which the arc from→to exists with weight
+// w, plus the prior weight of the pair (0 if absent). Any parallel arcs
+// between the pair are canonicalized to the single new arc. On an
+// undirected graph both materialized directions are spliced together, so
+// the result stays symmetric. Inserting a non-unit weight into an
+// unweighted graph materializes explicit weights (all prior arcs keep
+// weight 1).
+func (g *Graph) WithArc(from, to int32, w matrix.Dist) (ng *Graph, oldW matrix.Dist, existed bool, err error) {
+	if err := g.checkPair(from, to); err != nil {
+		return nil, 0, false, err
+	}
+	if w == 0 || w == matrix.Inf {
+		return nil, 0, false, fmt.Errorf("%w: got %d", ErrZeroWeight, w)
+	}
+	oldW, existed = g.ArcWeight(from, to)
+	edits := []arcEdit{{from: from, to: to, w: w}}
+	if g.undirected {
+		edits = append(edits, arcEdit{from: to, to: from, w: w})
+	}
+	return g.editArcs(edits), oldW, existed, nil
+}
+
+// WithoutArc returns a copy of g with the arc from→to removed (all
+// parallel arcs of the pair, and both directions on an undirected graph),
+// plus the removed weight. It fails with ErrNoArc when the pair has no
+// arc.
+func (g *Graph) WithoutArc(from, to int32) (ng *Graph, oldW matrix.Dist, err error) {
+	if err := g.checkPair(from, to); err != nil {
+		return nil, 0, err
+	}
+	oldW, existed := g.ArcWeight(from, to)
+	if !existed {
+		return nil, 0, fmt.Errorf("%w: %d->%d", ErrNoArc, from, to)
+	}
+	edits := []arcEdit{{from: from, to: to, del: true}}
+	if g.undirected {
+		edits = append(edits, arcEdit{from: to, to: from, del: true})
+	}
+	return g.editArcs(edits), oldW, nil
+}
+
+func (g *Graph) checkPair(from, to int32) error {
+	if from < 0 || int(from) >= g.N() || to < 0 || int(to) >= g.N() {
+		return fmt.Errorf("%w: arc (%d,%d) in graph of %d vertices", ErrVertexRange, from, to, g.N())
+	}
+	if from == to {
+		return fmt.Errorf("%w: (%d,%d)", ErrSelfLoop, from, to)
+	}
+	return nil
+}
+
+// arcEdit is one directed-arc change: set (insert-or-replace at weight w)
+// or delete (all parallel arcs of the pair).
+type arcEdit struct {
+	from, to int32
+	w        matrix.Dist
+	del      bool
+}
+
+// editArcs rebuilds the CSR arrays with the given edits applied. Untouched
+// adjacency lists are block-copied; only the (at most two) edited sources
+// are merged arc by arc, preserving per-source target order.
+func (g *Graph) editArcs(edits []arcEdit) *Graph {
+	n := g.N()
+	weighted := g.weights != nil
+	for _, e := range edits {
+		if !e.del && e.w != 1 {
+			weighted = true
+		}
+	}
+	bySrc := make(map[int32][]arcEdit, len(edits))
+	for _, e := range edits {
+		bySrc[e.from] = append(bySrc[e.from], e)
+	}
+	mergedT := make(map[int32][]int32, len(bySrc))
+	mergedW := make(map[int32][]matrix.Dist, len(bySrc))
+	m := int(g.NumArcs())
+	for v, ve := range bySrc {
+		ts, ws := g.mergeAdj(v, ve)
+		mergedT[v], mergedW[v] = ts, ws
+		m += len(ts) - g.OutDegree(v)
+	}
+
+	offsets := make([]int64, n+1)
+	targets := make([]int32, 0, m)
+	var wout []matrix.Dist
+	if weighted {
+		wout = make([]matrix.Dist, 0, m)
+	}
+	for v := 0; v < n; v++ {
+		offsets[v] = int64(len(targets))
+		if ts, ok := mergedT[int32(v)]; ok {
+			targets = append(targets, ts...)
+			if weighted {
+				wout = append(wout, mergedW[int32(v)]...)
+			}
+			continue
+		}
+		adj, wts := g.NeighborsW(int32(v))
+		targets = append(targets, adj...)
+		if weighted {
+			if wts != nil {
+				wout = append(wout, wts...)
+			} else {
+				for range adj {
+					wout = append(wout, 1)
+				}
+			}
+		}
+	}
+	offsets[n] = int64(len(targets))
+	return &Graph{offsets: offsets, targets: targets, weights: wout, undirected: g.undirected}
+}
+
+// mergeAdj applies a source's edits to its adjacency list, returning the
+// new (targets, weights) pair with weights materialized.
+func (g *Graph) mergeAdj(v int32, edits []arcEdit) ([]int32, []matrix.Dist) {
+	adj, wts := g.NeighborsW(v)
+	ts := make([]int32, 0, len(adj)+len(edits))
+	ws := make([]matrix.Dist, 0, len(adj)+len(edits))
+	for i, t := range adj {
+		w := matrix.Dist(1)
+		if wts != nil {
+			w = wts[i]
+		}
+		ts, ws = append(ts, t), append(ws, w)
+	}
+	for _, e := range edits {
+		k := 0
+		for i, t := range ts {
+			if t != e.to {
+				ts[k], ws[k] = ts[i], ws[i]
+				k++
+			}
+		}
+		ts, ws = ts[:k], ws[:k]
+		if !e.del {
+			p := sort.Search(len(ts), func(i int) bool { return ts[i] >= e.to })
+			ts = append(ts, 0)
+			copy(ts[p+1:], ts[p:])
+			ts[p] = e.to
+			ws = append(ws, 0)
+			copy(ws[p+1:], ws[p:])
+			ws[p] = e.w
+		}
+	}
+	return ts, ws
+}

@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"parapsp/internal/matrix"
+)
+
+// rebuildWith applies the same logical edge set through a fresh Builder,
+// the oracle for the copy-on-write splice: after any WithArc/WithoutArc
+// sequence the result must equal a graph built from scratch from the
+// surviving edge map.
+func rebuildWith(t *testing.T, n int, undirected, weighted bool, edges map[[2]int32]matrix.Dist) *Graph {
+	t.Helper()
+	b := NewBuilder(n, undirected)
+	if weighted {
+		b.ForceWeighted()
+	}
+	for p, w := range edges {
+		if err := b.AddWeighted(p[0], p[1], w); err != nil {
+			t.Fatalf("AddWeighted(%v, %d): %v", p, w, err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func sameGraph(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if err := got.Validate(); err != nil {
+		t.Fatalf("mutated graph invalid: %v", err)
+	}
+	if got.N() != want.N() || got.NumArcs() != want.NumArcs() {
+		t.Fatalf("shape mismatch: got n=%d m=%d, want n=%d m=%d",
+			got.N(), got.NumArcs(), want.N(), want.NumArcs())
+	}
+	for v := int32(0); int(v) < want.N(); v++ {
+		ga, gw := got.NeighborsW(v)
+		wa, ww := want.NeighborsW(v)
+		if len(ga) != len(wa) {
+			t.Fatalf("vertex %d: degree %d != %d", v, len(ga), len(wa))
+		}
+		for i := range ga {
+			if ga[i] != wa[i] {
+				t.Fatalf("vertex %d arc %d: target %d != %d", v, i, ga[i], wa[i])
+			}
+			gwi, wwi := matrix.Dist(1), matrix.Dist(1)
+			if gw != nil {
+				gwi = gw[i]
+			}
+			if ww != nil {
+				wwi = ww[i]
+			}
+			if gwi != wwi {
+				t.Fatalf("vertex %d arc %d: weight %d != %d", v, i, gwi, wwi)
+			}
+		}
+	}
+}
+
+// TestMutateMatchesRebuild drives a random splice sequence against a
+// mirror edge map for every directed/undirected × weighted/unweighted
+// combination and checks each step against a from-scratch Build.
+func TestMutateMatchesRebuild(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		undirected bool
+		weighted   bool
+	}{
+		{"directed-unweighted", false, false},
+		{"directed-weighted", false, true},
+		{"undirected-unweighted", true, false},
+		{"undirected-weighted", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 24
+			rng := rand.New(rand.NewSource(7))
+			edges := map[[2]int32]matrix.Dist{}
+			key := func(u, v int32) [2]int32 {
+				if tc.undirected && u > v {
+					u, v = v, u
+				}
+				return [2]int32{u, v}
+			}
+			g := rebuildWith(t, n, tc.undirected, tc.weighted, edges)
+			for step := 0; step < 120; step++ {
+				u := int32(rng.Intn(n))
+				v := int32(rng.Intn(n - 1))
+				if v >= u {
+					v++
+				}
+				w := matrix.Dist(1)
+				if tc.weighted {
+					w = matrix.Dist(1 + rng.Intn(9))
+				}
+				k := key(u, v)
+				_, had := edges[k]
+				if had && rng.Intn(2) == 0 {
+					ng, _, err := g.WithoutArc(u, v)
+					if err != nil {
+						t.Fatalf("step %d WithoutArc(%d,%d): %v", step, u, v, err)
+					}
+					delete(edges, k)
+					g = ng
+				} else {
+					ng, oldW, existed, err := g.WithArc(u, v, w)
+					if err != nil {
+						t.Fatalf("step %d WithArc(%d,%d,%d): %v", step, u, v, w, err)
+					}
+					if existed != had {
+						t.Fatalf("step %d: existed=%v, mirror says %v", step, existed, had)
+					}
+					if had && oldW != edges[k] {
+						t.Fatalf("step %d: oldW=%d, mirror says %d", step, oldW, edges[k])
+					}
+					edges[k] = w
+					g = ng
+				}
+				sameGraph(t, g, rebuildWith(t, n, tc.undirected, tc.weighted || g.Weighted(), edges))
+			}
+		})
+	}
+}
+
+func TestMutateImmutableReceiver(t *testing.T) {
+	g, err := FromPairs(4, false, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.NumArcs()
+	if _, _, _, err := g.WithArc(0, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.WithoutArc(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumArcs() != before {
+		t.Fatalf("receiver mutated: arcs %d -> %d", before, g.NumArcs())
+	}
+	if w, ok := g.ArcWeight(0, 1); !ok || w != 1 {
+		t.Fatalf("receiver lost arc 0->1: w=%d ok=%v", w, ok)
+	}
+}
+
+func TestMutateWeightMaterialization(t *testing.T) {
+	g, err := FromPairs(3, true, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Weighted() {
+		t.Fatal("seed graph unexpectedly weighted")
+	}
+	// Unit-weight insert keeps the implicit representation.
+	g1, _, _, err := g.WithArc(1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Weighted() {
+		t.Fatal("unit-weight insert materialized weights")
+	}
+	// A non-unit weight forces materialization; old arcs keep weight 1.
+	g2, _, _, err := g1.WithArc(0, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Weighted() {
+		t.Fatal("non-unit insert did not materialize weights")
+	}
+	if w, ok := g2.ArcWeight(0, 1); !ok || w != 1 {
+		t.Fatalf("arc 0->1 weight %d ok=%v, want 1", w, ok)
+	}
+	if w, ok := g2.ArcWeight(2, 0); !ok || w != 7 {
+		t.Fatalf("undirected reverse arc 2->0 weight %d ok=%v, want 7", w, ok)
+	}
+}
+
+func TestMutateErrors(t *testing.T) {
+	g, err := FromPairs(3, false, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := g.WithArc(0, 0, 1); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("self-loop insert: %v", err)
+	}
+	if _, _, _, err := g.WithArc(0, 5, 1); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("out-of-range insert: %v", err)
+	}
+	if _, _, _, err := g.WithArc(0, 1, 0); !errors.Is(err, ErrZeroWeight) {
+		t.Fatalf("zero-weight insert: %v", err)
+	}
+	if _, _, _, err := g.WithArc(0, 1, matrix.Inf); !errors.Is(err, ErrZeroWeight) {
+		t.Fatalf("inf-weight insert: %v", err)
+	}
+	if _, _, err := g.WithoutArc(1, 0); !errors.Is(err, ErrNoArc) {
+		t.Fatalf("missing-arc delete: %v", err)
+	}
+	if _, ok := g.ArcWeight(0, 2); ok {
+		t.Fatal("ArcWeight reported a nonexistent arc")
+	}
+}

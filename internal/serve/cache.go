@@ -7,12 +7,23 @@ import (
 	"parapsp/internal/matrix"
 )
 
-// rowCache is an LRU cache of completed distance rows keyed by source
-// vertex, with single-flight deduplication: concurrent requests for the
-// same uncomputed source produce exactly one subset solve. The first
-// caller to miss becomes the *owner* of that source and must call fulfill
-// with the solved row (or an error); everyone else who arrives while the
-// entry is pending blocks on the entry's ready channel.
+// rowKey identifies one cached distance row: a source vertex at a graph
+// version. Versioning the key is what lets mutations and queries overlap
+// without blocking: a query pinned to version p only ever sees rows
+// computed for p, while a mutation installs the next version's rows (by
+// re-tag, repair, or omission) alongside the old ones. Entries of
+// superseded versions age out through the ordinary LRU.
+type rowKey struct {
+	src int32
+	ver uint64
+}
+
+// rowCache is an LRU cache of completed distance rows keyed by (source,
+// version), with single-flight deduplication: concurrent requests for the
+// same uncomputed key produce exactly one subset solve. The first caller
+// to miss becomes the *owner* of that key and must call fulfill with the
+// solved row (or an error); everyone else who arrives while the entry is
+// pending blocks on the entry's ready channel.
 //
 // Only ready entries participate in LRU eviction — a pending entry is
 // pinned, because waiters hold a pointer to it and the owner will fulfill
@@ -23,15 +34,15 @@ import (
 type rowCache struct {
 	mu      sync.Mutex
 	cap     int
-	entries map[int32]*cacheEntry
+	entries map[rowKey]*cacheEntry
 	lru     *list.List // ready entries, front = most recently used
 }
 
-// cacheEntry is one source row. row and err are written by the owner
-// before close(ready) and are immutable afterwards; the channel close is
-// the publication point.
+// cacheEntry is one source row at one version. row and err are written by
+// the owner before close(ready) and are immutable afterwards; the channel
+// close is the publication point.
 type cacheEntry struct {
-	src   int32
+	key   rowKey
 	row   []matrix.Dist
 	err   error
 	ready chan struct{}
@@ -44,7 +55,7 @@ func newRowCache(capacity int) *rowCache {
 	}
 	return &rowCache{
 		cap:     capacity,
-		entries: make(map[int32]*cacheEntry, capacity),
+		entries: make(map[rowKey]*cacheEntry, capacity),
 		lru:     list.New(),
 	}
 }
@@ -60,13 +71,14 @@ type acquisition struct {
 	waits []*cacheEntry
 }
 
-// acquire classifies each (deduplicated) source as ready, pending
-// elsewhere, or owned by this caller, updating the hit/miss counters in
-// one critical section so that hits + misses == lookups always reconciles.
-// A source found in the cache counts as a hit whether its row is already
-// ready or still being computed (the coalesced counter separates the
-// latter); only a source that triggers a new solve counts as a miss.
-func (c *rowCache) acquire(sources []int32, m *metrics) acquisition {
+// acquire classifies each (deduplicated) source at version ver as ready,
+// pending elsewhere, or owned by this caller, updating the hit/miss
+// counters in one critical section so that hits + misses == lookups
+// always reconciles. A key found in the cache counts as a hit whether its
+// row is already ready or still being computed (the coalesced counter
+// separates the latter); only a key that triggers a new solve counts as a
+// miss.
+func (c *rowCache) acquire(sources []int32, ver uint64, m *metrics) acquisition {
 	acq := acquisition{rows: make(map[int32][]matrix.Dist, len(sources))}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -78,7 +90,7 @@ func (c *rowCache) acquire(sources []int32, m *metrics) acquisition {
 			continue
 		}
 		m.lookups.Add(1)
-		if e, ok := c.entries[s]; ok {
+		if e, ok := c.entries[rowKey{src: s, ver: ver}]; ok {
 			m.hits.Add(1)
 			if e.elem != nil {
 				c.lru.MoveToFront(e.elem)
@@ -90,8 +102,8 @@ func (c *rowCache) acquire(sources []int32, m *metrics) acquisition {
 			continue
 		}
 		m.misses.Add(1)
-		e := &cacheEntry{src: s, ready: make(chan struct{})}
-		c.entries[s] = e
+		e := &cacheEntry{key: rowKey{src: s, ver: ver}, ready: make(chan struct{})}
+		c.entries[e.key] = e
 		acq.owned = append(acq.owned, s)
 	}
 	return acq
@@ -108,7 +120,7 @@ func containsOwned(owned []int32, s int32) bool {
 
 func containsWait(waits []*cacheEntry, s int32) bool {
 	for _, w := range waits {
-		if w.src == s {
+		if w.key.src == s {
 			return true
 		}
 	}
@@ -116,43 +128,84 @@ func containsWait(waits []*cacheEntry, s int32) bool {
 }
 
 // fulfill publishes the solved rows (or the shared error) for the sources
-// previously acquired as owned, inserts the ready entries into the LRU and
-// evicts past capacity. rowOf returns the immutable row for a source; on a
-// non-nil err the entries are removed instead so a later request retries.
-func (c *rowCache) fulfill(owned []int32, rowOf func(int32) []matrix.Dist, err error, m *metrics) {
+// previously acquired as owned at version ver, inserts the ready entries
+// into the LRU and evicts past capacity. rowOf returns the immutable row
+// for a source; on a non-nil err the entries are removed instead so a
+// later request retries.
+func (c *rowCache) fulfill(owned []int32, ver uint64, rowOf func(int32) []matrix.Dist, err error, m *metrics) {
 	c.mu.Lock()
 	for _, s := range owned {
-		e := c.entries[s]
+		e := c.entries[rowKey{src: s, ver: ver}]
 		if e == nil || e.elem != nil {
 			continue // impossible unless fulfill is called twice; be safe
 		}
 		if err != nil {
 			e.err = err
-			delete(c.entries, s)
+			delete(c.entries, e.key)
 		} else {
 			e.row = rowOf(s)
 			e.elem = c.lru.PushFront(e)
 		}
 		close(e.ready)
 	}
-	for c.lru.Len() > c.cap {
-		back := c.lru.Back()
-		e := c.lru.Remove(back).(*cacheEntry)
-		delete(c.entries, e.src)
-		e.elem = nil
-		m.evictions.Add(1)
-	}
+	c.evictOverCap(m)
 	c.mu.Unlock()
 }
 
-// lookup is the counting fast-path variant of peek: a ready row counts as
-// one lookup + hit and refreshes its LRU recency. Absence counts nothing,
-// because the caller goes on to acquire the source, where it is counted as
-// a hit or a miss — so hits + misses == lookups stays exact.
-func (c *rowCache) lookup(s int32, m *metrics) []matrix.Dist {
+// install inserts an already-solved row as a ready entry for (src, ver) —
+// the mutation path's re-tag/repair primitive, run before the version it
+// tags becomes current. The row is shared, not copied; callers hand over
+// an immutable slice. A pre-existing entry for the key wins (single
+// flight owns it); install then reports false.
+func (c *rowCache) install(src int32, ver uint64, row []matrix.Dist, m *metrics) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.entries[s]; ok && e.elem != nil {
+	key := rowKey{src: src, ver: ver}
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	e := &cacheEntry{key: key, row: row, ready: make(chan struct{})}
+	close(e.ready)
+	c.entries[key] = e
+	e.elem = c.lru.PushFront(e)
+	c.evictOverCap(m)
+	return true
+}
+
+// readyRows snapshots the ready entries of version ver: the row set a
+// mutation must reconcile. Rows are immutable shared slices.
+func (c *rowCache) readyRows(ver uint64) (srcs []int32, rows [][]matrix.Dist) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, e := range c.entries {
+		if key.ver == ver && e.elem != nil {
+			srcs = append(srcs, key.src)
+			rows = append(rows, e.row)
+		}
+	}
+	return srcs, rows
+}
+
+// evictOverCap trims the LRU to capacity; callers hold c.mu.
+func (c *rowCache) evictOverCap(m *metrics) {
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		e := c.lru.Remove(back).(*cacheEntry)
+		delete(c.entries, e.key)
+		e.elem = nil
+		m.evictions.Add(1)
+	}
+}
+
+// lookup is the counting fast-path variant of peek: a ready row at the
+// pinned version counts as one lookup + hit and refreshes its LRU
+// recency. Absence counts nothing, because the caller goes on to acquire
+// the source, where it is counted as a hit or a miss — so hits + misses
+// == lookups stays exact.
+func (c *rowCache) lookup(s int32, ver uint64, m *metrics) []matrix.Dist {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[rowKey{src: s, ver: ver}]; ok && e.elem != nil {
 		m.lookups.Add(1)
 		m.hits.Add(1)
 		c.lru.MoveToFront(e.elem)
@@ -161,28 +214,29 @@ func (c *rowCache) lookup(s int32, m *metrics) []matrix.Dist {
 	return nil
 }
 
-// peek returns the ready row for s without counting a lookup, creating an
-// entry, or touching the LRU order. Internal readers (post-fulfill copies,
-// refinement dedup) use it so bookkeeping reflects only real queries.
-func (c *rowCache) peek(s int32) []matrix.Dist {
+// peek returns the ready row for (s, ver) without counting a lookup,
+// creating an entry, or touching the LRU order. Internal readers
+// (post-fulfill copies, refinement dedup) use it so bookkeeping reflects
+// only real queries.
+func (c *rowCache) peek(s int32, ver uint64) []matrix.Dist {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.entries[s]; ok && e.elem != nil {
+	if e, ok := c.entries[rowKey{src: s, ver: ver}]; ok && e.elem != nil {
 		return e.row
 	}
 	return nil
 }
 
-// contains reports whether s is resident or pending (used to skip
+// contains reports whether (s, ver) is resident or pending (used to skip
 // redundant background refinements).
-func (c *rowCache) contains(s int32) bool {
+func (c *rowCache) contains(s int32, ver uint64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, ok := c.entries[s]
+	_, ok := c.entries[rowKey{src: s, ver: ver}]
 	return ok
 }
 
-// Len returns the number of ready rows currently resident.
+// Len returns the number of ready rows currently resident (all versions).
 func (c *rowCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -2,13 +2,16 @@ package serve
 
 import (
 	"bytes"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"sync"
 	"testing"
 
+	"parapsp/internal/dyn"
 	"parapsp/internal/gen"
+	"parapsp/internal/matrix"
 )
 
 // fuzzSrv lazily builds one tiny shared server for handler-level fuzzing;
@@ -86,6 +89,66 @@ func FuzzParseQuery(f *testing.F) {
 		h.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK && (rec.Code < 400 || rec.Code > 499) {
 			t.Fatalf("/dist status %d for query %q", rec.Code, rawQuery)
+		}
+	})
+}
+
+// FuzzParseEdgeOp pins the mutation-decoding contract: arbitrary /edge
+// bodies never panic and never 5xx — malformed input is always a 4xx —
+// and anything the decoder accepts is a fully validated op (known verb,
+// in-range distinct endpoints, weight in [1,Inf) exactly when the verb
+// takes one) that survives a JSON round-trip unchanged.
+func FuzzParseEdgeOp(f *testing.F) {
+	f.Add([]byte(`{"op":"insert","u":0,"v":1,"w":3}`))
+	f.Add([]byte(`{"op":"reweight","u":2,"v":5,"w":1}`))
+	f.Add([]byte(`{"op":"delete","u":1,"v":0}`))
+	f.Add([]byte(`{"op":"delete","u":1,"v":0,"w":2}`))
+	f.Add([]byte(`{"op":"insert","u":1,"v":1,"w":1}`))
+	f.Add([]byte(`{"op":"insert","u":1,"v":2}`))
+	f.Add([]byte(`{"op":"insert","u":-1,"v":99999999999,"w":0}`))
+	f.Add([]byte(`{"op":"upsert","u":0,"v":1,"w":1}`))
+	f.Add([]byte(`{"op":"insert","u":0,"v":1,"w":4294967295}`))
+	f.Add([]byte(`{"op":"insert","u":0,"v":1,"w":1,"weight":9}`))
+	f.Add([]byte(`{"op":"insert","u":0,"v":1,"w":1}{"op":"delete","u":0,"v":1}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		const n = 16
+		op, err := ParseEdgeOp(body, n)
+		if err == nil {
+			if op.U < 0 || int(op.U) >= n || op.V < 0 || int(op.V) >= n || op.U == op.V {
+				t.Fatalf("ParseEdgeOp accepted invalid endpoints %+v", op)
+			}
+			switch op.Op {
+			case dyn.OpDelete:
+				if op.W != 0 {
+					t.Fatalf("delete carried weight %d", op.W)
+				}
+			case dyn.OpInsert, dyn.OpReweight:
+				if op.W < 1 || op.W >= matrix.Inf {
+					t.Fatalf("ParseEdgeOp accepted weight %d", op.W)
+				}
+			default:
+				t.Fatalf("ParseEdgeOp accepted unknown verb %d", op.Op)
+			}
+			// Valid ops round-trip through the wire format unchanged.
+			wire := fmt.Sprintf(`{"op":%q,"u":%d,"v":%d,"w":%d}`, op.Op, op.U, op.V, op.W)
+			if op.Op == dyn.OpDelete {
+				wire = fmt.Sprintf(`{"op":%q,"u":%d,"v":%d}`, op.Op, op.U, op.V)
+			}
+			back, rerr := ParseEdgeOp([]byte(wire), n)
+			if rerr != nil || back != op {
+				t.Fatalf("round-trip of %+v via %s: %+v, %v", op, wire, back, rerr)
+			}
+		}
+
+		// Handler level: any body yields 200 or a 4xx, never a 5xx. (409s
+		// from valid ops that conflict with the shared fuzz graph are fine.)
+		h := fuzzServer(t)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/edge", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK && (rec.Code < 400 || rec.Code > 499) {
+			t.Fatalf("/edge status %d for body %q", rec.Code, body)
 		}
 	})
 }

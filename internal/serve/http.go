@@ -8,8 +8,10 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 
+	"parapsp/internal/dyn"
 	"parapsp/internal/obs"
 )
 
@@ -21,6 +23,17 @@ const maxBodyBytes = 1 << 20
 // "batch" (multi-source batch engine), "scalar" (per-source subset
 // solver), or "cache" (no solve ran). See the Solver* constants.
 const solverHeader = "X-Parapsp-Solver"
+
+// versionHeader carries the graph version a response was computed at: the
+// pinned snapshot version for queries, the newly published version for
+// mutations, and the current version for /healthz and /metrics. Monotonic
+// per shard; a cluster router uses it to refuse merging answers computed
+// at different versions.
+const versionHeader = "X-Parapsp-Graph-Version"
+
+func setVersion(w http.ResponseWriter, ver uint64) {
+	w.Header().Set(versionHeader, strconv.FormatUint(ver, 10))
+}
 
 // httpServerRef holds the http.Server behind a Serve call so Shutdown can
 // reach it from another goroutine.
@@ -50,18 +63,21 @@ func (r *httpServerRef) shutdown(ctx context.Context) error {
 //	GET  /dist?u=3&v=17[&tol=0.2]   one distance query
 //	GET  /path?u=3&v=17             shortest path (always exact)
 //	POST /batch                     {"queries":[{"u":..,"v":..},...],"tol":0.0}
-//	GET  /healthz                   liveness + graph shape
+//	POST /edge                      {"op":"insert"|"delete"|"reweight","u":..,"v":..[,"w":..]}
+//	GET  /healthz                   liveness + graph shape + version
 //	GET  /metrics                   the obs metrics registry as flat JSON
 //	GET  /debug/pprof/...           the standard Go profiling endpoints
 //
 // Every query handler runs under the drain group and the request-timeout
-// deadline; errors map to 400 (parse), 429 + Retry-After (backpressure),
-// 503 (draining), and 504 (deadline).
+// deadline; errors map to 400 (parse), 409 (edge-mutation conflict),
+// 429 + Retry-After (backpressure), 503 (draining), and 504 (deadline).
+// Every response carries the X-Parapsp-Graph-Version header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/dist", s.handleDist)
 	mux.HandleFunc("/path", s.handlePath)
 	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/edge", s.handleEdge)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -97,10 +113,19 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// writeError maps a query-layer error to its HTTP status.
+// writeError maps a query-layer error to its HTTP status. Error responses
+// carry the current graph version (no pinned snapshot exists for them).
 func (s *Server) writeError(w http.ResponseWriter, err error) {
+	if w.Header().Get(versionHeader) == "" {
+		setVersion(w, s.Version())
+	}
 	switch {
 	case errors.Is(err, ErrParse):
+		s.m.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	case errors.Is(err, dyn.ErrNoEdge), errors.Is(err, dyn.ErrEdgeExists):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	case errors.Is(err, dyn.ErrOp):
 		s.m.badRequests.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrBusy):
@@ -126,18 +151,19 @@ func labeled(endpoint string, fn func()) {
 
 func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 	labeled("dist", func() {
-		u, v, tol, err := ParseDistQuery(r.URL.Query(), s.g.N())
+		u, v, tol, err := ParseDistQuery(r.URL.Query(), s.n)
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
-		ans, kind, err := s.DistKind(r.Context(), u, v, tol)
+		as, kind, ver, err := s.BatchPinned(r.Context(), []Query{{U: u, V: v}}, tol)
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
 		w.Header().Set(solverHeader, kind)
-		writeJSON(w, http.StatusOK, ans)
+		setVersion(w, ver)
+		writeJSON(w, http.StatusOK, as[0])
 	})
 }
 
@@ -149,17 +175,18 @@ type pathBody struct {
 
 func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	labeled("path", func() {
-		u, v, _, err := ParseDistQuery(r.URL.Query(), s.g.N())
+		u, v, _, err := ParseDistQuery(r.URL.Query(), s.n)
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
-		path, ans, kind, err := s.PathKind(r.Context(), u, v)
+		path, ans, kind, ver, err := s.PathPinned(r.Context(), u, v)
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
 		w.Header().Set(solverHeader, kind)
+		setVersion(w, ver)
 		body := pathBody{Answer: ans, Path: path, Hops: len(path) - 1}
 		if path == nil {
 			body.Path = []int32{}
@@ -185,18 +212,46 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: "body: " + err.Error()})
 			return
 		}
-		qs, tol, err := ParseBatch(data, s.g.N(), s.cfg.MaxBatch)
+		qs, tol, err := ParseBatch(data, s.n, s.cfg.MaxBatch)
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
-		as, kind, err := s.BatchKind(r.Context(), qs, tol)
+		as, kind, ver, err := s.BatchPinned(r.Context(), qs, tol)
 		if err != nil {
 			s.writeError(w, err)
 			return
 		}
 		w.Header().Set(solverHeader, kind)
+		setVersion(w, ver)
 		writeJSON(w, http.StatusOK, batchBody{Answers: as})
+	})
+}
+
+func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
+	labeled("edge", func() {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+			return
+		}
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			s.m.badRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "body: " + err.Error()})
+			return
+		}
+		op, err := ParseEdgeOp(data, s.n)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		res, err := s.ApplyEdge(op)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		setVersion(w, res.Version)
+		writeJSON(w, http.StatusOK, res)
 	})
 }
 
@@ -210,6 +265,7 @@ type healthBody struct {
 	ShardID      string  `json:"shard_id,omitempty"`
 	Vertices     int     `json:"vertices"`
 	Arcs         int64   `json:"arcs"`
+	GraphVersion uint64  `json:"graph_version"`
 	CachedRows   int     `json:"cached_rows"`
 	Landmarks    int     `json:"landmarks"`
 	Inflight     int     `json:"inflight"`
@@ -218,9 +274,10 @@ type healthBody struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
 	landmarks := 0
-	if s.orc != nil {
-		landmarks = len(s.orc.Landmarks())
+	if snap.Oracle != nil {
+		landmarks = len(snap.Oracle.Landmarks())
 	}
 	status := "ok"
 	draining := s.Draining()
@@ -231,11 +288,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if lookups := s.m.lookups.Load(); lookups > 0 {
 		hitRate = float64(s.m.hits.Load()) / float64(lookups)
 	}
+	setVersion(w, snap.Version)
 	writeJSON(w, http.StatusOK, healthBody{
 		Status:       status,
 		ShardID:      s.cfg.ShardID,
-		Vertices:     s.g.N(),
-		Arcs:         s.g.NumArcs(),
+		Vertices:     s.n,
+		Arcs:         snap.G.NumArcs(),
+		GraphVersion: snap.Version,
 		CachedRows:   s.CachedRows(),
 		Landmarks:    landmarks,
 		Inflight:     s.Inflight(),
@@ -246,5 +305,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	setVersion(w, s.Version())
 	_ = s.cfg.Metrics.WriteJSON(w)
 }

@@ -1,12 +1,16 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net/url"
 	"strconv"
+
+	"parapsp/internal/dyn"
+	"parapsp/internal/matrix"
 )
 
 // ErrParse marks request-decoding failures; the HTTP layer maps anything
@@ -101,4 +105,63 @@ func ParseBatch(data []byte, n, maxBatch int) ([]Query, float64, error) {
 		qs[i] = Query{U: int32(*q.U), V: int32(*q.V)}
 	}
 	return qs, wire.Tol, nil
+}
+
+// edgeWire is the /edge request body. Pointer fields distinguish missing
+// from zero, int64 decoding rejects overflow instead of truncating, and
+// DisallowUnknownFields keeps typos (e.g. "weight") from silently parsing
+// as a default-weight op.
+type edgeWire struct {
+	Op string `json:"op"`
+	U  *int64 `json:"u"`
+	V  *int64 `json:"v"`
+	W  *int64 `json:"w"`
+}
+
+// ParseEdgeOp decodes a /edge mutation body against a graph of n
+// vertices. The op verb must be insert, delete, or reweight; u and v are
+// required and range-checked; w is required for insert and reweight
+// (positive, below the Inf sentinel) and must be absent for delete.
+// Self-loops are rejected here so the mutation layer only ever sees
+// well-formed ops. Every error wraps ErrParse — malformed input is always
+// a 4xx, never a panic, as FuzzParseEdgeOp pins.
+func ParseEdgeOp(data []byte, n int) (dyn.EdgeOp, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var wire edgeWire
+	if err := dec.Decode(&wire); err != nil {
+		return dyn.EdgeOp{}, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	if dec.More() {
+		return dyn.EdgeOp{}, fmt.Errorf("%w: trailing data after edge op", ErrParse)
+	}
+	op, err := dyn.ParseOp(wire.Op)
+	if err != nil {
+		return dyn.EdgeOp{}, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	if wire.U == nil || wire.V == nil {
+		return dyn.EdgeOp{}, fmt.Errorf("%w: edge op missing u or v", ErrParse)
+	}
+	if *wire.U < 0 || *wire.U >= int64(n) || *wire.V < 0 || *wire.V >= int64(n) {
+		return dyn.EdgeOp{}, fmt.Errorf("%w: edge vertex out of range [0,%d)", ErrParse, n)
+	}
+	if *wire.U == *wire.V {
+		return dyn.EdgeOp{}, fmt.Errorf("%w: self-loop edges are not supported", ErrParse)
+	}
+	eop := dyn.EdgeOp{Op: op, U: int32(*wire.U), V: int32(*wire.V)}
+	switch op {
+	case dyn.OpDelete:
+		if wire.W != nil {
+			return dyn.EdgeOp{}, fmt.Errorf("%w: delete takes no weight", ErrParse)
+		}
+	default: // insert, reweight
+		if wire.W == nil {
+			return dyn.EdgeOp{}, fmt.Errorf("%w: %s requires a weight", ErrParse, op)
+		}
+		if *wire.W < 1 || *wire.W >= int64(matrix.Inf) {
+			return dyn.EdgeOp{}, fmt.Errorf("%w: weight %d out of range [1,%d)", ErrParse, *wire.W, matrix.Inf)
+		}
+		eop.W = matrix.Dist(*wire.W)
+	}
+	return eop, nil
 }

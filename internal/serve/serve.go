@@ -3,15 +3,29 @@
 // where the graph is too large to precompute and hold all O(n^2) rows, so
 // distances are computed on demand and reused.
 //
-// A Server owns a graph, an LRU cache of completed distance rows keyed by
-// source vertex, and a landmark oracle (internal/oracle) for approximate
-// answers. Queries for uncached sources run the subset solver
-// (core.SolveSubset) — batched per request, so the row-reuse dynamic
-// programming that powers ParAPSP still fires between the sources of one
-// batch — and the cache deduplicates concurrent solves of the same source
-// (single flight). Callers that set a tolerance can be answered from the
-// oracle's triangle-inequality bounds when the cache is cold, with exact
-// refinement queued in the background.
+// A Server owns a versioned graph store (internal/dyn), an LRU cache of
+// completed distance rows keyed by (source, graph version), and a landmark
+// oracle (internal/oracle) for approximate answers. Queries for uncached
+// sources run the subset solver (core.SolveSubset) — batched per request,
+// so the row-reuse dynamic programming that powers ParAPSP still fires
+// between the sources of one batch — and the cache deduplicates concurrent
+// solves of the same source (single flight). Callers that set a tolerance
+// can be answered from the oracle's triangle-inequality bounds when the
+// cache is cold, with exact refinement queued in the background.
+//
+// The graph is dynamic: ApplyEdge (HTTP: POST /edge) inserts, deletes, or
+// reweights an edge, publishing a new copy-on-write snapshot with a
+// monotonically increasing version. Queries pin the current snapshot at
+// admission and answer entirely against it — a mutation never blocks a
+// reader, and an in-flight query keeps its pinned version even if ten
+// mutations land while it runs. Before a new version becomes visible, the
+// mutation reconciles the row cache: rows the changed edge cannot affect
+// are re-tagged to the new version for free, rows an improved edge can
+// lower are repaired in place by a bounded SSSP seeded at the edge
+// (dyn.RepairImprove), and rows invalidated by a delete/increase are
+// simply not carried forward — the next query re-solves them. Every
+// response carries the answering version in the X-Parapsp-Graph-Version
+// header.
 //
 // Resource safety: in-flight work is bounded by a semaphore (excess
 // requests fail fast with ErrBusy, which the HTTP layer maps to 429 +
@@ -30,6 +44,7 @@ import (
 	"time"
 
 	"parapsp/internal/core"
+	"parapsp/internal/dyn"
 	"parapsp/internal/graph"
 	"parapsp/internal/matrix"
 	"parapsp/internal/obs"
@@ -37,7 +52,8 @@ import (
 )
 
 // Errors surfaced by the query API. The HTTP layer maps ErrBusy to 429,
-// ErrClosed to 503, and context deadline errors to 504.
+// ErrClosed to 503, and context deadline errors to 504; edge-mutation
+// conflicts (dyn.ErrNoEdge, dyn.ErrEdgeExists) map to 409.
 var (
 	ErrBusy   = errors.New("serve: too many in-flight requests")
 	ErrClosed = errors.New("serve: server is shutting down")
@@ -63,7 +79,9 @@ type Config struct {
 	// row costs 4*n bytes.
 	CacheRows int
 	// Landmarks is the oracle's landmark count (default 16); negative
-	// disables the oracle entirely, making every query exact.
+	// disables the oracle entirely, making every query exact. The oracle
+	// only answers at the graph version it was built for: the first edge
+	// mutation retires it, after which every query is exact.
 	Landmarks int
 	// MaxInflight bounds concurrently admitted queries (default 64).
 	// Excess requests fail with ErrBusy instead of queueing without bound.
@@ -114,37 +132,54 @@ func (c Config) withDefaults() Config {
 }
 
 // metrics holds the server's counter handles, looked up once so the hot
-// path only does atomic adds. The cache invariant the stress tests pin is
-// lookups == hits + misses (coalesced is a subset of hits).
+// path only does atomic adds. Two ledgers are pinned by the stress tests:
+// the cache invariant lookups == hits + misses (coalesced is a subset of
+// hits), and the mutation invariant dyn.scanned == dyn.retagged +
+// dyn.repaired + dyn.invalidated (every cached row a mutation examines
+// lands in exactly one bucket).
 type metrics struct {
 	lookups, hits, misses, coalesced, evictions *obs.Counter
 	solves, solvedRows                          *obs.Counter
 	batchSolves, scalarSolves                   *obs.Counter
 	requests, throttled, timeouts, badRequests  *obs.Counter
 	exact, approx, refines                      *obs.Counter
+
+	mutations, mutationConflicts         *obs.Counter
+	dynScanned, dynRetagged, dynRepaired *obs.Counter
+	dynRepairedLabels, dynInvalidated    *obs.Counter
 }
 
 func newServeMetrics(reg *obs.Metrics) *metrics {
 	return &metrics{
-		lookups:     reg.Counter("serve.cache.lookups"),
-		hits:        reg.Counter("serve.cache.hits"),
-		misses:      reg.Counter("serve.cache.misses"),
-		coalesced:   reg.Counter("serve.cache.coalesced"),
-		evictions:   reg.Counter("serve.cache.evictions"),
-		solves:      reg.Counter("serve.solve.batches"),
-		solvedRows:  reg.Counter("serve.solve.rows"),
+		lookups:    reg.Counter("serve.cache.lookups"),
+		hits:       reg.Counter("serve.cache.hits"),
+		misses:     reg.Counter("serve.cache.misses"),
+		coalesced:  reg.Counter("serve.cache.coalesced"),
+		evictions:  reg.Counter("serve.cache.evictions"),
+		solves:     reg.Counter("serve.solve.batches"),
+		solvedRows: reg.Counter("serve.solve.rows"),
 		// serve.solve.batch/scalar split serve.solve.batches by the core
 		// engine that ran the subset solve, so cache-cold batch wins are
 		// visible in the serving metrics without a trace.
 		batchSolves:  reg.Counter("serve.solve.batch"),
 		scalarSolves: reg.Counter("serve.solve.scalar"),
-		requests:    reg.Counter("serve.requests"),
-		throttled:   reg.Counter("serve.throttled"),
-		timeouts:    reg.Counter("serve.timeouts"),
-		badRequests: reg.Counter("serve.bad_requests"),
-		exact:       reg.Counter("serve.answers.exact"),
-		approx:      reg.Counter("serve.answers.approx"),
-		refines:     reg.Counter("serve.refines"),
+		requests:     reg.Counter("serve.requests"),
+		throttled:    reg.Counter("serve.throttled"),
+		timeouts:     reg.Counter("serve.timeouts"),
+		badRequests:  reg.Counter("serve.bad_requests"),
+		exact:        reg.Counter("serve.answers.exact"),
+		approx:       reg.Counter("serve.answers.approx"),
+		refines:      reg.Counter("serve.refines"),
+		// The dynamic-graph ledger: every committed mutation scans the
+		// current version's ready rows and each scanned row is re-tagged,
+		// repaired, or invalidated — never more than one of them.
+		mutations:         reg.Counter("serve.dyn.mutations"),
+		mutationConflicts: reg.Counter("serve.dyn.conflicts"),
+		dynScanned:        reg.Counter("serve.dyn.scanned"),
+		dynRetagged:       reg.Counter("serve.dyn.retagged"),
+		dynRepaired:       reg.Counter("serve.dyn.repaired"),
+		dynRepairedLabels: reg.Counter("serve.dyn.repaired_labels"),
+		dynInvalidated:    reg.Counter("serve.dyn.invalidated"),
 	}
 }
 
@@ -167,16 +202,17 @@ type Answer struct {
 	Upper int64 `json:"upper"`
 }
 
-// Server answers distance and path queries over a fixed graph.
+// Server answers distance and path queries over a versioned graph.
 type Server struct {
-	g   *graph.Graph
-	tr  *graph.Graph // reverse adjacency for path reconstruction
-	orc *oracle.Oracle
-	cfg Config
+	store *dyn.Store
+	n     int // vertex count; mutations never change it
+	cfg   Config
 
 	cache *rowCache
 	m     *metrics
 	sem   chan struct{}
+
+	dynMu sync.Mutex // serializes ApplyEdge's reconcile+publish sequence
 
 	mu      sync.Mutex // guards closed + wg.Add ordering vs Shutdown
 	closed  bool
@@ -185,15 +221,14 @@ type Server struct {
 }
 
 // New builds a server: it validates the config, constructs the landmark
-// oracle (unless disabled), and precomputes the reverse adjacency needed
-// for path reconstruction on directed graphs.
+// oracle (unless disabled), and seeds the version store at version 1.
 func New(g *graph.Graph, cfg Config) (*Server, error) {
 	if g == nil || g.N() == 0 {
 		return nil, fmt.Errorf("serve: nil or empty graph")
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		g:       g,
+		n:       g.N(),
 		cfg:     cfg,
 		cache:   newRowCache(cfg.CacheRows),
 		m:       newServeMetrics(cfg.Metrics),
@@ -212,31 +247,36 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: kernel %q cannot serve this graph: %w", cfg.Kernel, err)
 		}
 	}
-	if g.Undirected() {
-		s.tr = g
-	} else {
-		s.tr = g.Transpose()
-	}
+	var orc *oracle.Oracle
 	if cfg.Landmarks > 0 {
-		orc, err := oracle.Build(g, oracle.Options{Landmarks: cfg.Landmarks, Workers: cfg.Workers})
+		o, err := oracle.Build(g, oracle.Options{Landmarks: cfg.Landmarks, Workers: cfg.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("serve: oracle build: %w", err)
 		}
-		s.orc = orc
+		orc = o
 	}
+	s.store = dyn.NewStore(g, orc)
 	return s, nil
 }
 
-// Graph returns the served graph.
-func (s *Server) Graph() *graph.Graph { return s.g }
+// Graph returns the currently served graph (the latest published
+// version). Queries in flight may still be answering against an earlier
+// pinned version.
+func (s *Server) Graph() *graph.Graph { return s.store.Current().G }
 
-// Oracle returns the landmark oracle, or nil when disabled.
-func (s *Server) Oracle() *oracle.Oracle { return s.orc }
+// Oracle returns the landmark oracle of the current snapshot, or nil when
+// disabled or retired by a mutation.
+func (s *Server) Oracle() *oracle.Oracle { return s.store.Current().Oracle }
+
+// Version returns the current graph version. It starts at 1 and increases
+// by exactly one per committed mutation.
+func (s *Server) Version() uint64 { return s.store.Version() }
 
 // Metrics returns the registry the server publishes into.
 func (s *Server) Metrics() *obs.Metrics { return s.cfg.Metrics }
 
-// CachedRows returns the number of distance rows currently resident.
+// CachedRows returns the number of distance rows currently resident
+// (across all versions).
 func (s *Server) CachedRows() int { return s.cache.Len() }
 
 // Inflight returns the number of currently admitted units of work
@@ -298,8 +338,8 @@ func (s *Server) withDeadline(ctx context.Context) (context.Context, context.Can
 }
 
 func (s *Server) checkVertex(v int32) error {
-	if v < 0 || int(v) >= s.g.N() {
-		return fmt.Errorf("serve: vertex %d out of range [0,%d)", v, s.g.N())
+	if v < 0 || int(v) >= s.n {
+		return fmt.Errorf("serve: vertex %d out of range [0,%d)", v, s.n)
 	}
 	return nil
 }
@@ -338,7 +378,7 @@ func (s *Server) Dist(ctx context.Context, u, v int32, tol float64) (Answer, err
 
 // DistKind is Dist plus the solver kind that produced the answer.
 func (s *Server) DistKind(ctx context.Context, u, v int32, tol float64) (Answer, string, error) {
-	as, kind, err := s.BatchKind(ctx, []Query{{U: u, V: v}}, tol)
+	as, kind, _, err := s.BatchPinned(ctx, []Query{{U: u, V: v}}, tol)
 	if err != nil {
 		return Answer{}, "", err
 	}
@@ -356,7 +396,7 @@ func (s *Server) DistKind(ctx context.Context, u, v int32, tol float64) (Answer,
 // exact refinement of the source row is scheduled in the background for
 // subsequent queries. tol must be finite and >= 0.
 func (s *Server) Batch(ctx context.Context, qs []Query, tol float64) ([]Answer, error) {
-	as, _, err := s.BatchKind(ctx, qs, tol)
+	as, _, _, err := s.BatchPinned(ctx, qs, tol)
 	return as, err
 }
 
@@ -365,30 +405,40 @@ func (s *Server) Batch(ctx context.Context, qs []Query, tol float64) ([]Answer, 
 // ran for the cache-missing sources, SolverCache when every query was
 // answered without one.
 func (s *Server) BatchKind(ctx context.Context, qs []Query, tol float64) ([]Answer, string, error) {
+	as, kind, _, err := s.BatchPinned(ctx, qs, tol)
+	return as, kind, err
+}
+
+// BatchPinned is BatchKind plus the graph version the request pinned: the
+// whole batch — cache lookups, oracle bounds, and subset solves alike —
+// is answered against exactly that snapshot, regardless of concurrent
+// mutations.
+func (s *Server) BatchPinned(ctx context.Context, qs []Query, tol float64) ([]Answer, string, uint64, error) {
 	if len(qs) == 0 {
-		return nil, "", fmt.Errorf("serve: empty batch")
+		return nil, "", 0, fmt.Errorf("serve: empty batch")
 	}
 	if len(qs) > s.cfg.MaxBatch {
-		return nil, "", fmt.Errorf("serve: batch of %d exceeds limit %d", len(qs), s.cfg.MaxBatch)
+		return nil, "", 0, fmt.Errorf("serve: batch of %d exceeds limit %d", len(qs), s.cfg.MaxBatch)
 	}
 	if math.IsNaN(tol) || math.IsInf(tol, 0) || tol < 0 {
-		return nil, "", fmt.Errorf("serve: invalid tolerance %g", tol)
+		return nil, "", 0, fmt.Errorf("serve: invalid tolerance %g", tol)
 	}
 	for _, q := range qs {
 		if err := s.checkVertex(q.U); err != nil {
-			return nil, "", err
+			return nil, "", 0, err
 		}
 		if err := s.checkVertex(q.V); err != nil {
-			return nil, "", err
+			return nil, "", 0, err
 		}
 	}
 	release, err := s.admit()
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	defer release()
 	ctx, cancel := s.withDeadline(ctx)
 	defer cancel()
+	pin := s.store.Current()
 
 	out := make([]Answer, len(qs))
 	var needSrc []int32
@@ -399,17 +449,17 @@ func (s *Server) BatchKind(ctx context.Context, qs []Query, tol float64) ([]Answ
 			s.m.exact.Add(1)
 			continue
 		}
-		if row := s.cache.lookup(q.U, s.m); row != nil {
+		if row := s.cache.lookup(q.U, pin.Version, s.m); row != nil {
 			out[i] = exactAnswer(q, row[q.V])
 			s.m.exact.Add(1)
 			continue
 		}
-		if tol > 0 && s.orc != nil {
-			lo, up := s.orc.Bounds(q.U, q.V)
+		if tol > 0 && pin.Oracle != nil {
+			lo, up := pin.Oracle.Bounds(q.U, q.V)
 			if up != matrix.Inf && float64(up-lo) <= tol*float64(lo) {
 				out[i] = approxAnswer(q, lo, up)
 				s.m.approx.Add(1)
-				s.refineAsync(q.U)
+				s.refineAsync(q.U, pin)
 				continue
 			}
 		}
@@ -418,9 +468,9 @@ func (s *Server) BatchKind(ctx context.Context, qs []Query, tol float64) ([]Answ
 	}
 	kind := SolverCache
 	if len(needSrc) > 0 {
-		rows, solveKind, err := s.rows(ctx, needSrc)
+		rows, solveKind, err := s.rows(ctx, pin, needSrc)
 		if err != nil {
-			return nil, "", err
+			return nil, "", 0, err
 		}
 		kind = solveKind
 		for _, i := range pending {
@@ -429,7 +479,7 @@ func (s *Server) BatchKind(ctx context.Context, qs []Query, tol float64) ([]Answ
 			s.m.exact.Add(1)
 		}
 	}
-	return out, kind, nil
+	return out, kind, pin.Version, nil
 }
 
 func exactAnswer(q Query, d matrix.Dist) Answer {
@@ -449,24 +499,24 @@ func distToJSON(d matrix.Dist) int64 {
 	return int64(d)
 }
 
-// rows resolves the distance rows of the given sources through the cache:
-// sources this caller owns are solved in one subset batch, sources pending
-// under another request are waited on. The returned rows are immutable
-// shared snapshots. The kind reports which solver ran: a kernel-qualified
-// "batch/..." or "scalar/..." value when this caller owned sources,
-// SolverCache when every source was already resident or pending under
-// another request.
-func (s *Server) rows(ctx context.Context, sources []int32) (map[int32][]matrix.Dist, string, error) {
+// rows resolves the distance rows of the given sources through the cache
+// at the pinned snapshot: sources this caller owns are solved in one
+// subset batch against pin.G, sources pending under another request are
+// waited on. The returned rows are immutable shared snapshots. The kind
+// reports which solver ran: a kernel-qualified "batch/..." or "scalar/..."
+// value when this caller owned sources, SolverCache when every source was
+// already resident or pending under another request.
+func (s *Server) rows(ctx context.Context, pin *dyn.Snapshot, sources []int32) (map[int32][]matrix.Dist, string, error) {
 	kind := SolverCache
-	acq := s.cache.acquire(sources, s.m)
+	acq := s.cache.acquire(sources, pin.Version, s.m)
 	if len(acq.owned) > 0 {
-		sub, err := core.SolveSubset(s.g, acq.owned, core.Options{
+		sub, err := core.SolveSubset(pin.G, acq.owned, core.Options{
 			Workers: s.cfg.Workers,
 			Batch:   s.cfg.Batch,
 			Kernel:  s.cfg.Kernel,
 		})
 		if err != nil {
-			s.cache.fulfill(acq.owned, nil, err, s.m)
+			s.cache.fulfill(acq.owned, pin.Version, nil, err, s.m)
 			return nil, "", err
 		}
 		s.m.solves.Add(1)
@@ -477,19 +527,19 @@ func (s *Server) rows(ctx context.Context, sources []int32) (map[int32][]matrix.
 		} else {
 			s.m.scalarSolves.Add(1)
 		}
-		s.cache.fulfill(acq.owned, func(src int32) []matrix.Dist {
+		s.cache.fulfill(acq.owned, pin.Version, func(src int32) []matrix.Dist {
 			// Copy out of the SubsetResult so the cache retains only the
 			// rows it wants, not the whole k*n block.
-			row := make([]matrix.Dist, s.g.N())
+			row := make([]matrix.Dist, s.n)
 			copy(row, sub.Row(src))
 			return row
 		}, nil, s.m)
 		for _, src := range acq.owned {
-			acq.rows[src] = s.cache.peek(src)
+			acq.rows[src] = s.cache.peek(src, pin.Version)
 			if acq.rows[src] == nil {
 				// Evicted between fulfill and here (cache smaller than the
 				// batch): fall back to the solver's copy.
-				row := make([]matrix.Dist, s.g.N())
+				row := make([]matrix.Dist, s.n)
 				copy(row, sub.Row(src))
 				acq.rows[src] = row
 			}
@@ -501,7 +551,7 @@ func (s *Server) rows(ctx context.Context, sources []int32) (map[int32][]matrix.
 			if e.err != nil {
 				return nil, "", e.err
 			}
-			acq.rows[e.src] = e.row
+			acq.rows[e.key.src] = e.row
 		case <-ctx.Done():
 			s.m.timeouts.Add(1)
 			return nil, "", ctx.Err()
@@ -510,12 +560,12 @@ func (s *Server) rows(ctx context.Context, sources []int32) (map[int32][]matrix.
 	return acq.rows, kind, nil
 }
 
-// refineAsync schedules an exact solve of src's row so that future queries
-// are exact, bounded by the same in-flight semaphore as foreground work
-// (refinement is shed entirely under load) and registered with the drain
-// group so Shutdown waits for it.
-func (s *Server) refineAsync(src int32) {
-	if s.cache.contains(src) {
+// refineAsync schedules an exact solve of src's row at the pinned version
+// so that future queries are exact, bounded by the same in-flight
+// semaphore as foreground work (refinement is shed entirely under load)
+// and registered with the drain group so Shutdown waits for it.
+func (s *Server) refineAsync(src int32, pin *dyn.Snapshot) {
+	if s.cache.contains(src, pin.Version) {
 		return
 	}
 	s.mu.Lock()
@@ -536,7 +586,7 @@ func (s *Server) refineAsync(src int32) {
 		defer func() { <-s.sem }()
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 		defer cancel()
-		if _, _, err := s.rows(ctx, []int32{src}); err == nil {
+		if _, _, err := s.rows(ctx, pin, []int32{src}); err == nil {
 			s.m.refines.Add(1)
 		}
 	}()
@@ -547,34 +597,131 @@ func (s *Server) refineAsync(src int32) {
 // u's distance row by walking predecessors over the reverse adjacency, so
 // they need no O(n^2) next-hop matrix.
 func (s *Server) Path(ctx context.Context, u, v int32) ([]int32, Answer, error) {
-	path, ans, _, err := s.PathKind(ctx, u, v)
+	path, ans, _, _, err := s.PathPinned(ctx, u, v)
 	return path, ans, err
 }
 
 // PathKind is Path plus the solver kind that resolved u's distance row.
 func (s *Server) PathKind(ctx context.Context, u, v int32) ([]int32, Answer, string, error) {
+	path, ans, kind, _, err := s.PathPinned(ctx, u, v)
+	return path, ans, kind, err
+}
+
+// PathPinned is PathKind plus the pinned graph version: the distance row
+// and the predecessor walk both resolve against that one snapshot.
+func (s *Server) PathPinned(ctx context.Context, u, v int32) ([]int32, Answer, string, uint64, error) {
 	if err := s.checkVertex(u); err != nil {
-		return nil, Answer{}, "", err
+		return nil, Answer{}, "", 0, err
 	}
 	if err := s.checkVertex(v); err != nil {
-		return nil, Answer{}, "", err
+		return nil, Answer{}, "", 0, err
 	}
 	release, err := s.admit()
 	if err != nil {
-		return nil, Answer{}, "", err
+		return nil, Answer{}, "", 0, err
 	}
 	defer release()
 	ctx, cancel := s.withDeadline(ctx)
 	defer cancel()
-	rows, kind, err := s.rows(ctx, []int32{u})
+	pin := s.store.Current()
+	rows, kind, err := s.rows(ctx, pin, []int32{u})
 	if err != nil {
-		return nil, Answer{}, "", err
+		return nil, Answer{}, "", 0, err
 	}
 	row := rows[u]
 	ans := exactAnswer(Query{U: u, V: v}, row[v])
 	s.m.exact.Add(1)
-	path := reconstructPath(s.tr, row, u, v)
-	return path, ans, kind, nil
+	path := reconstructPath(pin.TR, row, u, v)
+	return path, ans, kind, pin.Version, nil
+}
+
+// ApplyResult reports what one committed edge mutation did: the published
+// version and the fate of every cached row of the previous version.
+type ApplyResult struct {
+	// Version is the graph version the mutation published.
+	Version uint64 `json:"version"`
+	// Kind is the monotone effect class: "improve", "worsen", or "none".
+	Kind string `json:"kind"`
+	// OldW is the edge weight before the op (0 for an insert).
+	OldW int64 `json:"old_w"`
+	// Scanned counts the previous version's cached rows the mutation
+	// examined; Scanned == Retagged + Repaired + Invalidated always.
+	Scanned int `json:"scanned"`
+	// Retagged rows were provably unaffected and carried forward for
+	// free (shared, not copied).
+	Retagged int `json:"retagged"`
+	// Repaired rows were affected by an improving edge and fixed in
+	// place by the bounded repair SSSP; RepairedLabels sums the distance
+	// labels the repairs lowered.
+	Repaired       int `json:"repaired"`
+	RepairedLabels int `json:"repaired_labels"`
+	// Invalidated rows were hit by a worsening edge through a tight arc
+	// and dropped; the next query for them re-solves from scratch.
+	Invalidated int `json:"invalidated"`
+}
+
+// ApplyEdge applies one edge mutation and publishes the next graph
+// version. Readers are never blocked: in-flight queries keep answering
+// against their pinned snapshots, and the row cache is reconciled —
+// unaffected rows re-tagged, improvable rows repaired, stale rows dropped
+// — before the new version becomes visible, so the first query at the new
+// version already finds a warm, exact cache. Mutations are serialized.
+// Conflicts (inserting an existing edge, deleting or reweighting a missing
+// one) fail with dyn.ErrEdgeExists / dyn.ErrNoEdge.
+func (s *Server) ApplyEdge(op dyn.EdgeOp) (ApplyResult, error) {
+	if err := s.begin(); err != nil {
+		return ApplyResult{}, err
+	}
+	defer s.end()
+	s.dynMu.Lock()
+	defer s.dynMu.Unlock()
+
+	var res ApplyResult
+	next, ch, err := s.store.Mutate(op, func(old, next *dyn.Snapshot, ch dyn.Change) {
+		s.reconcile(old, next, ch, &res)
+	})
+	if err != nil {
+		if errors.Is(err, dyn.ErrNoEdge) || errors.Is(err, dyn.ErrEdgeExists) {
+			s.m.mutationConflicts.Add(1)
+		}
+		return ApplyResult{}, err
+	}
+	s.m.mutations.Add(1)
+	res.Version = next.Version
+	res.Kind = ch.Kind.String()
+	res.OldW = int64(ch.OldW)
+	return res, nil
+}
+
+// reconcile carries the previous version's cached rows over to the next
+// version, inside the mutation's pre-publish window (no query can run at
+// next.Version yet, so installs cannot collide with single-flight owners).
+func (s *Server) reconcile(old, next *dyn.Snapshot, ch dyn.Change, res *ApplyResult) {
+	srcs, rows := s.cache.readyRows(old.Version)
+	arcs := ch.Arcs(next.G.Undirected())
+	undirected := next.G.Undirected()
+	for i, src := range srcs {
+		row := rows[i]
+		res.Scanned++
+		switch dyn.Classify(row, ch, undirected) {
+		case dyn.RowUnaffected:
+			s.cache.install(src, next.Version, row, s.m)
+			res.Retagged++
+		case dyn.RowRepairable:
+			repaired := make([]matrix.Dist, len(row))
+			copy(repaired, row)
+			res.RepairedLabels += dyn.RepairImprove(next.G, repaired, arcs...)
+			s.cache.install(src, next.Version, repaired, s.m)
+			res.Repaired++
+		case dyn.RowStale:
+			res.Invalidated++
+		}
+	}
+	s.m.dynScanned.Add(int64(res.Scanned))
+	s.m.dynRetagged.Add(int64(res.Retagged))
+	s.m.dynRepaired.Add(int64(res.Repaired))
+	s.m.dynRepairedLabels.Add(int64(res.RepairedLabels))
+	s.m.dynInvalidated.Add(int64(res.Invalidated))
 }
 
 // Shutdown drains the server: new work is refused with ErrClosed, the

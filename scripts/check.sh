@@ -30,6 +30,10 @@ echo "== cluster chaos e2e + shard-config fuzz corpus (race-enabled)"
 go test -race -run 'TestClusterChaos|TestRouter|TestDifferentialPartitioning|FuzzParseShardConfig' \
     -count=1 ./internal/e2e/ ./internal/cluster/
 
+echo "== dynamic-graph differential suite + /edge fuzz corpus (race-enabled)"
+go test -race -run 'TestDynamic|TestMetamorphic|TestRepair|TestStore|TestSnapshot|TestVersionPinned|TestEdgeEndpoint|TestMutate|FuzzParseEdgeOp' \
+    -count=1 ./internal/dyn/ ./internal/serve/ ./internal/graph/
+
 echo "== obs exporters (trace + metrics smoke, tiny scale)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
