@@ -43,6 +43,7 @@ func main() {
 		kjson   = flag.String("kerneljson", "", "write the kernelcmp experiment report as JSON to this path and exit")
 		batchj  = flag.String("batchjson", "", "write the batch experiment report as JSON to this path and exit")
 		sjson   = flag.String("servejson", "", "write the serve experiment report as JSON to this path and exit")
+		stjson  = flag.String("storejson", "", "write the tiered-store experiment report as JSON to this path and exit")
 		trace   = flag.String("trace", "", "run one instrumented ParAPSP solve, write a Chrome trace_event JSON to this path, and exit")
 		metrics = flag.Bool("metrics", false, "run one instrumented ParAPSP solve, print its metrics as JSON on stdout, and exit")
 	)
@@ -97,6 +98,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("wrote", *sjson)
+		return
+	}
+
+	if *stjson != "" {
+		if err := bench.WriteStoreReport(*stjson, cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *stjson)
 		return
 	}
 

@@ -1,7 +1,8 @@
 // Command parapspd is the long-running distance-query daemon: it loads a
 // graph (or generates a synthetic one), builds the landmark oracle, and
-// answers distance/path queries over HTTP with an LRU row cache backed by
-// the subset solver.
+// answers distance/path queries over HTTP from a tiered distance store —
+// a hot LRU of uncompressed rows, a warm tier of delta-compressed frames,
+// and an optional cold tier spilled to disk — backed by the subset solver.
 //
 // Usage:
 //
@@ -48,7 +49,12 @@ func main() {
 		kernelSel    = flag.String("kernel", "", "subset-solver SSSP kernel: "+strings.Join(core.Kernels(), "|")+", or "+core.KernelAuto+" to pick per solve from graph features (default: static policy)")
 		addr         = flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
 		workers      = flag.Int("workers", 1, "solver workers per subset solve")
-		cacheRows    = flag.Int("cache-rows", 256, "LRU row-cache capacity (4*n bytes per row)")
+		cacheRows    = flag.Int("cache-rows", 256, "deprecated alias for -cache-bytes: hot-tier capacity in rows (4*n bytes per row)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "hot-tier (T1) byte budget for uncompressed rows (0: derive from -cache-rows)")
+		warmBytes    = flag.Int64("warm-bytes", 0, "warm-tier (T2) byte budget for delta-compressed rows (0: 4x the hot budget, negative disables)")
+		spillBytes   = flag.Int64("spill-bytes", 0, "cold-tier (T3) byte budget for frames spilled to disk (0 disables; requires -spill-dir)")
+		spillDir     = flag.String("spill-dir", "", "directory of the cold-tier arena file (reopened on restart to warm-start the tier)")
+		oracleFile   = flag.String("oracle-file", "", "persist the landmark oracle here: load if it matches the graph, else build and save")
 		landmarks    = flag.Int("landmarks", 16, "oracle landmarks (negative disables approximate answers)")
 		maxInflight  = flag.Int("max-inflight", 64, "admitted concurrent queries before 429")
 		maxBatch     = flag.Int("max-batch", 256, "largest accepted /batch request")
@@ -86,6 +92,11 @@ func main() {
 		Workers:        *workers,
 		Kernel:         *kernelSel,
 		CacheRows:      *cacheRows,
+		CacheBytes:     *cacheBytes,
+		WarmBytes:      *warmBytes,
+		SpillBytes:     *spillBytes,
+		SpillDir:       *spillDir,
+		OraclePath:     *oracleFile,
 		Landmarks:      *landmarks,
 		MaxInflight:    *maxInflight,
 		MaxBatch:       *maxBatch,

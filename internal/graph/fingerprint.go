@@ -1,0 +1,36 @@
+package graph
+
+// Fingerprint returns a structural hash of the graph: vertex count,
+// directedness, and every arc with its weight, folded through FNV-1a/64.
+// Two graphs share a fingerprint exactly when their CSR contents match,
+// which is what pins on-disk artifacts (the cold-tier spill arena, saved
+// landmark oracles) to the graph they were computed for.
+func (g *Graph) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= uint64(byte(v >> s))
+			h *= prime64
+		}
+	}
+	mix(uint64(g.N()))
+	if g.undirected {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	for _, o := range g.offsets {
+		mix(uint64(o))
+	}
+	for i, t := range g.targets {
+		mix(uint64(uint32(t)))
+		if g.weights != nil {
+			mix(uint64(g.weights[i]))
+		}
+	}
+	return h
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically updated atomic int64 metric. The zero value
@@ -67,6 +68,9 @@ func (t Timing) Observe(ns int64) {
 	t.count.Add(1)
 	t.sum.Add(ns)
 }
+
+// ObserveSince records the time elapsed since start.
+func (t Timing) ObserveSince(start time.Time) { t.Observe(time.Since(start).Nanoseconds()) }
 
 // Count returns the number of observations.
 func (t Timing) Count() int64 { return t.count.Load() }

@@ -174,6 +174,78 @@ func (o *Oracle) Estimate(u, v int32) matrix.Dist {
 	return up
 }
 
+// BoundsWithin is the sketch-answer fast path: it tightens bounds
+// landmark by landmark and exits as soon as upper <= (1+tol)*lower,
+// returning (lower, upper, true) with the certificate bounds, or the
+// final bounds and false when no prefix of landmarks certifies the
+// tolerance. It never allocates, so a sketch-answered query touches no
+// row tier at all. u == v certifies trivially at (0, 0).
+func (o *Oracle) BoundsWithin(u, v int32, tol float64) (lower, upper matrix.Dist, ok bool) {
+	if u == v {
+		return 0, 0, true
+	}
+	lower, upper = 0, matrix.Inf
+	for i := range o.landmarks {
+		du := o.to[i][u]   // d(u, L)
+		dv := o.from[i][v] // d(L, v)
+		if du != matrix.Inf && dv != matrix.Inf {
+			if s := matrix.AddSat(du, dv); s < upper {
+				upper = s
+			}
+		}
+		dvl := o.to[i][v] // d(v, L)
+		if du != matrix.Inf && dvl != matrix.Inf {
+			var diff matrix.Dist
+			if du > dvl {
+				diff = du - dvl
+			} else if !o.directed {
+				diff = dvl - du
+			}
+			if diff > lower {
+				lower = diff
+			}
+		}
+		dlu := o.from[i][u] // d(L, u)
+		if dlu != matrix.Inf && dv != matrix.Inf {
+			var diff matrix.Dist
+			if dv > dlu {
+				diff = dv - dlu
+			} else if !o.directed {
+				diff = dlu - dv
+			}
+			if diff > lower {
+				lower = diff
+			}
+		}
+		if upper != matrix.Inf && float64(upper) <= (1+tol)*float64(lower) {
+			return lower, upper, true
+		}
+	}
+	if lower > upper {
+		lower = upper
+	}
+	return lower, upper, false
+}
+
+// NearestLandmark returns the index (0-based, into Landmarks()) of the
+// landmark closest to v in the d(v, L) direction, and that distance.
+// Index -1 means no landmark reaches v. This is the dictionary-selection
+// primitive for the compressed row tiers: encoding v's row against its
+// nearest landmark's row bounds every finite delta by d(v, L).
+func (o *Oracle) NearestLandmark(v int32) (int, matrix.Dist) {
+	best, bestD := -1, matrix.Inf
+	for i := range o.landmarks {
+		if d := o.to[i][v]; d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// FromRow returns landmark i's outgoing row d(landmark_i, ·), aliasing
+// internal storage; callers must not modify it.
+func (o *Oracle) FromRow(i int) []matrix.Dist { return o.from[i] }
+
 // String describes the oracle.
 func (o *Oracle) String() string {
 	return fmt.Sprintf("oracle.Oracle(k=%d, n=%d, %d KiB)", len(o.landmarks), o.n, o.MemBytes()>>10)

@@ -1,0 +1,148 @@
+package oracle
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"parapsp/internal/graph"
+	"parapsp/internal/matrix"
+)
+
+// Oracle persistence: building k landmark rows costs k SSSP runs, which
+// dominates parapspd's startup on large graphs. Save writes the finished
+// oracle next to the spill arena; Load restores it in one sequential read
+// when the stored graph fingerprint matches, so a restart warm-starts
+// both the cold tier (arena recovery) and its compression dictionary.
+//
+// File layout (all integers little-endian):
+//
+//	[ 8] magic "PAPSORC1"
+//	[ 8] graph fingerprint
+//	[ 8] n (uint64)
+//	[ 8] k (uint64)
+//	[ 1] flags: bit0 directed, bit1 separate to-rows
+//	[4k] landmark vertex ids (int32)
+//	[4kn] from rows
+//	[4kn] to rows (only when bit1 set)
+const persistMagic = "PAPSORC1"
+
+// Save writes the oracle to path atomically (temp file + rename), keyed
+// by the graph's fingerprint.
+func (o *Oracle) Save(path string, fingerprint uint64) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("oracle: save: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	sharedTo := len(o.from) > 0 && len(o.to) > 0 && &o.to[0][0] == &o.from[0][0]
+	var flags byte
+	if o.directed {
+		flags |= 1
+	}
+	if !sharedTo {
+		flags |= 2
+	}
+	hdr := make([]byte, 33)
+	copy(hdr[:8], persistMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], fingerprint)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(o.n))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(o.landmarks)))
+	hdr[32] = flags
+	w.Write(hdr)
+	var b4 [4]byte
+	for _, L := range o.landmarks {
+		binary.LittleEndian.PutUint32(b4[:], uint32(L))
+		w.Write(b4[:])
+	}
+	writeRows := func(rows [][]matrix.Dist) {
+		for _, row := range rows {
+			for _, d := range row {
+				binary.LittleEndian.PutUint32(b4[:], uint32(d))
+				w.Write(b4[:])
+			}
+		}
+	}
+	writeRows(o.from)
+	if !sharedTo {
+		writeRows(o.to)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("oracle: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("oracle: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("oracle: save: %w", err)
+	}
+	return nil
+}
+
+// Load restores an oracle saved for the given graph. A missing file,
+// foreign fingerprint, or malformed content returns an error; the caller
+// falls back to Build.
+func Load(path string, g *graph.Graph, fingerprint uint64) (*Oracle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: load: %w", err)
+	}
+	if len(data) < 33 || string(data[:8]) != persistMagic {
+		return nil, fmt.Errorf("oracle: load %s: not an oracle file", path)
+	}
+	if got := binary.LittleEndian.Uint64(data[8:16]); got != fingerprint {
+		return nil, fmt.Errorf("oracle: load %s: fingerprint 0x%016x, graph is 0x%016x", path, got, fingerprint)
+	}
+	n := int(binary.LittleEndian.Uint64(data[16:24]))
+	k := int(binary.LittleEndian.Uint64(data[24:32]))
+	flags := data[32]
+	if n != g.N() || k <= 0 || k > n {
+		return nil, fmt.Errorf("oracle: load %s: n=%d k=%d does not fit graph n=%d", path, n, k, g.N())
+	}
+	directed := flags&1 != 0
+	separateTo := flags&2 != 0
+	need := 33 + 4*k + 4*k*n
+	if separateTo {
+		need += 4 * k * n
+	}
+	if len(data) != need {
+		return nil, fmt.Errorf("oracle: load %s: %d bytes, want %d", path, len(data), need)
+	}
+	o := &Oracle{n: n, directed: directed}
+	p := data[33:]
+	o.landmarks = make([]int32, k)
+	for i := range o.landmarks {
+		v := int32(binary.LittleEndian.Uint32(p))
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("oracle: load %s: landmark %d out of range", path, v)
+		}
+		o.landmarks[i] = v
+		p = p[4:]
+	}
+	readRows := func() [][]matrix.Dist {
+		rows := make([][]matrix.Dist, k)
+		flat := make([]matrix.Dist, k*n)
+		for i := range rows {
+			row := flat[i*n : (i+1)*n]
+			for j := range row {
+				row[j] = matrix.Dist(binary.LittleEndian.Uint32(p))
+				p = p[4:]
+			}
+			rows[i] = row
+		}
+		return rows
+	}
+	o.from = readRows()
+	if separateTo {
+		o.to = readRows()
+	} else {
+		o.to = o.from
+	}
+	return o, nil
+}

@@ -1,0 +1,101 @@
+package oracle
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parapsp/internal/gen"
+	"parapsp/internal/graph"
+)
+
+func persistGraph(t *testing.T, n int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := gen.PowerLawConfiguration(n, 2.5, 2, true, seed, gen.Weighting{})
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	return g
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	g := persistGraph(t, 200, 17)
+	o, err := Build(g, Options{Landmarks: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := g.Fingerprint()
+	path := filepath.Join(t.TempDir(), "oracle.bin")
+	if err := o.Save(path, fp); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := Load(path, g, fp)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if lg, lo := got.Landmarks(), o.Landmarks(); len(lg) != len(lo) {
+		t.Fatalf("landmark count drifted: %d vs %d", len(lg), len(lo))
+	}
+	for i, L := range o.Landmarks() {
+		if got.Landmarks()[i] != L {
+			t.Fatalf("landmark %d drifted: %d vs %d", i, got.Landmarks()[i], L)
+		}
+	}
+	n := int32(g.N())
+	for u := int32(0); u < n; u += 13 {
+		for v := int32(0); v < n; v += 17 {
+			lo1, up1 := o.Bounds(u, v)
+			lo2, up2 := got.Bounds(u, v)
+			if lo1 != lo2 || up1 != up2 {
+				t.Fatalf("Bounds(%d,%d) drifted across persistence: [%d,%d] vs [%d,%d]",
+					u, v, lo1, up1, lo2, up2)
+			}
+		}
+	}
+}
+
+func TestPersistRejects(t *testing.T) {
+	g := persistGraph(t, 80, 3)
+	o, err := Build(g, Options{Landmarks: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := g.Fingerprint()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "oracle.bin")
+	if err := o.Save(path, fp); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Load(path, g, fp+1); err == nil {
+		t.Error("loaded under a foreign fingerprint")
+	}
+	other := persistGraph(t, 81, 4)
+	if _, err := Load(path, other, fp); err == nil {
+		t.Error("loaded onto a graph of different order")
+	}
+	if _, err := Load(filepath.Join(dir, "absent.bin"), g, fp); err == nil {
+		t.Error("loaded a missing file")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.bin")
+	if err := os.WriteFile(trunc, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(trunc, g, fp); err == nil {
+		t.Error("loaded a truncated file")
+	}
+	garbled := append([]byte{}, data...)
+	copy(garbled[:8], "NOTMAGIC")
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, garbled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad, g, fp); err == nil {
+		t.Error("loaded a file with a foreign magic")
+	}
+}

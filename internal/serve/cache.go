@@ -31,11 +31,25 @@ type rowKey struct {
 // slice, so a reader that obtained the row before the eviction keeps a
 // valid immutable snapshot (rows are written once, before the ready
 // channel closes, and never mutated after).
+//
+// Capacity is a byte budget (4 bytes per distance label), not a row
+// count: this is the hot tier (T1) of the tiered store, and byte
+// accounting is what lets the three tier budgets compose into one memory
+// envelope. At least one ready row is always retained, so a budget below
+// one row degrades to a single-row cache instead of thrashing. Evicted
+// rows are handed to onEvict (when set) outside the cache mutex — the
+// serving layer demotes them into the compressed warm tier instead of
+// discarding the compute they embody.
 type rowCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[rowKey]*cacheEntry
-	lru     *list.List // ready entries, front = most recently used
+	mu       sync.Mutex
+	capBytes int64
+	bytes    int64 // bytes of ready rows resident in the LRU
+	entries  map[rowKey]*cacheEntry
+	lru      *list.List // ready entries, front = most recently used
+
+	// onEvict, when non-nil, receives each evicted ready entry after the
+	// cache mutex is released. It must not call back into the cache.
+	onEvict func(src int32, ver uint64, row []matrix.Dist)
 }
 
 // cacheEntry is one source row at one version. row and err are written by
@@ -49,16 +63,19 @@ type cacheEntry struct {
 	elem  *list.Element // non-nil while resident in the LRU (ready only)
 }
 
-func newRowCache(capacity int) *rowCache {
-	if capacity < 1 {
-		capacity = 1
+func newRowCache(capBytes int64) *rowCache {
+	if capBytes < 1 {
+		capBytes = 1
 	}
 	return &rowCache{
-		cap:     capacity,
-		entries: make(map[rowKey]*cacheEntry, capacity),
-		lru:     list.New(),
+		capBytes: capBytes,
+		entries:  make(map[rowKey]*cacheEntry),
+		lru:      list.New(),
 	}
 }
+
+// rowBytes is the resident cost of one ready row.
+func rowBytes(row []matrix.Dist) int64 { return int64(len(row)) * 4 }
 
 // acquisition is the outcome of one batched cache lookup.
 type acquisition struct {
@@ -90,8 +107,10 @@ func (c *rowCache) acquire(sources []int32, ver uint64, m *metrics) acquisition 
 			continue
 		}
 		m.lookups.Add(1)
+		m.storeLookups.Add(1)
 		if e, ok := c.entries[rowKey{src: s, ver: ver}]; ok {
 			m.hits.Add(1)
+			m.storeT1.Add(1)
 			if e.elem != nil {
 				c.lru.MoveToFront(e.elem)
 				acq.rows[s] = e.row
@@ -101,6 +120,9 @@ func (c *rowCache) acquire(sources []int32, ver uint64, m *metrics) acquisition 
 			}
 			continue
 		}
+		// A hot miss is not yet a store miss: the caller consults the
+		// compressed tiers before solving, and the outcome lands in exactly
+		// one of serve.store.{t2_promotes, t3_promotes, misses}.
 		m.misses.Add(1)
 		e := &cacheEntry{key: rowKey{src: s, ver: ver}, ready: make(chan struct{})}
 		c.entries[e.key] = e
@@ -145,11 +167,25 @@ func (c *rowCache) fulfill(owned []int32, ver uint64, rowOf func(int32) []matrix
 		} else {
 			e.row = rowOf(s)
 			e.elem = c.lru.PushFront(e)
+			c.bytes += rowBytes(e.row)
 		}
 		close(e.ready)
 	}
-	c.evictOverCap(m)
+	evicted := c.evictOverCap(m)
 	c.mu.Unlock()
+	c.demote(evicted)
+}
+
+// demote hands evicted entries to the onEvict hook outside the cache
+// mutex (the hook encodes into the compressed tiers, which takes the
+// store's own lock).
+func (c *rowCache) demote(evicted []*cacheEntry) {
+	if c.onEvict == nil {
+		return
+	}
+	for _, e := range evicted {
+		c.onEvict(e.key.src, e.key.ver, e.row)
+	}
 }
 
 // install inserts an already-solved row as a ready entry for (src, ver) —
@@ -159,16 +195,19 @@ func (c *rowCache) fulfill(owned []int32, ver uint64, rowOf func(int32) []matrix
 // flight owns it); install then reports false.
 func (c *rowCache) install(src int32, ver uint64, row []matrix.Dist, m *metrics) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	key := rowKey{src: src, ver: ver}
 	if _, ok := c.entries[key]; ok {
+		c.mu.Unlock()
 		return false
 	}
 	e := &cacheEntry{key: key, row: row, ready: make(chan struct{})}
 	close(e.ready)
 	c.entries[key] = e
 	e.elem = c.lru.PushFront(e)
-	c.evictOverCap(m)
+	c.bytes += rowBytes(row)
+	evicted := c.evictOverCap(m)
+	c.mu.Unlock()
+	c.demote(evicted)
 	return true
 }
 
@@ -186,15 +225,21 @@ func (c *rowCache) readyRows(ver uint64) (srcs []int32, rows [][]matrix.Dist) {
 	return srcs, rows
 }
 
-// evictOverCap trims the LRU to capacity; callers hold c.mu.
-func (c *rowCache) evictOverCap(m *metrics) {
-	for c.lru.Len() > c.cap {
+// evictOverCap trims the LRU to the byte budget, always retaining at
+// least one ready row, and returns the evicted entries for demotion.
+// Callers hold c.mu and must pass the return to demote after unlocking.
+func (c *rowCache) evictOverCap(m *metrics) []*cacheEntry {
+	var evicted []*cacheEntry
+	for c.bytes > c.capBytes && c.lru.Len() > 1 {
 		back := c.lru.Back()
 		e := c.lru.Remove(back).(*cacheEntry)
 		delete(c.entries, e.key)
 		e.elem = nil
+		c.bytes -= rowBytes(e.row)
 		m.evictions.Add(1)
+		evicted = append(evicted, e)
 	}
+	return evicted
 }
 
 // lookup is the counting fast-path variant of peek: a ready row at the
@@ -208,6 +253,8 @@ func (c *rowCache) lookup(s int32, ver uint64, m *metrics) []matrix.Dist {
 	if e, ok := c.entries[rowKey{src: s, ver: ver}]; ok && e.elem != nil {
 		m.lookups.Add(1)
 		m.hits.Add(1)
+		m.storeLookups.Add(1)
+		m.storeT1.Add(1)
 		c.lru.MoveToFront(e.elem)
 		return e.row
 	}
@@ -241,4 +288,11 @@ func (c *rowCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// Bytes returns the resident bytes of ready rows (all versions).
+func (c *rowCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

@@ -272,6 +272,14 @@ func TestDynamicMutateWhileQueryDifferential(t *testing.T) {
 		t.Fatalf("reconciler never exercised retag (%d) or invalidate (%d)",
 			snap["serve.dyn.retagged"], snap["serve.dyn.invalidated"])
 	}
+	// The tiered store reconciles alongside the hot cache: its ledger
+	// must account for every compressed frame a mutation examined.
+	if snap["serve.store.dyn.scanned"] != snap["serve.store.dyn.retagged"]+
+		snap["serve.store.dyn.repaired"]+snap["serve.store.dyn.dropped"] {
+		t.Fatalf("store dyn ledger does not reconcile: scanned=%d retagged=%d repaired=%d dropped=%d",
+			snap["serve.store.dyn.scanned"], snap["serve.store.dyn.retagged"],
+			snap["serve.store.dyn.repaired"], snap["serve.store.dyn.dropped"])
+	}
 }
 
 // TestVersionPinnedCacheSemantics pins the cache isolation contract: a

@@ -271,6 +271,13 @@ type healthBody struct {
 	Inflight     int     `json:"inflight"`
 	Draining     bool    `json:"draining"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Tiered-store residency (additive; zero when the tiers are off).
+	CachedBytes int64 `json:"cached_bytes"`
+	WarmRows    int   `json:"warm_rows"`
+	WarmBytes   int64 `json:"warm_bytes"`
+	ColdRows    int   `json:"cold_rows"`
+	ColdBytes   int64 `json:"cold_bytes"`
+	SpillFile   int64 `json:"spill_file_bytes"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -288,6 +295,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if lookups := s.m.lookups.Load(); lookups > 0 {
 		hitRate = float64(s.m.hits.Load()) / float64(lookups)
 	}
+	st := s.StoreStats()
 	setVersion(w, snap.Version)
 	writeJSON(w, http.StatusOK, healthBody{
 		Status:       status,
@@ -300,6 +308,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Inflight:     s.Inflight(),
 		Draining:     draining,
 		CacheHitRate: hitRate,
+		CachedBytes:  s.CachedBytes(),
+		WarmRows:     st.WarmRows,
+		WarmBytes:    st.WarmBytes,
+		ColdRows:     st.ColdRows,
+		ColdBytes:    st.ColdBytes,
+		SpillFile:    st.ArenaFile,
 	})
 }
 

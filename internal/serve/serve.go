@@ -3,15 +3,20 @@
 // where the graph is too large to precompute and hold all O(n^2) rows, so
 // distances are computed on demand and reused.
 //
-// A Server owns a versioned graph store (internal/dyn), an LRU cache of
-// completed distance rows keyed by (source, graph version), and a landmark
-// oracle (internal/oracle) for approximate answers. Queries for uncached
-// sources run the subset solver (core.SolveSubset) — batched per request,
-// so the row-reuse dynamic programming that powers ParAPSP still fires
-// between the sources of one batch — and the cache deduplicates concurrent
-// solves of the same source (single flight). Callers that set a tolerance
-// can be answered from the oracle's triangle-inequality bounds when the
-// cache is cold, with exact refinement queued in the background.
+// A Server owns a versioned graph store (internal/dyn), a tiered distance
+// store, and a landmark oracle (internal/oracle). Completed rows live in
+// three byte-budgeted tiers: a hot LRU of uncompressed rows keyed by
+// (source, graph version) (T1), a warm tier of delta-compressed frames
+// holding what T1 evicts (T2, internal/store), and an optional cold tier
+// spilling frames to a disk-backed arena (T3) — so the serveable working
+// set scales far past the O(hot_rows*n) RAM wall. Queries resident in no
+// tier run the subset solver (core.SolveSubset) — batched per request, so
+// the row-reuse dynamic programming that powers ParAPSP still fires
+// between the sources of one batch — and the hot cache deduplicates
+// concurrent solves of the same source (single flight). In front of all
+// three tiers sits the sketch answer path: a query with tolerance tol > 0
+// whose landmark bounds certify upper <= (1+tol)*lower is answered from
+// the O(k*n) oracle alone, touching no row tier at all.
 //
 // The graph is dynamic: ApplyEdge (HTTP: POST /edge) inserts, deletes, or
 // reweights an edge, publishing a new copy-on-write snapshot with a
@@ -40,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -49,6 +55,7 @@ import (
 	"parapsp/internal/matrix"
 	"parapsp/internal/obs"
 	"parapsp/internal/oracle"
+	"parapsp/internal/store"
 )
 
 // Errors surfaced by the query API. The HTTP layer maps ErrBusy to 429,
@@ -66,6 +73,28 @@ type Config struct {
 	// Workers is the worker count of each subset solve (and the oracle
 	// build). Values below 1 mean 1.
 	Workers int
+	// CacheBytes budgets the hot tier (T1): uncompressed distance rows at
+	// 4*n bytes each, byte-accounted LRU. 0 derives the budget from the
+	// deprecated CacheRows (below); at least one row is always retained.
+	CacheBytes int64
+	// WarmBytes budgets the warm tier (T2): delta-compressed frames of
+	// evicted rows, decompressed back into T1 on demand. 0 defaults to
+	// 4x the T1 budget (compressed rows are several times smaller, so the
+	// warm tier holds a multiple of the hot row count in the same memory);
+	// negative disables the tier.
+	WarmBytes int64
+	// SpillBytes budgets the cold tier (T3): compressed frames spilled to
+	// a disk-backed arena by an async writeback goroutine. 0 disables
+	// spilling; > 0 requires SpillDir.
+	SpillBytes int64
+	// SpillDir is the directory of the cold tier's arena file. Reopening
+	// a directory written by a previous process for the same graph
+	// warm-starts the cold tier from the recovered frames.
+	SpillDir string
+	// OraclePath, when set, persists the landmark oracle: New loads it if
+	// the file matches the served graph's fingerprint, else builds and
+	// saves it — turning the k-SSSP oracle build into a one-time cost.
+	OraclePath string
 	// Kernel pins the SSSP kernel of every subset solve to a registered
 	// core kernel name (core.Kernels()); empty keeps the static default
 	// policy, and core.KernelAuto ("auto") picks per solve from measured
@@ -75,8 +104,11 @@ type Config struct {
 	// actually ran. Validated at New time against the served graph, so an
 	// unsupported kernel fails at startup, not per query.
 	Kernel string
-	// CacheRows is the LRU capacity in distance rows (default 256). Each
-	// row costs 4*n bytes.
+	// CacheRows is the hot-tier capacity in distance rows.
+	//
+	// Deprecated: use CacheBytes. CacheRows is kept as an alias — when
+	// CacheBytes is 0, the budget is CacheRows rows at 4*n bytes each
+	// (default 256 rows).
 	CacheRows int
 	// Landmarks is the oracle's landmark count (default 16); negative
 	// disables the oracle entirely, making every query exact. The oracle
@@ -113,6 +145,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheRows == 0 {
 		c.CacheRows = 256
 	}
+	if c.CacheRows < 1 {
+		c.CacheRows = 1
+	}
 	if c.Landmarks == 0 {
 		c.Landmarks = 16
 	}
@@ -142,11 +177,22 @@ type metrics struct {
 	solves, solvedRows                          *obs.Counter
 	batchSolves, scalarSolves                   *obs.Counter
 	requests, throttled, timeouts, badRequests  *obs.Counter
-	exact, approx, refines                      *obs.Counter
+	exact, approx                               *obs.Counter
 
 	mutations, mutationConflicts         *obs.Counter
 	dynScanned, dynRetagged, dynRepaired *obs.Counter
 	dynRepairedLabels, dynInvalidated    *obs.Counter
+
+	// Tiered-store ledger: every row lookup resolves in exactly one of
+	// the five buckets, so storeLookups == storeSketch + storeT1 +
+	// storeT2 + storeT3 + storeMiss (asserted by the stress tests).
+	storeLookups, storeSketch         *obs.Counter
+	storeT1, storeT2, storeT3         *obs.Counter
+	storeMiss, storeDemotes           *obs.Counter
+	storeDynScanned, storeDynRetagged *obs.Counter
+	storeDynRepaired, storeDynDropped *obs.Counter
+	storeDynAged                      *obs.Counter
+	t2PromoteT, t3PromoteT, demoteT   obs.Timing
 }
 
 func newServeMetrics(reg *obs.Metrics) *metrics {
@@ -169,7 +215,6 @@ func newServeMetrics(reg *obs.Metrics) *metrics {
 		badRequests:  reg.Counter("serve.bad_requests"),
 		exact:        reg.Counter("serve.answers.exact"),
 		approx:       reg.Counter("serve.answers.approx"),
-		refines:      reg.Counter("serve.refines"),
 		// The dynamic-graph ledger: every committed mutation scans the
 		// current version's ready rows and each scanned row is re-tagged,
 		// repaired, or invalidated — never more than one of them.
@@ -180,6 +225,28 @@ func newServeMetrics(reg *obs.Metrics) *metrics {
 		dynRepaired:       reg.Counter("serve.dyn.repaired"),
 		dynRepairedLabels: reg.Counter("serve.dyn.repaired_labels"),
 		dynInvalidated:    reg.Counter("serve.dyn.invalidated"),
+		// The tiered-store ledger: one bucket per lookup. sketch_answered
+		// never touched a row tier (the landmark bounds certified the
+		// tolerance), t1_hits came from the hot uncompressed LRU, t2/t3
+		// promotes decompressed a warm/cold frame back into T1, and misses
+		// fell through to a solve.
+		storeLookups: reg.Counter("serve.store.lookups"),
+		storeSketch:  reg.Counter("serve.store.sketch_answered"),
+		storeT1:      reg.Counter("serve.store.t1_hits"),
+		storeT2:      reg.Counter("serve.store.t2_promotes"),
+		storeT3:      reg.Counter("serve.store.t3_promotes"),
+		storeMiss:    reg.Counter("serve.store.misses"),
+		storeDemotes: reg.Counter("serve.store.demotes"),
+		// The tier mirror of the serve.dyn.* ledger: frames reconciled
+		// across a mutation, scanned == retagged + repaired + dropped.
+		storeDynScanned:  reg.Counter("serve.store.dyn.scanned"),
+		storeDynRetagged: reg.Counter("serve.store.dyn.retagged"),
+		storeDynRepaired: reg.Counter("serve.store.dyn.repaired"),
+		storeDynDropped:  reg.Counter("serve.store.dyn.dropped"),
+		storeDynAged:     reg.Counter("serve.store.dyn.aged"),
+		t2PromoteT:       reg.Timing("serve.store.t2_promote"),
+		t3PromoteT:       reg.Timing("serve.store.t3_promote"),
+		demoteT:          reg.Timing("serve.store.demote"),
 	}
 }
 
@@ -209,6 +276,14 @@ type Server struct {
 	cfg   Config
 
 	cache *rowCache
+	// tiers is the compressed warm+cold store behind the hot cache; nil
+	// when both tiers are disabled. dict is the compression dictionary —
+	// the build-time landmark oracle, pinned for the server's lifetime
+	// even after mutations retire the snapshot's answering oracle (a
+	// dictionary need not be semantically current; frame checksums pin
+	// every decode to the exact reference row it was encoded against).
+	tiers *store.Store
+	dict  *oracleRefs
 	m     *metrics
 	sem   chan struct{}
 
@@ -221,16 +296,37 @@ type Server struct {
 }
 
 // New builds a server: it validates the config, constructs the landmark
-// oracle (unless disabled), and seeds the version store at version 1.
+// oracle (unless disabled; loaded from OraclePath when it matches the
+// graph), opens the tiered distance store, and seeds the version store at
+// version 1.
 func New(g *graph.Graph, cfg Config) (*Server, error) {
 	if g == nil || g.N() == 0 {
 		return nil, fmt.Errorf("serve: nil or empty graph")
 	}
 	cfg = cfg.withDefaults()
+	n := g.N()
+	// Resolve the tier byte budgets. T1 falls back to the deprecated
+	// row-count knob; T2 defaults to 4x T1 (compressed rows are several
+	// times smaller than raw, so the same memory holds a multiple of the
+	// row count); T3 is opt-in.
+	t1Bytes := cfg.CacheBytes
+	if t1Bytes <= 0 {
+		t1Bytes = int64(cfg.CacheRows) * int64(n) * 4
+	}
+	warmBytes := cfg.WarmBytes
+	if warmBytes == 0 {
+		warmBytes = 4 * t1Bytes
+	}
+	if warmBytes < 0 {
+		warmBytes = 0
+	}
+	if cfg.SpillBytes > 0 && cfg.SpillDir == "" {
+		return nil, fmt.Errorf("serve: SpillBytes set without SpillDir")
+	}
 	s := &Server{
-		n:       g.N(),
+		n:       n,
 		cfg:     cfg,
-		cache:   newRowCache(cfg.CacheRows),
+		cache:   newRowCache(t1Bytes),
 		m:       newServeMetrics(cfg.Metrics),
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		httpSrv: &httpServerRef{},
@@ -247,16 +343,103 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: kernel %q cannot serve this graph: %w", cfg.Kernel, err)
 		}
 	}
+	// The graph fingerprint keys every on-disk artifact (oracle file,
+	// spill arena) to this exact graph; computed once, only when needed.
+	var fp uint64
+	if cfg.OraclePath != "" || cfg.SpillBytes > 0 {
+		fp = g.Fingerprint()
+	}
 	var orc *oracle.Oracle
 	if cfg.Landmarks > 0 {
-		o, err := oracle.Build(g, oracle.Options{Landmarks: cfg.Landmarks, Workers: cfg.Workers})
-		if err != nil {
-			return nil, fmt.Errorf("serve: oracle build: %w", err)
+		if cfg.OraclePath != "" {
+			if o, err := oracle.Load(cfg.OraclePath, g, fp); err == nil {
+				orc = o
+			}
 		}
-		orc = o
+		if orc == nil {
+			o, err := oracle.Build(g, oracle.Options{Landmarks: cfg.Landmarks, Workers: cfg.Workers})
+			if err != nil {
+				return nil, fmt.Errorf("serve: oracle build: %w", err)
+			}
+			orc = o
+			if cfg.OraclePath != "" {
+				if err := orc.Save(cfg.OraclePath, fp); err != nil {
+					return nil, fmt.Errorf("serve: oracle save: %w", err)
+				}
+			}
+		}
+	}
+	if warmBytes > 0 || cfg.SpillBytes > 0 {
+		if orc != nil {
+			s.dict = newOracleRefs(orc, n)
+		}
+		spillPath := ""
+		if cfg.SpillBytes > 0 {
+			spillPath = filepath.Join(cfg.SpillDir, "parapsp-spill.arena")
+		}
+		var refs store.RefProvider
+		if s.dict != nil {
+			refs = s.dict
+		}
+		tiers, err := store.Open(store.Config{
+			N:           n,
+			WarmBytes:   warmBytes,
+			SpillBytes:  cfg.SpillBytes,
+			SpillPath:   spillPath,
+			Fingerprint: fp,
+			Refs:        refs,
+			Metrics:     cfg.Metrics,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: tiered store: %w", err)
+		}
+		s.tiers = tiers
+		s.cache.onEvict = func(src int32, ver uint64, row []matrix.Dist) {
+			start := time.Now()
+			s.tiers.Put(store.Key{Src: src, Ver: ver}, row)
+			s.m.storeDemotes.Add(1)
+			s.m.demoteT.ObserveSince(start)
+		}
 	}
 	s.store = dyn.NewStore(g, orc)
 	return s, nil
+}
+
+// oracleRefs adapts the pinned landmark oracle into the frame codec's
+// compression dictionary: row src encodes against the row of the landmark
+// nearest to src (refID = landmark index + 1; 0 keeps self-delta for
+// vertices no landmark reaches). The nearest-landmark choice is computed
+// once per vertex — it makes finite deltas triangle-bounded by d(src, L),
+// the property that compresses hub-close rows to ~1 byte/entry.
+type oracleRefs struct {
+	o     *oracle.Oracle
+	k     int
+	refOf []uint32 // per-vertex refID (0 = self-delta)
+}
+
+func newOracleRefs(o *oracle.Oracle, n int) *oracleRefs {
+	r := &oracleRefs{o: o, k: len(o.Landmarks()), refOf: make([]uint32, n)}
+	for v := 0; v < n; v++ {
+		if i, _ := o.NearestLandmark(int32(v)); i >= 0 {
+			r.refOf[v] = uint32(i + 1)
+		}
+	}
+	return r
+}
+
+func (r *oracleRefs) RefFor(src int32) (uint32, []matrix.Dist) {
+	id := r.refOf[src]
+	if id == 0 {
+		return 0, nil
+	}
+	return id, r.o.FromRow(int(id - 1))
+}
+
+func (r *oracleRefs) RefRow(id uint32) []matrix.Dist {
+	if id == 0 || int(id) > r.k {
+		return nil
+	}
+	return r.o.FromRow(int(id - 1))
 }
 
 // Graph returns the currently served graph (the latest published
@@ -275,9 +458,21 @@ func (s *Server) Version() uint64 { return s.store.Version() }
 // Metrics returns the registry the server publishes into.
 func (s *Server) Metrics() *obs.Metrics { return s.cfg.Metrics }
 
-// CachedRows returns the number of distance rows currently resident
-// (across all versions).
+// CachedRows returns the number of distance rows currently resident in
+// the hot tier (across all versions).
 func (s *Server) CachedRows() int { return s.cache.Len() }
+
+// CachedBytes returns the resident bytes of the hot tier's rows.
+func (s *Server) CachedBytes() int64 { return s.cache.Bytes() }
+
+// StoreStats returns the compressed tiers' residency snapshot (zero when
+// the tiers are disabled).
+func (s *Server) StoreStats() store.Stats {
+	if s.tiers == nil {
+		return store.Stats{}
+	}
+	return s.tiers.Snapshot()
+}
 
 // Inflight returns the number of currently admitted units of work
 // (foreground queries plus background refinements holding a slot).
@@ -449,19 +644,24 @@ func (s *Server) BatchPinned(ctx context.Context, qs []Query, tol float64) ([]An
 			s.m.exact.Add(1)
 			continue
 		}
+		// Sketch tier: a tolerant query whose landmark bounds certify
+		// upper <= (1+tol)*lower is answered from the O(k*n) oracle alone
+		// — in front of all three row tiers, touching none of them. This
+		// is what keeps the tolerant working set off the memory budget
+		// entirely.
+		if tol > 0 && pin.Oracle != nil {
+			if lo, up, ok := pin.Oracle.BoundsWithin(q.U, q.V, tol); ok {
+				out[i] = approxAnswer(q, lo, up)
+				s.m.approx.Add(1)
+				s.m.storeLookups.Add(1)
+				s.m.storeSketch.Add(1)
+				continue
+			}
+		}
 		if row := s.cache.lookup(q.U, pin.Version, s.m); row != nil {
 			out[i] = exactAnswer(q, row[q.V])
 			s.m.exact.Add(1)
 			continue
-		}
-		if tol > 0 && pin.Oracle != nil {
-			lo, up := pin.Oracle.Bounds(q.U, q.V)
-			if up != matrix.Inf && float64(up-lo) <= tol*float64(lo) {
-				out[i] = approxAnswer(q, lo, up)
-				s.m.approx.Add(1)
-				s.refineAsync(q.U, pin)
-				continue
-			}
 		}
 		needSrc = append(needSrc, q.U)
 		pending = append(pending, i)
@@ -499,42 +699,75 @@ func distToJSON(d matrix.Dist) int64 {
 	return int64(d)
 }
 
-// rows resolves the distance rows of the given sources through the cache
-// at the pinned snapshot: sources this caller owns are solved in one
-// subset batch against pin.G, sources pending under another request are
-// waited on. The returned rows are immutable shared snapshots. The kind
-// reports which solver ran: a kernel-qualified "batch/..." or "scalar/..."
-// value when this caller owned sources, SolverCache when every source was
-// already resident or pending under another request.
+// rows resolves the distance rows of the given sources through the
+// tiered store at the pinned snapshot: sources this caller owns are first
+// looked up in the compressed warm/cold tiers (a hit decompresses the
+// frame and promotes it back into the hot cache — no solve), the rest are
+// solved in one subset batch against pin.G, and sources pending under
+// another request are waited on. The returned rows are immutable shared
+// snapshots. The kind reports which solver ran: a kernel-qualified
+// "batch/..." or "scalar/..." value when this caller solved sources,
+// SolverCache when every source came from a tier, was already resident,
+// or was pending under another request.
 func (s *Server) rows(ctx context.Context, pin *dyn.Snapshot, sources []int32) (map[int32][]matrix.Dist, string, error) {
 	kind := SolverCache
 	acq := s.cache.acquire(sources, pin.Version, s.m)
-	if len(acq.owned) > 0 {
-		sub, err := core.SolveSubset(pin.G, acq.owned, core.Options{
+	solve := acq.owned
+	if len(acq.owned) > 0 && s.tiers != nil {
+		var promoted []int32
+		solve = solve[:0:0]
+		for _, src := range acq.owned {
+			start := time.Now()
+			row, tier := s.tiers.Get(store.Key{Src: src, Ver: pin.Version}, nil)
+			switch tier {
+			case store.TierWarm:
+				s.m.storeT2.Add(1)
+				s.m.t2PromoteT.ObserveSince(start)
+			case store.TierCold:
+				s.m.storeT3.Add(1)
+				s.m.t3PromoteT.ObserveSince(start)
+			default:
+				s.m.storeMiss.Add(1)
+				solve = append(solve, src)
+				continue
+			}
+			acq.rows[src] = row
+			promoted = append(promoted, src)
+		}
+		if len(promoted) > 0 {
+			s.cache.fulfill(promoted, pin.Version, func(src int32) []matrix.Dist {
+				return acq.rows[src]
+			}, nil, s.m)
+		}
+	} else {
+		s.m.storeMiss.Add(int64(len(acq.owned)))
+	}
+	if len(solve) > 0 {
+		sub, err := core.SolveSubset(pin.G, solve, core.Options{
 			Workers: s.cfg.Workers,
 			Batch:   s.cfg.Batch,
 			Kernel:  s.cfg.Kernel,
 		})
 		if err != nil {
-			s.cache.fulfill(acq.owned, pin.Version, nil, err, s.m)
+			s.cache.fulfill(solve, pin.Version, nil, err, s.m)
 			return nil, "", err
 		}
 		s.m.solves.Add(1)
-		s.m.solvedRows.Add(int64(len(acq.owned)))
+		s.m.solvedRows.Add(int64(len(solve)))
 		kind = solverKind(sub)
 		if sub.Batched() {
 			s.m.batchSolves.Add(1)
 		} else {
 			s.m.scalarSolves.Add(1)
 		}
-		s.cache.fulfill(acq.owned, pin.Version, func(src int32) []matrix.Dist {
+		s.cache.fulfill(solve, pin.Version, func(src int32) []matrix.Dist {
 			// Copy out of the SubsetResult so the cache retains only the
 			// rows it wants, not the whole k*n block.
 			row := make([]matrix.Dist, s.n)
 			copy(row, sub.Row(src))
 			return row
 		}, nil, s.m)
-		for _, src := range acq.owned {
+		for _, src := range solve {
 			acq.rows[src] = s.cache.peek(src, pin.Version)
 			if acq.rows[src] == nil {
 				// Evicted between fulfill and here (cache smaller than the
@@ -558,38 +791,6 @@ func (s *Server) rows(ctx context.Context, pin *dyn.Snapshot, sources []int32) (
 		}
 	}
 	return acq.rows, kind, nil
-}
-
-// refineAsync schedules an exact solve of src's row at the pinned version
-// so that future queries are exact, bounded by the same in-flight
-// semaphore as foreground work (refinement is shed entirely under load)
-// and registered with the drain group so Shutdown waits for it.
-func (s *Server) refineAsync(src int32, pin *dyn.Snapshot) {
-	if s.cache.contains(src, pin.Version) {
-		return
-	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		s.mu.Unlock()
-		return
-	}
-	s.wg.Add(1)
-	s.mu.Unlock()
-	go func() {
-		defer s.wg.Done()
-		defer func() { <-s.sem }()
-		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
-		defer cancel()
-		if _, _, err := s.rows(ctx, pin, []int32{src}); err == nil {
-			s.m.refines.Add(1)
-		}
-	}()
 }
 
 // Path answers an exact shortest-path query: the vertices from u to v
@@ -722,6 +923,35 @@ func (s *Server) reconcile(old, next *dyn.Snapshot, ch dyn.Change, res *ApplyRes
 	s.m.dynRepaired.Add(int64(res.Repaired))
 	s.m.dynRepairedLabels.Add(int64(res.RepairedLabels))
 	s.m.dynInvalidated.Add(int64(res.Invalidated))
+
+	// The compressed tiers reconcile by the same retag/repair/drop rules,
+	// still pre-publish: a frame whose decoded row the change cannot
+	// affect is retagged for free (cold frames without touching disk), a
+	// repairable one is repaired in place and re-encoded at the new
+	// version, a stale one is dropped and re-solved on next demand.
+	// Counted in serve.store.dyn.* so the hot-tier ledger above stays
+	// exactly the rows the ApplyResult reports.
+	if s.tiers != nil {
+		st := s.tiers.Reconcile(old.Version, next.Version,
+			func(row []matrix.Dist) store.Verdict {
+				switch dyn.Classify(row, ch, undirected) {
+				case dyn.RowUnaffected:
+					return store.Keep
+				case dyn.RowRepairable:
+					return store.Repair
+				default:
+					return store.Drop
+				}
+			},
+			func(row []matrix.Dist) {
+				dyn.RepairImprove(next.G, row, arcs...)
+			})
+		s.m.storeDynScanned.Add(int64(st.Scanned))
+		s.m.storeDynRetagged.Add(int64(st.Retagged))
+		s.m.storeDynRepaired.Add(int64(st.Repaired))
+		s.m.storeDynDropped.Add(int64(st.Dropped))
+		s.m.storeDynAged.Add(int64(st.Aged))
+	}
 }
 
 // Shutdown drains the server: new work is refused with ErrClosed, the
@@ -744,6 +974,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if err == nil {
 			err = ctx.Err()
 		}
+	}
+	// With queries drained no demotion or promotion can race the close;
+	// the store drains its spill queue and stops the writeback goroutine.
+	if s.tiers != nil {
+		s.tiers.Close()
 	}
 	return err
 }

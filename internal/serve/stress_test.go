@@ -37,6 +37,8 @@ func TestStressMixedWorkload(t *testing.T) {
 		Workers:        2,
 		CacheRows:      24, // << 220 sources: forces eviction + cold paths
 		Landmarks:      8,
+		SpillBytes:     1 << 20, // engage the cold tier too: T1->T2->T3 churn
+		SpillDir:       t.TempDir(),
 		MaxInflight:    2 * goroutines,
 		RequestTimeout: 30 * time.Second,
 	})
@@ -95,12 +97,24 @@ func TestStressMixedWorkload(t *testing.T) {
 		t.Fatalf("cache counters do not reconcile: lookups=%d hits=%d misses=%d",
 			snap["serve.cache.lookups"], snap["serve.cache.hits"], snap["serve.cache.misses"])
 	}
-	if snap["serve.solve.rows"] < snap["serve.cache.misses"] {
-		t.Fatalf("solved %d rows but missed %d times (every miss must be solved)",
-			snap["serve.solve.rows"], snap["serve.cache.misses"])
+	// The tiered-store ledger (satellite 2): every counted lookup is
+	// answered by exactly one of the sketch, the three tiers, or a solve.
+	wantLookups := snap["serve.store.sketch_answered"] + snap["serve.store.t1_hits"] +
+		snap["serve.store.t2_promotes"] + snap["serve.store.t3_promotes"] + snap["serve.store.misses"]
+	if snap["serve.store.lookups"] != wantLookups {
+		t.Fatalf("store ledger does not reconcile: lookups=%d sketch=%d t1=%d t2=%d t3=%d misses=%d",
+			snap["serve.store.lookups"], snap["serve.store.sketch_answered"], snap["serve.store.t1_hits"],
+			snap["serve.store.t2_promotes"], snap["serve.store.t3_promotes"], snap["serve.store.misses"])
+	}
+	if snap["serve.solve.rows"] < snap["serve.store.misses"] {
+		t.Fatalf("solved %d rows but store missed %d times (every store miss must be solved)",
+			snap["serve.solve.rows"], snap["serve.store.misses"])
 	}
 	if got := s.CachedRows(); got > 24 {
 		t.Fatalf("cache exceeded capacity: %d rows", got)
+	}
+	if snap["serve.store.t2_promotes"]+snap["serve.store.t3_promotes"] == 0 {
+		t.Fatal("undersized hot tier never promoted from the compressed tiers")
 	}
 }
 

@@ -1,0 +1,294 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// The cold-tier arena is one append-only file of checksummed frame
+// records behind a 24-byte header. Writes go through pwrite (the async
+// writeback goroutine is the only writer); reads go through a shared mmap
+// of the file where the platform supports it (arena_mmap.go), falling
+// back to pread elsewhere — on Linux the two views are coherent through
+// the unified page cache, so a record is readable the moment append
+// returns.
+//
+// The file is a cache, not a log, but it is still reopenable: openArena
+// recovers the longest valid prefix of an existing file — the header's
+// graph fingerprint must match the served graph, and records are scanned
+// until the first one whose magic, length, or CRC fails, where the file
+// is truncated (crash-safe truncation: a torn final write from a killed
+// process costs exactly the torn record, never the file). Recovered
+// records re-seed the cold tier, which is what makes a parapspd restart
+// with -spill-dir warm-start instead of cold-solving the whole working
+// set again.
+//
+// File layout:
+//
+//	[ 8] arena magic "PAPSARN1"
+//	[ 8] graph fingerprint (graph.Fingerprint of the served graph)
+//	[ 8] reserved (zero)
+//	records:
+//	  [0:4]   record magic 0xA7E4A001
+//	  [4:8]   source vertex (int32 LE)
+//	  [8:16]  graph version (uint64 LE)
+//	  [16:20] payload length (uint32 LE)
+//	  [20:24] CRC-32 (IEEE) of the payload
+//	  [24:]   payload (one codec frame)
+const (
+	arenaMagic      = "PAPSARN1"
+	arenaHeaderLen  = 24
+	recordMagic     = 0xA7E4A001
+	recordHeaderLen = 24
+	// maxRecordPayload bounds a declared payload length during recovery,
+	// so a corrupt length field cannot drive a giant read.
+	maxRecordPayload = 1 << 28
+)
+
+type arena struct {
+	mu   sync.Mutex // serializes append/read/compact/close
+	f    *os.File
+	path string
+	size int64 // bytes written, header included
+
+	// mapped is the read view maintained by the build-tagged mmap half;
+	// nil when mmap is unavailable (reads fall back to pread).
+	mapped []byte
+}
+
+// recoveredRecord is one valid record found while reopening an arena.
+type recoveredRecord struct {
+	key Key
+	off int64 // record offset (header start)
+	len int32 // payload length
+}
+
+// openArena opens or creates the arena at path. An existing file with a
+// matching fingerprint is recovered (valid record prefix kept, tail
+// truncated); a missing, mismatched, or unparseable file is reset to an
+// empty arena.
+func openArena(path string, fingerprint uint64) (*arena, []recoveredRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open arena: %w", err)
+	}
+	a := &arena{f: f, path: path}
+	recovered, err := a.recover(fingerprint)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	a.mapInit()
+	return a, recovered, nil
+}
+
+// recover validates the header and scans the record prefix, truncating
+// the file at the first invalid record. On any header problem the file is
+// reset to a fresh empty arena for the given fingerprint.
+func (a *arena) recover(fingerprint uint64) ([]recoveredRecord, error) {
+	st, err := a.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: stat arena: %w", err)
+	}
+	hdr := make([]byte, arenaHeaderLen)
+	if st.Size() >= arenaHeaderLen {
+		if _, err := a.f.ReadAt(hdr, 0); err == nil &&
+			string(hdr[:8]) == arenaMagic &&
+			binary.LittleEndian.Uint64(hdr[8:16]) == fingerprint {
+			return a.scanRecords(st.Size())
+		}
+	}
+	// Fresh or foreign file: reset.
+	copy(hdr[:8], arenaMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], fingerprint)
+	binary.LittleEndian.PutUint64(hdr[16:24], 0)
+	if err := a.f.Truncate(0); err != nil {
+		return nil, fmt.Errorf("store: reset arena: %w", err)
+	}
+	if _, err := a.f.WriteAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("store: write arena header: %w", err)
+	}
+	a.size = arenaHeaderLen
+	return nil, nil
+}
+
+// scanRecords walks the record chain from the header to the first torn or
+// corrupt record, truncates there, and returns the valid records.
+func (a *arena) scanRecords(fileSize int64) ([]recoveredRecord, error) {
+	var recs []recoveredRecord
+	off := int64(arenaHeaderLen)
+	hdr := make([]byte, recordHeaderLen)
+	var payload []byte
+	for off+recordHeaderLen <= fileSize {
+		if _, err := a.f.ReadAt(hdr, off); err != nil {
+			break
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != recordMagic {
+			break
+		}
+		plen := binary.LittleEndian.Uint32(hdr[16:20])
+		if plen == 0 || plen > maxRecordPayload || off+recordHeaderLen+int64(plen) > fileSize {
+			break
+		}
+		if int(plen) > cap(payload) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := a.f.ReadAt(payload, off+recordHeaderLen); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[20:24]) {
+			break
+		}
+		recs = append(recs, recoveredRecord{
+			key: Key{
+				Src: int32(binary.LittleEndian.Uint32(hdr[4:8])),
+				Ver: binary.LittleEndian.Uint64(hdr[8:16]),
+			},
+			off: off,
+			len: int32(plen),
+		})
+		off += recordHeaderLen + int64(plen)
+	}
+	if err := a.f.Truncate(off); err != nil {
+		return nil, fmt.Errorf("store: truncate arena tail: %w", err)
+	}
+	a.size = off
+	return recs, nil
+}
+
+// append writes one record and returns its offset.
+func (a *arena) append(key Key, payload []byte) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	off := a.size
+	hdr := make([]byte, recordHeaderLen)
+	binary.LittleEndian.PutUint32(hdr[0:4], recordMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(key.Src))
+	binary.LittleEndian.PutUint64(hdr[8:16], key.Ver)
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.ChecksumIEEE(payload))
+	if _, err := a.f.WriteAt(hdr, off); err != nil {
+		return 0, fmt.Errorf("store: arena append: %w", err)
+	}
+	if _, err := a.f.WriteAt(payload, off+recordHeaderLen); err != nil {
+		return 0, fmt.Errorf("store: arena append payload: %w", err)
+	}
+	a.size = off + recordHeaderLen + int64(len(payload))
+	return off, nil
+}
+
+// read copies the payload of the record at off into dst (reused when it
+// has capacity) and validates its CRC. Reads go through the mmap view
+// when available.
+func (a *arena) read(off int64, plen int32, dst []byte) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if off < arenaHeaderLen || off+recordHeaderLen+int64(plen) > a.size {
+		return nil, fmt.Errorf("store: arena read [%d,+%d) outside file of %d bytes", off, plen, a.size)
+	}
+	if int(plen) > cap(dst) {
+		dst = make([]byte, plen)
+	}
+	dst = dst[:plen]
+	var hdr [recordHeaderLen]byte
+	if err := a.readAt(hdr[:], off); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != recordMagic ||
+		binary.LittleEndian.Uint32(hdr[16:20]) != uint32(plen) {
+		return nil, fmt.Errorf("store: arena record at %d corrupt", off)
+	}
+	if err := a.readAt(dst, off+recordHeaderLen); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(dst) != binary.LittleEndian.Uint32(hdr[20:24]) {
+		return nil, fmt.Errorf("store: arena record at %d fails CRC", off)
+	}
+	return dst, nil
+}
+
+// readAt fills p from the mmap view when it covers the range, else pread.
+func (a *arena) readAt(p []byte, off int64) error {
+	if a.mapped != nil && off+int64(len(p)) <= int64(len(a.mapped)) {
+		copy(p, a.mapped[off:])
+		return nil
+	}
+	// The view lags the file (it grew past the mapped length): remap and
+	// retry, falling back to pread if mapping is unavailable.
+	a.remap()
+	if a.mapped != nil && off+int64(len(p)) <= int64(len(a.mapped)) {
+		copy(p, a.mapped[off:])
+		return nil
+	}
+	if _, err := a.f.ReadAt(p, off); err != nil {
+		return fmt.Errorf("store: arena read: %w", err)
+	}
+	return nil
+}
+
+// compact rewrites the arena keeping only the live records, in LRU order,
+// returning their new offsets keyed by old offset. The caller (the store,
+// holding its mutex) swaps its index to the returned offsets.
+func (a *arena) compact(live []recoveredRecord) (map[int64]int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tmpPath := a.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: compact: %w", err)
+	}
+	var hdr [arenaHeaderLen]byte
+	if err := a.readAt(hdr[:], 0); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return nil, err
+	}
+	if _, err := tmp.WriteAt(hdr[:], 0); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return nil, fmt.Errorf("store: compact header: %w", err)
+	}
+	moved := make(map[int64]int64, len(live))
+	out := int64(arenaHeaderLen)
+	var rec []byte
+	for _, r := range live {
+		total := recordHeaderLen + int64(r.len)
+		if int64(cap(rec)) < total {
+			rec = make([]byte, total)
+		}
+		rec = rec[:total]
+		if err := a.readAt(rec, r.off); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return nil, err
+		}
+		if _, err := tmp.WriteAt(rec, out); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return nil, fmt.Errorf("store: compact record: %w", err)
+		}
+		moved[r.off] = out
+		out += total
+	}
+	a.unmap()
+	a.f.Close()
+	if err := os.Rename(tmpPath, a.path); err != nil {
+		tmp.Close()
+		return nil, fmt.Errorf("store: compact swap: %w", err)
+	}
+	a.f = tmp
+	a.size = out
+	a.mapInit()
+	return moved, nil
+}
+
+func (a *arena) close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.unmap()
+	a.f.Close()
+}

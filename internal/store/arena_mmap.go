@@ -1,0 +1,41 @@
+//go:build unix
+
+package store
+
+import "syscall"
+
+// mapChunk rounds mmap lengths up so the view survives several appends
+// before needing a remap.
+const mapChunk = 4 << 20
+
+// mapInit establishes the read-only shared mapping of the current file.
+// Failure is non-fatal: reads fall back to pread.
+func (a *arena) mapInit() {
+	a.mapped = nil
+	a.remap()
+}
+
+// remap replaces the view with one covering the current size, rounded up
+// to the chunk so in-page growth stays visible without another remap (a
+// shared mapping observes pwrite through the unified page cache, and the
+// store never reads past the record index it maintains).
+func (a *arena) remap() {
+	a.unmap()
+	if a.size == 0 {
+		return
+	}
+	length := int(((a.size + mapChunk - 1) / mapChunk) * mapChunk)
+	m, err := syscall.Mmap(int(a.f.Fd()), 0, length, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		a.mapped = nil
+		return
+	}
+	a.mapped = m
+}
+
+func (a *arena) unmap() {
+	if a.mapped != nil {
+		_ = syscall.Munmap(a.mapped)
+		a.mapped = nil
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package store
+
+// Non-unix platforms read the arena through pread; the mapped view stays
+// nil and readAt falls through to os.File.ReadAt.
+
+func (a *arena) mapInit() { a.mapped = nil }
+func (a *arena) remap()   { a.mapped = nil }
+func (a *arena) unmap()   { a.mapped = nil }

@@ -1,0 +1,255 @@
+// Package store is the tiered distance-row store that breaks the serving
+// layer's O(cached_rows × n) memory wall: finished rows too cold for the
+// hot uncompressed LRU (tier 1, owned by internal/serve) are kept as
+// delta-encoded varint frames in a byte-budgeted warm tier (tier 2) and
+// spilled to a disk-backed, mmap-read arena (tier 3) instead of being
+// discarded — the blocked/out-of-core row management that lets APSP-style
+// serving scale past RAM (Schoeneman & Zola, arXiv:1902.04446), with the
+// landmark machinery of internal/oracle doubling as the compression
+// dictionary.
+//
+// Everything in the store is keyed by (source, graph version), so the
+// tiers compose with the dynamic-graph serving semantics of PR 8: a frame
+// decodes to a row that is exact at exactly its version, and mutations
+// reconcile frames across versions (retag / repair / drop) just like the
+// hot tier.
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"parapsp/internal/matrix"
+)
+
+// Frame layout (all multi-byte values are varints):
+//
+//	byte 0   frameMagic
+//	byte 1   frameFormat
+//	uvarint  refID     0 = self-delta; r > 0 = dictionary row r-1
+//	uvarint  refCheck  FNV-1a/32 of the reference row (0 for self-delta)
+//	uvarint  count     number of entries
+//	count ×  zigzag-varint delta from the reference value
+//	uvarint  payload checksum (FNV-1a/32 over the delta bytes)
+//
+// Self-delta encodes each entry against its predecessor (starting from 0),
+// which compresses the long Inf runs and locally-similar finite stretches
+// of real distance rows. Reference-delta encodes entry i against ref[i]:
+// with ref the row of the landmark L nearest to the source, the triangle
+// inequality bounds every finite delta by d(src, L), so hub-close sources
+// compress to one or two bytes per entry. refCheck pins the dictionary:
+// a frame never decodes against a different reference row than it was
+// encoded with, so a rebuilt or mismatched oracle turns into a clean
+// decode error instead of silently wrong distances.
+const (
+	frameMagic  = 0xD5
+	frameFormat = 0x01
+)
+
+// maxFrameEntries bounds the entry count a frame may declare, so a
+// malformed frame cannot drive a huge allocation before validation fails.
+const maxFrameEntries = 1 << 27
+
+// ErrFrame is the error class of every frame-decoding failure. Malformed
+// frames — truncated, corrupted, wrong dictionary, trailing garbage —
+// always produce an error wrapping ErrFrame, never a panic or over-read
+// (pinned by FuzzDecodeFrame).
+var ErrFrame = errors.New("store: malformed frame")
+
+// RefProvider supplies the compression dictionary: immutable reference
+// rows shared between encode and decode. The serving layer backs it with
+// the build-time landmark oracle; the rows need not be valid distances of
+// the current graph — they are only a dictionary — so graph mutations
+// never invalidate them.
+type RefProvider interface {
+	// RefFor picks the dictionary row for encoding src's row: a refID > 0
+	// and the row, or (0, nil) to fall back to self-delta.
+	RefFor(src int32) (uint32, []matrix.Dist)
+	// RefRow resolves a refID stored in a frame (id > 0), or nil when
+	// unknown.
+	RefRow(id uint32) []matrix.Dist
+}
+
+// AppendFrame encodes row as one frame appended to dst and returns the
+// extended slice. refID and ref describe the dictionary row (refID 0 and
+// a nil ref select self-delta); ref, when given, must have len(row)
+// entries. With a dst of sufficient capacity the encode allocates nothing
+// (pinned by TestCodecSteadyAllocs).
+func AppendFrame(dst []byte, row []matrix.Dist, refID uint32, ref []matrix.Dist) []byte {
+	dst = append(dst, frameMagic, frameFormat)
+	var refCheck uint32
+	if refID != 0 {
+		refCheck = rowCheck(ref)
+	}
+	dst = appendUvarint(dst, uint64(refID))
+	dst = appendUvarint(dst, uint64(refCheck))
+	dst = appendUvarint(dst, uint64(len(row)))
+	payloadStart := len(dst)
+	prev := int64(0)
+	for i, d := range row {
+		refV := prev
+		if refID != 0 {
+			refV = int64(ref[i])
+		}
+		delta := int64(d) - refV
+		dst = appendUvarint(dst, zigzag(delta))
+		prev = int64(d)
+	}
+	sum := bytesCheck(dst[payloadStart:])
+	return appendUvarint(dst, uint64(sum))
+}
+
+// DecodeFrame decodes one frame into a row of expectN entries. dst is
+// reused when it has capacity expectN (zero steady-state allocations);
+// refs resolves reference-delta frames and may be nil when only
+// self-delta frames are expected. Every malformed input returns an error
+// wrapping ErrFrame.
+func DecodeFrame(frame []byte, expectN int, dst []matrix.Dist, refs RefProvider) ([]matrix.Dist, error) {
+	if len(frame) < 2 {
+		return nil, fmt.Errorf("%w: %d-byte frame", ErrFrame, len(frame))
+	}
+	if frame[0] != frameMagic {
+		return nil, fmt.Errorf("%w: bad magic 0x%02x", ErrFrame, frame[0])
+	}
+	if frame[1] != frameFormat {
+		return nil, fmt.Errorf("%w: unknown format 0x%02x", ErrFrame, frame[1])
+	}
+	p := frame[2:]
+	refID64, p, err := readUvarint(p)
+	if err != nil {
+		return nil, fmt.Errorf("%w: refID: %v", ErrFrame, err)
+	}
+	refCheck, p, err := readUvarint(p)
+	if err != nil {
+		return nil, fmt.Errorf("%w: refCheck: %v", ErrFrame, err)
+	}
+	count64, p, err := readUvarint(p)
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrFrame, err)
+	}
+	if count64 > maxFrameEntries {
+		return nil, fmt.Errorf("%w: %d entries exceeds limit", ErrFrame, count64)
+	}
+	count := int(count64)
+	if expectN >= 0 && count != expectN {
+		return nil, fmt.Errorf("%w: frame has %d entries, want %d", ErrFrame, count, expectN)
+	}
+	var ref []matrix.Dist
+	if refID64 != 0 {
+		if refID64 > 1<<32-1 {
+			return nil, fmt.Errorf("%w: refID %d out of range", ErrFrame, refID64)
+		}
+		if refs == nil {
+			return nil, fmt.Errorf("%w: refID %d with no dictionary", ErrFrame, refID64)
+		}
+		ref = refs.RefRow(uint32(refID64))
+		if len(ref) != count {
+			return nil, fmt.Errorf("%w: dictionary row %d has %d entries, frame %d", ErrFrame, refID64, len(ref), count)
+		}
+		if got := rowCheck(ref); uint64(got) != refCheck {
+			return nil, fmt.Errorf("%w: dictionary row %d checksum 0x%08x, frame expects 0x%08x", ErrFrame, refID64, got, refCheck)
+		}
+	} else if refCheck != 0 {
+		return nil, fmt.Errorf("%w: self-delta frame with refCheck 0x%08x", ErrFrame, refCheck)
+	}
+	if cap(dst) >= count {
+		dst = dst[:count]
+	} else {
+		dst = make([]matrix.Dist, count)
+	}
+	payload := p
+	prev := int64(0)
+	for i := 0; i < count; i++ {
+		var u uint64
+		u, p, err = readUvarint(p)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d: %v", ErrFrame, i, err)
+		}
+		refV := prev
+		if refID64 != 0 {
+			refV = int64(ref[i])
+		}
+		v := refV + unzigzag(u)
+		if v < 0 || v > int64(matrix.Inf) {
+			return nil, fmt.Errorf("%w: entry %d decodes to %d, outside [0, %d]", ErrFrame, i, v, uint32(matrix.Inf))
+		}
+		dst[i] = matrix.Dist(v)
+		prev = v
+	}
+	want := bytesCheck(payload[:len(payload)-len(p)])
+	sum, p, err := readUvarint(p)
+	if err != nil {
+		return nil, fmt.Errorf("%w: checksum: %v", ErrFrame, err)
+	}
+	if sum != uint64(want) {
+		return nil, fmt.Errorf("%w: payload checksum 0x%08x, want 0x%08x", ErrFrame, sum, want)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(p))
+	}
+	return dst, nil
+}
+
+func zigzag(d int64) uint64   { return uint64((d << 1) ^ (d >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendUvarint is binary.AppendUvarint without the package dependency
+// spelled out at every call site.
+func appendUvarint(dst []byte, u uint64) []byte {
+	for u >= 0x80 {
+		dst = append(dst, byte(u)|0x80)
+		u >>= 7
+	}
+	return append(dst, byte(u))
+}
+
+// readUvarint decodes one LEB128 varint from p, returning the value and
+// the remaining bytes. It never reads past len(p) and rejects encodings
+// longer than 10 bytes or with a final-byte overflow.
+func readUvarint(p []byte) (uint64, []byte, error) {
+	var v uint64
+	for i := 0; i < len(p); i++ {
+		b := p[i]
+		if i == 9 && b > 1 {
+			return 0, nil, errors.New("varint overflows uint64")
+		}
+		if i >= 10 {
+			return 0, nil, errors.New("varint longer than 10 bytes")
+		}
+		v |= uint64(b&0x7f) << (7 * i)
+		if b < 0x80 {
+			return v, p[i+1:], nil
+		}
+	}
+	return 0, nil, errors.New("truncated varint")
+}
+
+// FNV-1a/32, inlined so the encode/decode hot path allocates no
+// hash.Hash.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// rowCheck is the dictionary-pinning checksum: FNV-1a/32 over the row's
+// values in little-endian byte order.
+func rowCheck(row []matrix.Dist) uint32 {
+	h := uint32(fnvOffset32)
+	for _, d := range row {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint32(byte(d >> s))
+			h *= fnvPrime32
+		}
+	}
+	return h
+}
+
+// bytesCheck is FNV-1a/32 over raw bytes.
+func bytesCheck(p []byte) uint32 {
+	h := uint32(fnvOffset32)
+	for _, b := range p {
+		h ^= uint32(b)
+		h *= fnvPrime32
+	}
+	return h
+}

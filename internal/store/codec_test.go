@@ -1,0 +1,276 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"parapsp/internal/matrix"
+)
+
+// testRefs is a fixed dictionary for codec tests.
+type testRefs struct {
+	rows map[uint32][]matrix.Dist
+	pick map[int32]uint32
+}
+
+func (r *testRefs) RefFor(src int32) (uint32, []matrix.Dist) {
+	id := r.pick[src]
+	return id, r.rows[id]
+}
+
+func (r *testRefs) RefRow(id uint32) []matrix.Dist { return r.rows[id] }
+
+// genRow produces distance-row-shaped test data: long Inf runs (the
+// unreachable tail of a power-law component), hub-close short distances,
+// and grid-like locally incremental stretches.
+func genRow(rng *rand.Rand, n int, shape string) []matrix.Dist {
+	row := make([]matrix.Dist, n)
+	switch shape {
+	case "powerlaw":
+		for i := range row {
+			switch {
+			case rng.Float64() < 0.3:
+				row[i] = matrix.Inf
+			default:
+				row[i] = matrix.Dist(rng.Intn(12))
+			}
+		}
+	case "grid":
+		d := matrix.Dist(0)
+		for i := range row {
+			d += matrix.Dist(rng.Intn(3))
+			row[i] = d
+		}
+	case "infrun":
+		for i := range row {
+			if i%7 < 5 {
+				row[i] = matrix.Inf
+			} else {
+				row[i] = matrix.Dist(rng.Intn(1000))
+			}
+		}
+	case "extremes":
+		for i := range row {
+			switch rng.Intn(4) {
+			case 0:
+				row[i] = 0
+			case 1:
+				row[i] = matrix.Inf
+			case 2:
+				row[i] = matrix.Inf - 1
+			default:
+				row[i] = matrix.Dist(rng.Uint32() % uint32(matrix.Inf))
+			}
+		}
+	}
+	return row
+}
+
+// TestCodecRoundTrip is the differential test of satellite 3: every
+// encoded row must decode back bitwise-equal, across row shapes, row
+// lengths, and both delta modes.
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	shapes := []string{"powerlaw", "grid", "infrun", "extremes"}
+	for _, n := range []int{0, 1, 2, 17, 256, 4096} {
+		refs := &testRefs{rows: map[uint32][]matrix.Dist{}, pick: map[int32]uint32{}}
+		refs.rows[1] = genRow(rng, n, "powerlaw")
+		refs.rows[2] = genRow(rng, n, "grid")
+		for _, shape := range shapes {
+			for trial := 0; trial < 20; trial++ {
+				row := genRow(rng, n, shape)
+				refID := uint32(trial % 3) // 0 = self-delta
+				refs.pick[0] = refID
+				id, ref := refs.RefFor(0)
+				frame := AppendFrame(nil, row, id, ref)
+				got, err := DecodeFrame(frame, n, nil, refs)
+				if err != nil {
+					t.Fatalf("n=%d shape=%s ref=%d: decode: %v", n, shape, refID, err)
+				}
+				if len(got) != len(row) {
+					t.Fatalf("n=%d shape=%s: got %d entries", n, shape, len(got))
+				}
+				for i := range row {
+					if got[i] != row[i] {
+						t.Fatalf("n=%d shape=%s ref=%d entry %d: got %d want %d",
+							n, shape, refID, i, got[i], row[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCodecRefCompression checks the design claim that landmark-reference
+// deltas beat self-deltas for hub-close rows: a row equal to the
+// reference plus tiny offsets must encode near 1 byte/entry.
+func TestCodecRefCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 2048
+	ref := genRow(rng, n, "powerlaw")
+	row := make([]matrix.Dist, n)
+	for i, d := range ref {
+		if d == matrix.Inf {
+			row[i] = matrix.Inf
+		} else {
+			row[i] = d + matrix.Dist(rng.Intn(3))
+		}
+	}
+	refs := &testRefs{rows: map[uint32][]matrix.Dist{1: ref}, pick: map[int32]uint32{0: 1}}
+	frame := AppendFrame(nil, row, 1, ref)
+	if len(frame) > n+64 {
+		t.Fatalf("ref-delta frame is %d bytes for %d entries; expected ~1 byte/entry", len(frame), n)
+	}
+	raw := 4 * n
+	if len(frame)*2 > raw {
+		t.Fatalf("ref-delta frame %d bytes fails to halve raw %d bytes", len(frame), raw)
+	}
+	got, err := DecodeFrame(frame, n, nil, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range row {
+		if got[i] != row[i] {
+			t.Fatalf("entry %d: got %d want %d", i, got[i], row[i])
+		}
+	}
+}
+
+// TestCodecSteadyAllocs pins the zero-steady-state-allocation contract:
+// with pre-sized scratch, neither encode nor decode allocates.
+func TestCodecSteadyAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1024
+	row := genRow(rng, n, "powerlaw")
+	ref := genRow(rng, n, "grid")
+	refs := &testRefs{rows: map[uint32][]matrix.Dist{1: ref}, pick: map[int32]uint32{0: 1}}
+	buf := make([]byte, 0, 16*n)
+	dst := make([]matrix.Dist, n)
+	frame := AppendFrame(buf[:0], row, 1, ref)
+	if allocs := testing.AllocsPerRun(100, func() {
+		frame = AppendFrame(buf[:0], row, 1, ref)
+	}); allocs != 0 {
+		t.Fatalf("AppendFrame allocates %.1f per run with pre-sized scratch", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		out, err := DecodeFrame(frame, n, dst, refs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = out
+	}); allocs != 0 {
+		t.Fatalf("DecodeFrame allocates %.1f per run with pre-sized scratch", allocs)
+	}
+}
+
+// TestDecodeFrameRejects covers the malformed-frame classes the fuzz
+// target explores, deterministically.
+func TestDecodeFrameRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 64
+	row := genRow(rng, n, "powerlaw")
+	ref := genRow(rng, n, "grid")
+	refs := &testRefs{rows: map[uint32][]matrix.Dist{1: ref}, pick: map[int32]uint32{0: 1}}
+	good := AppendFrame(nil, row, 1, ref)
+	selfGood := AppendFrame(nil, row, 0, nil)
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"short":        {frameMagic},
+		"bad magic":    append([]byte{0x00}, good[1:]...),
+		"bad format":   append([]byte{frameMagic, 0x7f}, good[2:]...),
+		"truncated":    good[:len(good)/2],
+		"trailing":     append(append([]byte{}, good...), 0x00),
+		"flip payload": flipByte(good, len(good)-8),
+		"flip header":  flipByte(good, 3),
+	}
+	for name, frame := range cases {
+		if _, err := DecodeFrame(frame, n, nil, refs); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Dictionary failures: missing provider, unknown id, checksum drift.
+	if _, err := DecodeFrame(good, n, nil, nil); err == nil {
+		t.Error("ref frame decoded with nil dictionary")
+	}
+	wrongRefs := &testRefs{rows: map[uint32][]matrix.Dist{1: genRow(rng, n, "grid")}}
+	if _, err := DecodeFrame(good, n, nil, wrongRefs); err == nil {
+		t.Error("ref frame decoded against a different dictionary row")
+	}
+	// Wrong expected length.
+	if _, err := DecodeFrame(selfGood, n+1, nil, nil); err == nil {
+		t.Error("frame decoded at the wrong expectN")
+	}
+	// Sanity: the originals still decode.
+	if _, err := DecodeFrame(good, n, nil, refs); err != nil {
+		t.Fatalf("pristine ref frame: %v", err)
+	}
+	if _, err := DecodeFrame(selfGood, n, nil, nil); err != nil {
+		t.Fatalf("pristine self frame: %v", err)
+	}
+}
+
+func flipByte(frame []byte, i int) []byte {
+	out := append([]byte{}, frame...)
+	out[i] ^= 0xff
+	return out
+}
+
+// FuzzDecodeFrame pins the no-panic/no-over-read contract on arbitrary
+// bytes (satellite 3). Valid inputs must round-trip; everything else must
+// return an error wrapping ErrFrame.
+func FuzzDecodeFrame(f *testing.F) {
+	rng := rand.New(rand.NewSource(11))
+	for _, shape := range []string{"powerlaw", "grid", "extremes"} {
+		row := genRow(rng, 32, shape)
+		f.Add(AppendFrame(nil, row, 0, nil), 32)
+	}
+	f.Add([]byte{frameMagic, frameFormat, 0, 0, 0xff, 0xff, 0xff, 0xff, 0x7f}, 8)
+	f.Add([]byte{}, 0)
+	ref := genRow(rng, 16, "grid")
+	refs := &testRefs{rows: map[uint32][]matrix.Dist{1: ref}}
+	f.Add(AppendFrame(nil, genRow(rng, 16, "powerlaw"), 1, ref), 16)
+	f.Fuzz(func(t *testing.T, frame []byte, n int) {
+		if n < -1 || n > 1<<16 {
+			n = -1
+		}
+		row, err := DecodeFrame(frame, n, nil, refs)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode to an equivalent row.
+		re := AppendFrame(nil, row, 0, nil)
+		row2, err := DecodeFrame(re, len(row), nil, nil)
+		if err != nil {
+			t.Fatalf("re-encode of decoded row fails: %v", err)
+		}
+		for i := range row {
+			if row[i] != row2[i] {
+				t.Fatalf("entry %d drifts across re-encode", i)
+			}
+		}
+	})
+}
+
+// TestVarintNeverOverReads hands readUvarint every prefix of a long
+// continuation run; it must error, not read past the slice.
+func TestVarintNeverOverReads(t *testing.T) {
+	cont := bytes.Repeat([]byte{0x80}, 12)
+	for i := 0; i <= len(cont); i++ {
+		if _, _, err := readUvarint(cont[:i]); err == nil {
+			t.Fatalf("prefix of %d continuation bytes decoded", i)
+		}
+	}
+	// 10-byte encodings at the uint64 boundary.
+	max := appendUvarint(nil, 1<<64-1)
+	v, rest, err := readUvarint(max)
+	if err != nil || v != 1<<64-1 || len(rest) != 0 {
+		t.Fatalf("max uint64: v=%d rest=%d err=%v", v, len(rest), err)
+	}
+	over := append([]byte{}, max...)
+	over[9] = 0x02 // would need bit 64
+	if _, _, err := readUvarint(over); err == nil {
+		t.Fatal("65-bit varint decoded")
+	}
+}

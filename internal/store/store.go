@@ -1,0 +1,637 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"parapsp/internal/matrix"
+	"parapsp/internal/obs"
+)
+
+// Key identifies one distance row: a source vertex at a graph version —
+// the same keying as the serving layer's hot tier, so the three tiers
+// compose under the PR 8 versioned-cache semantics.
+type Key struct {
+	Src int32
+	Ver uint64
+}
+
+// Tier names where a Get found (or did not find) a row.
+type Tier uint8
+
+const (
+	// TierNone: not resident in any compressed tier.
+	TierNone Tier = iota
+	// TierWarm: decoded from the in-memory compressed tier (T2).
+	TierWarm
+	// TierCold: decoded from the disk arena (T3).
+	TierCold
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierWarm:
+		return "warm"
+	case TierCold:
+		return "cold"
+	default:
+		return "none"
+	}
+}
+
+// Verdict is a reconciliation decision for one frame at the mutating
+// version (the store-side mirror of dyn.RowVerdict, kept local so the
+// store does not depend on the mutation machinery).
+type Verdict uint8
+
+const (
+	// Keep: the row is exact in the new graph; retag the frame for free.
+	Keep Verdict = iota
+	// Repair: the row needs the caller's in-place repair, then re-encode.
+	Repair
+	// Drop: the row is stale; discard the frame.
+	Drop
+)
+
+// Config tunes a Store.
+type Config struct {
+	// N is the row length (the served graph's vertex count). Every Put
+	// and Get moves rows of exactly this length.
+	N int
+	// WarmBytes budgets the in-memory compressed tier; <= 0 disables it
+	// (every Put goes straight to spill, or is dropped when spill is off).
+	WarmBytes int64
+	// SpillBytes budgets the live bytes of the disk arena; <= 0 disables
+	// spilling entirely.
+	SpillBytes int64
+	// SpillPath is the arena file (created or recovered). Required when
+	// SpillBytes > 0.
+	SpillPath string
+	// Fingerprint identifies the served graph inside the arena header;
+	// reopening an arena written for a different graph resets it.
+	Fingerprint uint64
+	// Refs is the optional compression dictionary (nearest-landmark
+	// reference rows); nil encodes every frame as self-delta.
+	Refs RefProvider
+	// Metrics receives the store's internal counters (store.*): spill
+	// timing, compactions, decode/roundtrip errors, recovered frames.
+	// nil creates a private registry.
+	Metrics *obs.Metrics
+}
+
+// entryState tracks where a frame's bytes live.
+type entryState uint8
+
+const (
+	stateWarm     entryState = iota // buf resident, counted in warmBytes
+	stateSpilling                   // buf resident, queued for the arena
+	stateCold                       // on disk at off/len
+)
+
+type entry struct {
+	key    Key
+	state  entryState
+	buf    []byte // compressed frame while warm or spilling
+	off    int64  // arena offset once cold
+	length int32  // payload length once cold
+	elem   *list.Element
+	// dropped marks an entry the index abandoned while it sat in the
+	// spill queue; the writeback goroutine discards it on arrival.
+	dropped bool
+}
+
+// Store is the warm+cold compressed row store. All index state is behind
+// one mutex; the only long-running work under it is a frame decode
+// (O(n) varint scan). Arena file I/O happens in the writeback goroutine
+// and in Get's cold reads (the arena has its own lock).
+type Store struct {
+	cfg Config
+
+	mu      sync.Mutex
+	index   map[Key]*entry
+	warmLRU *list.List // stateWarm entries, front = most recent
+	coldLRU *list.List // stateCold entries, front = most recently written/read
+	warm    int64      // warm payload bytes
+	cold    int64      // live cold payload bytes
+	closed  bool
+
+	arena *arena
+	// spillQ is the writeback queue: entries evicted from warm, waiting
+	// for the async goroutine to land them in the arena. A list guarded
+	// by mu (not a bounded channel) so a CPU-starved consumer can never
+	// force drops: past the byte cap, producers spill inline instead —
+	// see enqueueSpillLocked.
+	spillQ    *list.List
+	spillCond *sync.Cond
+	queued    int64 // payload bytes sitting in spillQ
+	wg        sync.WaitGroup
+
+	encPool sync.Pool // *[]byte frame scratch
+	rowPool sync.Pool // *[]matrix.Dist decode scratch (Reconcile)
+
+	spillTime  obs.Timing
+	compacts   *obs.Counter
+	spillDrops *obs.Counter
+	decodeErrs *obs.Counter
+	recovered  *obs.Counter
+}
+
+// Open builds the store, creating or recovering the spill arena when
+// enabled. Recovered arena records whose version is 1 re-seed the cold
+// tier (a fresh server always starts at version 1 of the same
+// fingerprinted graph, so those rows are exact); records at later
+// versions belonged to a dead version chain and are discarded.
+func Open(cfg Config) (*Store, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("store: row length %d", cfg.N)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewMetrics()
+	}
+	s := &Store{
+		cfg:        cfg,
+		index:      make(map[Key]*entry),
+		warmLRU:    list.New(),
+		coldLRU:    list.New(),
+		spillTime:  cfg.Metrics.Timing("store.spill"),
+		compacts:   cfg.Metrics.Counter("store.compactions"),
+		spillDrops: cfg.Metrics.Counter("store.spill_dropped"),
+		decodeErrs: cfg.Metrics.Counter("store.decode_errors"),
+		recovered:  cfg.Metrics.Counter("store.recovered_frames"),
+	}
+	s.encPool.New = func() any { b := make([]byte, 0, 64+cfg.N); return &b }
+	s.rowPool.New = func() any { r := make([]matrix.Dist, cfg.N); return &r }
+	if cfg.SpillBytes > 0 {
+		if cfg.SpillPath == "" {
+			return nil, fmt.Errorf("store: SpillBytes set without SpillPath")
+		}
+		if err := os.MkdirAll(filepath.Dir(cfg.SpillPath), 0o755); err != nil {
+			return nil, fmt.Errorf("store: spill dir: %w", err)
+		}
+		a, recs, err := openArena(cfg.SpillPath, cfg.Fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		s.arena = a
+		for _, r := range recs {
+			if r.key.Ver != 1 {
+				continue // stale version chain from a previous process
+			}
+			if _, dup := s.index[r.key]; dup {
+				continue
+			}
+			e := &entry{key: r.key, state: stateCold, off: r.off, length: r.len}
+			s.index[r.key] = e
+			e.elem = s.coldLRU.PushBack(e)
+			s.cold += int64(r.len)
+			s.recovered.Add(1)
+		}
+		s.evictColdLocked()
+		s.spillQ = list.New()
+		s.spillCond = sync.NewCond(&s.mu)
+		s.wg.Add(1)
+		go s.writeback()
+	}
+	return s, nil
+}
+
+// Put encodes row and admits it to the warm tier (or directly to the
+// spill queue when the warm tier is disabled). An existing frame for the
+// same key is replaced. Rows are copied by encoding — the caller keeps
+// ownership of row.
+func (s *Store) Put(key Key, row []matrix.Dist) {
+	if len(row) != s.cfg.N {
+		return
+	}
+	var refID uint32
+	var ref []matrix.Dist
+	if s.cfg.Refs != nil {
+		refID, ref = s.cfg.Refs.RefFor(key.Src)
+	}
+	bufp := s.encPool.Get().(*[]byte)
+	frame := AppendFrame((*bufp)[:0], row, refID, ref)
+	// The pooled scratch is recycled only when the frame outgrew it (the
+	// append reallocated); otherwise the entry owns it and the pool gets
+	// a fresh buffer on the next Put.
+	if cap(frame) == cap(*bufp) {
+		*bufp = frame
+	} else {
+		s.encPool.Put(bufp)
+	}
+	buf := make([]byte, len(frame))
+	copy(buf, frame)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if old, ok := s.index[key]; ok {
+		s.removeLocked(old)
+	}
+	e := &entry{key: key, buf: buf}
+	if s.cfg.WarmBytes > 0 {
+		e.state = stateWarm
+		s.index[key] = e
+		e.elem = s.warmLRU.PushFront(e)
+		s.warm += int64(len(buf))
+		s.evictWarmLocked()
+		return
+	}
+	// No warm tier: spill directly (or drop when spill is off too).
+	if s.arena == nil {
+		return
+	}
+	e.state = stateSpilling
+	s.index[key] = e
+	s.enqueueSpillLocked(e)
+}
+
+// Get removes and decodes the frame for key, returning the row and the
+// tier it came from, or (nil, TierNone). The returned row is freshly
+// decoded into dst when dst has capacity (else allocated) — promotion is
+// exclusive, so the frame leaves the store. A frame that fails to decode
+// (corrupt arena record, missing dictionary) counts a decode error and
+// reports a miss; the caller re-solves.
+func (s *Store) Get(key Key, dst []matrix.Dist) ([]matrix.Dist, Tier) {
+	s.mu.Lock()
+	e, ok := s.index[key]
+	if !ok || s.closed {
+		s.mu.Unlock()
+		return nil, TierNone
+	}
+	var (
+		buf  []byte
+		tier Tier
+		off  int64
+		plen int32
+	)
+	switch e.state {
+	case stateWarm, stateSpilling:
+		buf = e.buf
+		tier = TierWarm
+		s.removeLocked(e)
+		s.mu.Unlock()
+	case stateCold:
+		tier = TierCold
+		off, plen = e.off, e.length
+		s.removeLocked(e)
+		s.mu.Unlock()
+		var err error
+		buf, err = s.arena.read(off, plen, nil)
+		if err != nil {
+			s.decodeErrs.Add(1)
+			return nil, TierNone
+		}
+	}
+	row, err := DecodeFrame(buf, s.cfg.N, dst, s.cfg.Refs)
+	if err != nil {
+		s.decodeErrs.Add(1)
+		return nil, TierNone
+	}
+	return row, tier
+}
+
+// Contains reports whether key is resident in any tier.
+func (s *Store) Contains(key Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// RecStats is one Reconcile's ledger: Scanned == Retagged + Repaired +
+// Dropped, with Aged counting frames of versions older than the mutating
+// one (no query can reach them once the new version publishes; they are
+// discarded without classification).
+type RecStats struct {
+	Scanned, Retagged, Repaired, Dropped, Aged int
+}
+
+// Reconcile carries frames at oldVer over to newVer during a mutation's
+// pre-publish window, mirroring the hot tier's retag/repair/drop rules:
+// judge classifies each decoded row, repair fixes a Repair-classified row
+// in place (the row is then exact at newVer and re-encoded), and frames
+// older than oldVer are aged out. Retagging costs no re-encode — the
+// frame bytes are content-addressed by the reference dictionary, not the
+// version — and cold frames retag without touching the disk.
+func (s *Store) Reconcile(oldVer, newVer uint64, judge func(row []matrix.Dist) Verdict, repair func(row []matrix.Dist)) RecStats {
+	var st RecStats
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return st
+	}
+	keys := make([]Key, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	rowp := s.rowPool.Get().(*[]matrix.Dist)
+	defer s.rowPool.Put(rowp)
+	var colds []byte
+	for _, k := range keys {
+		e := s.index[k]
+		if e == nil {
+			continue
+		}
+		if k.Ver != oldVer {
+			if k.Ver < oldVer {
+				s.removeLocked(e)
+				st.Aged++
+			}
+			continue
+		}
+		st.Scanned++
+		buf := e.buf
+		if e.state == stateCold {
+			var err error
+			colds, err = s.arena.read(e.off, e.length, colds)
+			if err != nil {
+				s.removeLocked(e)
+				s.decodeErrs.Add(1)
+				st.Dropped++
+				continue
+			}
+			buf = colds
+		}
+		row, err := DecodeFrame(buf, s.cfg.N, *rowp, s.cfg.Refs)
+		if err != nil {
+			s.removeLocked(e)
+			s.decodeErrs.Add(1)
+			st.Dropped++
+			continue
+		}
+		*rowp = row
+		switch judge(row) {
+		case Keep:
+			s.retagLocked(e, Key{Src: k.Src, Ver: newVer})
+			st.Retagged++
+		case Repair:
+			repair(row)
+			s.removeLocked(e)
+			s.putWarmLocked(Key{Src: k.Src, Ver: newVer}, row)
+			st.Repaired++
+		default:
+			s.removeLocked(e)
+			st.Dropped++
+		}
+	}
+	s.evictWarmLocked()
+	return st
+}
+
+// putWarmLocked encodes and inserts a row under the store mutex (the
+// Reconcile repair path). Falls back to the spill queue when the warm
+// tier is disabled.
+func (s *Store) putWarmLocked(key Key, row []matrix.Dist) {
+	if old, ok := s.index[key]; ok {
+		s.removeLocked(old)
+	}
+	var refID uint32
+	var ref []matrix.Dist
+	if s.cfg.Refs != nil {
+		refID, ref = s.cfg.Refs.RefFor(key.Src)
+	}
+	buf := AppendFrame(nil, row, refID, ref)
+	e := &entry{key: key, buf: buf}
+	if s.cfg.WarmBytes > 0 {
+		e.state = stateWarm
+		s.index[key] = e
+		e.elem = s.warmLRU.PushFront(e)
+		s.warm += int64(len(buf))
+		return
+	}
+	if s.arena == nil {
+		return
+	}
+	e.state = stateSpilling
+	s.index[key] = e
+	s.enqueueSpillLocked(e)
+}
+
+// retagLocked rebinds an entry to a new key, preserving its tier
+// residency and recency.
+func (s *Store) retagLocked(e *entry, key Key) {
+	if old, ok := s.index[key]; ok && old != e {
+		s.removeLocked(old)
+	}
+	delete(s.index, e.key)
+	e.key = key
+	s.index[key] = e
+}
+
+// removeLocked unlinks an entry from the index, its LRU list, and the
+// byte accounting. Spill-queued entries are flagged so the writeback
+// goroutine discards them.
+func (s *Store) removeLocked(e *entry) {
+	delete(s.index, e.key)
+	switch e.state {
+	case stateWarm:
+		if e.elem != nil {
+			s.warmLRU.Remove(e.elem)
+			e.elem = nil
+		}
+		s.warm -= int64(len(e.buf))
+	case stateSpilling:
+		e.dropped = true
+	case stateCold:
+		if e.elem != nil {
+			s.coldLRU.Remove(e.elem)
+			e.elem = nil
+		}
+		s.cold -= int64(e.length)
+	}
+}
+
+// evictWarmLocked demotes the oldest warm frames past the byte budget:
+// into the spill queue when the arena is enabled, else dropped.
+func (s *Store) evictWarmLocked() {
+	for s.warm > s.cfg.WarmBytes && s.warmLRU.Len() > 0 {
+		e := s.warmLRU.Remove(s.warmLRU.Back()).(*entry)
+		e.elem = nil
+		s.warm -= int64(len(e.buf))
+		if s.arena == nil {
+			delete(s.index, e.key)
+			continue
+		}
+		e.state = stateSpilling
+		s.enqueueSpillLocked(e)
+	}
+}
+
+// enqueueSpillLocked hands an entry to the writeback goroutine. The
+// queue is a mu-guarded list, so no eviction burst can outrun a bounded
+// channel; memory stays bounded by the byte cap below — past it the
+// producer appends to the arena inline (a ~µs pwrite) instead of
+// queueing or dropping, which doubles as backpressure on single-CPU
+// hosts where the writeback goroutine may not be scheduled mid-burst.
+// spill_dropped now counts only frames abandoned on arena write errors.
+func (s *Store) enqueueSpillLocked(e *entry) {
+	maxQueued := s.cfg.WarmBytes
+	if maxQueued < 1<<20 {
+		maxQueued = 1 << 20
+	}
+	if s.queued > maxQueued {
+		off, err := s.arena.append(e.key, e.buf)
+		if err != nil {
+			delete(s.index, e.key)
+			s.spillDrops.Add(1)
+			return
+		}
+		e.state = stateCold
+		e.off = off
+		e.length = int32(len(e.buf))
+		e.buf = nil
+		e.elem = s.coldLRU.PushFront(e)
+		s.cold += int64(e.length)
+		s.evictColdLocked()
+		return
+	}
+	s.spillQ.PushBack(e)
+	s.queued += int64(len(e.buf))
+	s.spillCond.Signal()
+}
+
+// evictColdLocked drops the oldest cold index entries past the live-byte
+// budget. The arena bytes become dead; compaction reclaims them when the
+// dead fraction grows (see writeback).
+func (s *Store) evictColdLocked() {
+	for s.cold > s.cfg.SpillBytes && s.coldLRU.Len() > 0 {
+		e := s.coldLRU.Remove(s.coldLRU.Back()).(*entry)
+		e.elem = nil
+		delete(s.index, e.key)
+		s.cold -= int64(e.length)
+	}
+}
+
+// writeback is the async spill goroutine: it appends queued frames to the
+// arena, flips them to cold, trims the cold tier, and compacts the arena
+// file when dead bytes dominate. On Close it discards whatever is still
+// queued (the spill tier is a cache, not a durability log) and exits.
+func (s *Store) writeback() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		for s.spillQ.Len() == 0 && !s.closed {
+			s.spillCond.Wait()
+		}
+		if s.spillQ.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		e := s.spillQ.Remove(s.spillQ.Front()).(*entry)
+		s.queued -= int64(len(e.buf))
+		if e.dropped || s.closed {
+			if !e.dropped && s.index[e.key] == e {
+				delete(s.index, e.key)
+			}
+			continue
+		}
+		key, buf := e.key, e.buf
+		s.mu.Unlock()
+
+		start := time.Now()
+		off, err := s.arena.append(key, buf)
+		s.spillTime.Observe(time.Since(start).Nanoseconds())
+
+		s.mu.Lock()
+		if err != nil || e.dropped || s.closed || s.index[e.key] != e {
+			if !e.dropped && s.index[e.key] == e {
+				delete(s.index, e.key)
+			}
+			continue
+		}
+		e.state = stateCold
+		e.off = off
+		e.length = int32(len(buf))
+		e.buf = nil
+		e.elem = s.coldLRU.PushFront(e)
+		s.cold += int64(e.length)
+		s.evictColdLocked()
+		s.maybeCompactLocked()
+	}
+}
+
+// maybeCompactLocked rewrites the arena when dead bytes exceed both the
+// live budget and a fixed floor, keeping the file bounded near the
+// configured spill budget.
+func (s *Store) maybeCompactLocked() {
+	const compactFloor = 4 << 20
+	deadBytes := s.arenaSize() - s.cold - arenaHeaderLen - int64(recordHeaderLen*s.coldLRU.Len())
+	if deadBytes < compactFloor || deadBytes < s.cfg.SpillBytes {
+		return
+	}
+	live := make([]recoveredRecord, 0, s.coldLRU.Len())
+	for el := s.coldLRU.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		live = append(live, recoveredRecord{key: e.key, off: e.off, len: e.length})
+	}
+	moved, err := s.arena.compact(live)
+	if err != nil {
+		return // keep serving from the old file; retry on the next spill
+	}
+	for el := s.coldLRU.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if noff, ok := moved[e.off]; ok {
+			e.off = noff
+		}
+	}
+	s.compacts.Add(1)
+}
+
+func (s *Store) arenaSize() int64 {
+	s.arena.mu.Lock()
+	defer s.arena.mu.Unlock()
+	return s.arena.size
+}
+
+// Stats is a point-in-time residency snapshot for /healthz and the
+// storebench report.
+type Stats struct {
+	WarmRows  int
+	WarmBytes int64
+	ColdRows  int
+	ColdBytes int64
+	ArenaFile int64 // arena file size on disk (0 when spill is off)
+}
+
+// Snapshot returns the current residency stats.
+func (s *Store) Snapshot() Stats {
+	s.mu.Lock()
+	st := Stats{
+		WarmRows:  s.warmLRU.Len(),
+		WarmBytes: s.warm,
+		ColdRows:  s.coldLRU.Len(),
+		ColdBytes: s.cold,
+	}
+	s.mu.Unlock()
+	if s.arena != nil {
+		st.ArenaFile = s.arenaSize()
+	}
+	return st
+}
+
+// Close stops the writeback goroutine and closes the arena. The store
+// refuses new work afterwards; Close is idempotent.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.spillCond != nil {
+		s.spillCond.Broadcast()
+	}
+	s.mu.Unlock()
+	if s.spillCond != nil {
+		s.wg.Wait()
+	}
+	if s.arena != nil {
+		s.arena.close()
+	}
+}

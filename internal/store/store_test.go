@@ -1,0 +1,402 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"parapsp/internal/matrix"
+)
+
+func waitCold(t *testing.T, s *Store, rows int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := s.Snapshot(); st.ColdRows >= rows {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("cold tier never reached %d rows: %+v", rows, s.Snapshot())
+}
+
+func mustOpen(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestWarmPutGet covers the exclusive-promote contract: a Get removes the
+// frame, decodes it bitwise-equal, and a second Get misses.
+func TestWarmPutGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 512
+	s := mustOpen(t, Config{N: n, WarmBytes: 1 << 20})
+	rows := make([][]matrix.Dist, 8)
+	for i := range rows {
+		rows[i] = genRow(rng, n, "powerlaw")
+		s.Put(Key{Src: int32(i), Ver: 1}, rows[i])
+	}
+	st := s.Snapshot()
+	if st.WarmRows != 8 || st.WarmBytes <= 0 {
+		t.Fatalf("warm tier after 8 puts: %+v", st)
+	}
+	for i := range rows {
+		got, tier := s.Get(Key{Src: int32(i), Ver: 1}, nil)
+		if tier != TierWarm {
+			t.Fatalf("row %d from tier %v", i, tier)
+		}
+		for j := range got {
+			if got[j] != rows[i][j] {
+				t.Fatalf("row %d entry %d drifts", i, j)
+			}
+		}
+		if _, tier := s.Get(Key{Src: int32(i), Ver: 1}, nil); tier != TierNone {
+			t.Fatalf("row %d still resident after promote", i)
+		}
+	}
+	if st := s.Snapshot(); st.WarmRows != 0 || st.WarmBytes != 0 {
+		t.Fatalf("warm tier after draining: %+v", st)
+	}
+}
+
+// TestWarmEvictsToSpill fills the warm tier past its budget and checks
+// the overflow lands in the cold tier and survives a Get round-trip.
+func TestWarmEvictsToSpill(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 1024
+	dir := t.TempDir()
+	// Budget roughly three compressed frames so later puts evict earlier.
+	probe := AppendFrame(nil, genRow(rng, n, "extremes"), 0, nil)
+	s := mustOpen(t, Config{
+		N:         n,
+		WarmBytes: int64(3 * len(probe)),
+		// extremes rows barely compress, so size the budget off a probe
+		SpillBytes:  1 << 22,
+		SpillPath:   filepath.Join(dir, "arena"),
+		Fingerprint: 42,
+	})
+	rows := make([][]matrix.Dist, 10)
+	for i := range rows {
+		rows[i] = genRow(rng, n, "extremes")
+		s.Put(Key{Src: int32(i), Ver: 1}, rows[i])
+	}
+	waitCold(t, s, 5)
+	var fromCold int
+	for i := range rows {
+		got, tier := s.Get(Key{Src: int32(i), Ver: 1}, nil)
+		if tier == TierNone {
+			t.Fatalf("row %d lost", i)
+		}
+		if tier == TierCold {
+			fromCold++
+		}
+		for j := range got {
+			if got[j] != rows[i][j] {
+				t.Fatalf("row %d entry %d drifts (tier %v)", i, j, tier)
+			}
+		}
+	}
+	if fromCold == 0 {
+		t.Fatal("no row came back from the cold tier")
+	}
+}
+
+// TestColdBudgetEvicts keeps the spill budget tiny and checks the cold
+// tier trims to it instead of growing without bound.
+func TestColdBudgetEvicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1024
+	probe := AppendFrame(nil, genRow(rng, n, "extremes"), 0, nil)
+	s := mustOpen(t, Config{
+		N:           n,
+		WarmBytes:   int64(len(probe)),
+		SpillBytes:  int64(2 * len(probe)),
+		SpillPath:   filepath.Join(t.TempDir(), "arena"),
+		Fingerprint: 42,
+	})
+	for i := 0; i < 20; i++ {
+		s.Put(Key{Src: int32(i), Ver: 1}, genRow(rng, n, "extremes"))
+	}
+	waitCold(t, s, 1)
+	time.Sleep(50 * time.Millisecond) // let the queue drain
+	st := s.Snapshot()
+	if st.ColdBytes > int64(2*len(probe)) {
+		t.Fatalf("cold tier %d bytes over budget %d", st.ColdBytes, 2*len(probe))
+	}
+}
+
+// TestRecoverySeedsColdTier restarts the store on the same arena file and
+// checks version-1 frames come back while later versions are discarded.
+func TestRecoverySeedsColdTier(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 512
+	dir := t.TempDir()
+	path := filepath.Join(dir, "arena")
+	cfg := Config{N: n, WarmBytes: 0, SpillBytes: 1 << 22, SpillPath: path, Fingerprint: 7}
+
+	rows := map[int32][]matrix.Dist{}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 6; i++ {
+		rows[i] = genRow(rng, n, "powerlaw")
+		s.Put(Key{Src: i, Ver: 1}, rows[i])
+	}
+	s.Put(Key{Src: 100, Ver: 2}, genRow(rng, n, "grid"))
+	waitCold(t, s, 7)
+	s.Close()
+
+	s2 := mustOpen(t, cfg)
+	st := s2.Snapshot()
+	if st.ColdRows != 6 {
+		t.Fatalf("recovered %d rows, want 6 (the ver-1 frames)", st.ColdRows)
+	}
+	if s2.Contains(Key{Src: 100, Ver: 2}) {
+		t.Fatal("ver-2 frame resurrected at restart")
+	}
+	for i := int32(0); i < 6; i++ {
+		got, tier := s2.Get(Key{Src: i, Ver: 1}, nil)
+		if tier != TierCold {
+			t.Fatalf("row %d from tier %v after recovery", i, tier)
+		}
+		for j := range got {
+			if got[j] != rows[i][j] {
+				t.Fatalf("recovered row %d entry %d drifts", i, j)
+			}
+		}
+	}
+}
+
+// TestRecoveryFingerprintMismatch opens the arena under a different graph
+// fingerprint; it must reset to empty rather than serve foreign rows.
+func TestRecoveryFingerprintMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 256
+	path := filepath.Join(t.TempDir(), "arena")
+	s, err := Open(Config{N: n, SpillBytes: 1 << 22, SpillPath: path, Fingerprint: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(Key{Src: 0, Ver: 1}, genRow(rng, n, "grid"))
+	waitCold(t, s, 1)
+	s.Close()
+
+	s2 := mustOpen(t, Config{N: n, SpillBytes: 1 << 22, SpillPath: path, Fingerprint: 2})
+	if st := s2.Snapshot(); st.ColdRows != 0 {
+		t.Fatalf("foreign arena yielded %d rows", st.ColdRows)
+	}
+}
+
+// TestRecoveryTruncatesTornTail corrupts the arena mid-record; reopening
+// must keep the valid prefix and drop the tail.
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 256
+	path := filepath.Join(t.TempDir(), "arena")
+	cfg := Config{N: n, SpillBytes: 1 << 22, SpillPath: path, Fingerprint: 9}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int32][]matrix.Dist{}
+	for i := int32(0); i < 4; i++ {
+		want[i] = genRow(rng, n, "powerlaw")
+		s.Put(Key{Src: i, Ver: 1}, want[i])
+	}
+	waitCold(t, s, 4)
+	s.Close()
+
+	// Tear the last record: chop half its payload off the file.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-20); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, cfg)
+	st := s2.Snapshot()
+	if st.ColdRows != 3 {
+		t.Fatalf("recovered %d rows after torn tail, want 3", st.ColdRows)
+	}
+	for i := int32(0); i < 3; i++ {
+		got, tier := s2.Get(Key{Src: i, Ver: 1}, nil)
+		if tier != TierCold {
+			t.Fatalf("row %d from tier %v", i, tier)
+		}
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Fatalf("row %d entry %d drifts after recovery", i, j)
+			}
+		}
+	}
+}
+
+// TestReconcile drives the retag/repair/drop/age paths and checks the
+// RecStats ledger adds up.
+func TestReconcile(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 128
+	s := mustOpen(t, Config{N: n, WarmBytes: 1 << 20})
+	rows := map[int32][]matrix.Dist{}
+	for i := int32(0); i < 9; i++ {
+		rows[i] = genRow(rng, n, "grid")
+		s.Put(Key{Src: i, Ver: 2}, rows[i])
+	}
+	s.Put(Key{Src: 50, Ver: 1}, genRow(rng, n, "grid")) // aged out
+
+	st := s.Reconcile(2, 3, func(row []matrix.Dist) Verdict {
+		switch int(row[0]) % 3 {
+		case 0:
+			return Keep
+		case 1:
+			return Repair
+		default:
+			return Drop
+		}
+	}, func(row []matrix.Dist) {
+		row[1] = 99
+	})
+	if st.Scanned != 9 || st.Scanned != st.Retagged+st.Repaired+st.Dropped {
+		t.Fatalf("reconcile ledger broken: %+v", st)
+	}
+	if st.Aged != 1 {
+		t.Fatalf("aged %d, want 1", st.Aged)
+	}
+	for i := int32(0); i < 9; i++ {
+		got, tier := s.Get(Key{Src: i, Ver: 3}, nil)
+		switch int(rows[i][0]) % 3 {
+		case 0: // retagged: identical content at the new version
+			if tier == TierNone {
+				t.Fatalf("retagged row %d missing", i)
+			}
+			for j := range got {
+				if got[j] != rows[i][j] {
+					t.Fatalf("retagged row %d entry %d drifts", i, j)
+				}
+			}
+		case 1: // repaired: repair callback's edit visible
+			if tier == TierNone {
+				t.Fatalf("repaired row %d missing", i)
+			}
+			if got[1] != 99 {
+				t.Fatalf("repaired row %d entry 1 = %d, want 99", i, got[1])
+			}
+		default: // dropped
+			if tier != TierNone {
+				t.Fatalf("dropped row %d still resident", i)
+			}
+		}
+		if s.Contains(Key{Src: i, Ver: 2}) {
+			t.Fatalf("row %d still resident at the old version", i)
+		}
+	}
+	if s.Contains(Key{Src: 50, Ver: 1}) {
+		t.Fatal("aged frame still resident")
+	}
+}
+
+// TestCompaction churns a tiny cold tier until dead bytes force a
+// rewrite, then checks the surviving rows still decode and the file
+// shrank.
+func TestCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 4096
+	probe := AppendFrame(nil, genRow(rng, n, "extremes"), 0, nil)
+	path := filepath.Join(t.TempDir(), "arena")
+	s := mustOpen(t, Config{
+		N:           n,
+		WarmBytes:   int64(len(probe)),
+		SpillBytes:  int64(2 * len(probe)),
+		SpillPath:   path,
+		Fingerprint: 1,
+	})
+	// Churn enough rows through the cold tier that evictions accumulate
+	// dead bytes well past SpillBytes (the compaction threshold floor is
+	// 4 MiB; extremes frames are ~4–5 bytes/entry, so ~16 KiB each needs
+	// a few hundred).
+	keep := map[int32][]matrix.Dist{}
+	for i := int32(0); i < 400; i++ {
+		row := genRow(rng, n, "extremes")
+		keep[i] = row
+		s.Put(Key{Src: i, Ver: 1}, row)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.compacts.Load() > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.compacts.Load() == 0 {
+		t.Skip("compaction threshold not reached on this run")
+	}
+	// Churn keeps appending after the last compaction, so the file may
+	// carry dead bytes up to the compaction threshold again — but never
+	// unboundedly more.
+	st := s.Snapshot()
+	const compactFloor = 4 << 20
+	bound := int64(compactFloor) + 2*int64(2*len(probe)) + arenaHeaderLen + 512*recordHeaderLen
+	if st.ArenaFile > bound {
+		t.Fatalf("arena file %d bytes exceeds compaction bound %d (live %d)", st.ArenaFile, bound, st.ColdBytes)
+	}
+	// Whatever survived must still round-trip.
+	var checked int
+	for i := int32(0); i < 400 && checked < 2; i++ {
+		got, tier := s.Get(Key{Src: i, Ver: 1}, nil)
+		if tier == TierNone {
+			continue
+		}
+		checked++
+		for j := range got {
+			if got[j] != keep[i][j] {
+				t.Fatalf("row %d entry %d drifts after compaction", i, j)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no surviving row to check after compaction")
+	}
+}
+
+// TestStoreConcurrentChurn hammers Put/Get/Reconcile from several
+// goroutines under -race.
+func TestStoreConcurrentChurn(t *testing.T) {
+	n := 256
+	s := mustOpen(t, Config{
+		N:           n,
+		WarmBytes:   8 << 10,
+		SpillBytes:  64 << 10,
+		SpillPath:   filepath.Join(t.TempDir(), "arena"),
+		Fingerprint: 3,
+	})
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < 300; j++ {
+				src := int32(rng.Intn(64))
+				if rng.Intn(2) == 0 {
+					s.Put(Key{Src: src, Ver: 1}, genRow(rng, n, "powerlaw"))
+				} else {
+					s.Get(Key{Src: src, Ver: 1}, nil)
+				}
+			}
+			done <- struct{}{}
+		}(int64(w))
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	s.Close()
+	s.Close() // idempotent
+}

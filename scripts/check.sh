@@ -56,4 +56,7 @@ go run ./scripts/jsonok "$tmpdir/kernelcmp.json"
 echo "== kernel regression gate (reduced-scale measurement vs checked-in baseline)"
 scripts/kernelgate.sh
 
+echo "== tiered-store memory gate (reduced-scale storebench vs checked-in baseline)"
+scripts/storegate.sh
+
 echo "OK"

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Memory-wall regression gate for the tiered distance store: measure a
+# fresh (reduced-scale) storebench report and hold it against the
+# checked-in baseline. Fails when the store ledger stops reconciling, a
+# spot-checked answer diverges from the subset solver, the served row
+# set drops below 10x the RAM budget, the tiered p99 exceeds 2x the
+# all-hot p99, or heap/RSS regresses >50% against the baseline (see
+# scripts/storegate/main.go). Regenerate the baseline after an
+# intentional memory-profile change with:
+#
+#   scripts/storegate.sh -write
+#
+# Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-check}"
+
+tmp="$(mktemp -t storegate.XXXXXX.json)"
+trap 'rm -f "$tmp"' EXIT
+
+# Reduced scale keeps the gate CI-sized (n=800, ~2.4 MiB all-hot matrix)
+# while still driving all three tiers plus the disk arena at a 16x
+# byte-budget squeeze; the workload and spot-checks are deterministic
+# under the fixed seed, so only the timing side wobbles.
+go run ./cmd/apspbench -scale 0.4 -threads 1,2 -storejson "$tmp"
+
+if [ "$mode" = "-write" ]; then
+    go run ./scripts/storegate -write -baseline scripts/storegate_baseline.json "$tmp"
+else
+    go run ./scripts/storegate -baseline scripts/storegate_baseline.json "$tmp"
+fi

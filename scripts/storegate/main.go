@@ -1,0 +1,149 @@
+// Command storegate is the memory-wall regression gate for the tiered
+// distance store: it takes a freshly measured storebench report (see
+// internal/bench/storebench.go) and fails when the tiered configuration
+// stops honoring the contracts PR'd in with the store, or when its
+// memory footprint regresses against the checked-in baseline.
+//
+// Hard contracts (gated against the fresh report alone):
+//
+//   - Correctness: every spot-checked answer matches core.SolveSubset
+//     and the store ledger reconciles (lookups == sketch_answered +
+//     t1_hits + t2_promotes + t3_promotes + misses).
+//   - Scale: the tiered store serves a row set >= 10x its RAM budget,
+//     with the cold tier actually engaged (cold_rows > 0).
+//   - Tail: tiered p99 <= 2x the all-hot p99 on the same workload.
+//
+// Memory regression (gated against the baseline, ratio + additive slack
+// so absolute host differences don't trip it):
+//
+//   - Tiered Go heap in use <= baseline x (1+memTol) + memEps.
+//   - Process VmRSS <= baseline x (1+memTol) + rssEps (skipped when
+//     either measurement is unavailable).
+//
+// Usage:
+//
+//	go run ./scripts/storegate -baseline scripts/storegate_baseline.json report.json
+//	go run ./scripts/storegate -write -baseline scripts/storegate_baseline.json report.json
+//
+// -write regenerates the baseline from the report instead of gating.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"parapsp/internal/bench"
+)
+
+const (
+	// p99Cap is the acceptance contract: the tiered tail may not exceed
+	// twice the all-hot tail.
+	p99Cap = 2.0
+	// scaleFloor is the acceptance contract: >= 10x the RAM budget.
+	scaleFloor = 10.0
+	// memTol and the additive epsilons absorb allocator and runtime
+	// noise: the heap measurement is post-GC but arena-pool sizing
+	// wobbles by a few hundred KiB run to run, and VmRSS includes the
+	// Go runtime's own pages.
+	memTol = 0.5
+	memEps = 4 << 20
+	rssEps = 16 << 20
+)
+
+func load(path string) (*bench.StoreReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.StoreReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func main() {
+	write := flag.Bool("write", false, "regenerate the baseline from the report instead of gating")
+	baselinePath := flag.String("baseline", "scripts/storegate_baseline.json", "checked-in baseline report")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: storegate [-write] -baseline base.json report.json")
+		os.Exit(2)
+	}
+	rep, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	var fails []string
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// Hard contracts, baseline-independent.
+	check(rep.ExactMismatch == 0, "%d of %d spot-checked answers mismatch the subset solver",
+		rep.ExactMismatch, rep.ExactChecked)
+	check(rep.ExactChecked > 0, "no exactness spot-checks ran")
+	lookups := rep.Metrics["serve.store.lookups"]
+	sum := rep.Metrics["serve.store.sketch_answered"] + rep.Metrics["serve.store.t1_hits"] +
+		rep.Metrics["serve.store.t2_promotes"] + rep.Metrics["serve.store.t3_promotes"] +
+		rep.Metrics["serve.store.misses"]
+	check(rep.LedgerOK && lookups == sum && lookups > 0,
+		"store ledger does not reconcile: lookups=%d sum=%d ledger_ok=%v", lookups, sum, rep.LedgerOK)
+	check(rep.ScaleFactor >= scaleFloor, "scale factor %.1fx below the %.0fx contract",
+		rep.ScaleFactor, scaleFloor)
+	check(rep.ColdRows > 0, "cold tier never engaged (cold_rows=0)")
+	check(rep.Metrics["store.decode_errors"] == 0, "%d frame decode errors",
+		rep.Metrics["store.decode_errors"])
+	check(rep.P99Ratio > 0 && rep.P99Ratio <= p99Cap,
+		"tiered p99 is %.2fx the all-hot p99 (cap %.1fx)", rep.P99Ratio, p99Cap)
+
+	if *write {
+		if len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintln(os.Stderr, "storegate: refusing baseline:", f)
+			}
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("storegate: wrote baseline", *baselinePath)
+		return
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("baseline (regenerate with -write): %w", err))
+	}
+	heapCap := int64(float64(base.TierHeapBytes)*(1+memTol)) + memEps
+	check(rep.TierHeapBytes <= heapCap,
+		"tiered heap %d bytes exceeds baseline %d (cap %d)", rep.TierHeapBytes, base.TierHeapBytes, heapCap)
+	if rep.VmRSSBytes > 0 && base.VmRSSBytes > 0 {
+		rssCap := int64(float64(base.VmRSSBytes)*(1+memTol)) + rssEps
+		check(rep.VmRSSBytes <= rssCap,
+			"VmRSS %d bytes exceeds baseline %d (cap %d)", rep.VmRSSBytes, base.VmRSSBytes, rssCap)
+	}
+
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "storegate: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("storegate: OK (scale %.0fx, p99 ratio %.2f, heap %d, exact %d/%d)\n",
+		rep.ScaleFactor, rep.P99Ratio, rep.TierHeapBytes, rep.ExactChecked-rep.ExactMismatch, rep.ExactChecked)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "storegate:", err)
+	os.Exit(1)
+}
