@@ -54,6 +54,12 @@ type arena struct {
 	path string
 	size int64 // bytes written, header included
 
+	// gen counts successful compactions. An offset is only meaningful at
+	// the generation it was snapshotted under — compact moves every
+	// record — so read rejects offsets from an older generation instead
+	// of decoding whatever record the stale offset lands on.
+	gen uint64
+
 	// mapped is the read view maintained by the build-tagged mmap half;
 	// nil when mmap is unavailable (reads fall back to pread).
 	mapped []byte
@@ -181,12 +187,27 @@ func (a *arena) append(key Key, payload []byte) (int64, error) {
 	return off, nil
 }
 
-// read copies the payload of the record at off into dst (reused when it
-// has capacity) and validates its CRC. Reads go through the mmap view
-// when available.
-func (a *arena) read(off int64, plen int32, dst []byte) ([]byte, error) {
+// generation returns the current compaction generation. Callers snapshot
+// it together with a record offset and hand both back to read, which
+// refuses the offset if a compact slipped in between.
+func (a *arena) generation() uint64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	return a.gen
+}
+
+// read copies the payload of the record at off into dst (reused when it
+// has capacity) and validates that the record is still the one the caller
+// indexed: gen must match the compaction generation the offset was
+// snapshotted under, the header must carry key — the key the frame was
+// appended with, which for retagged frames differs from the index key —
+// and the CRC must hold. Reads go through the mmap view when available.
+func (a *arena) read(off int64, plen int32, key Key, gen uint64, dst []byte) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if gen != a.gen {
+		return nil, fmt.Errorf("store: arena read at %d stale: generation %d, now %d", off, gen, a.gen)
+	}
 	if off < arenaHeaderLen || off+recordHeaderLen+int64(plen) > a.size {
 		return nil, fmt.Errorf("store: arena read [%d,+%d) outside file of %d bytes", off, plen, a.size)
 	}
@@ -201,6 +222,13 @@ func (a *arena) read(off int64, plen int32, dst []byte) ([]byte, error) {
 	if binary.LittleEndian.Uint32(hdr[0:4]) != recordMagic ||
 		binary.LittleEndian.Uint32(hdr[16:20]) != uint32(plen) {
 		return nil, fmt.Errorf("store: arena record at %d corrupt", off)
+	}
+	if got := (Key{
+		Src: int32(binary.LittleEndian.Uint32(hdr[4:8])),
+		Ver: binary.LittleEndian.Uint64(hdr[8:16]),
+	}); got != key {
+		return nil, fmt.Errorf("store: arena record at %d keyed (%d,v%d), want (%d,v%d)",
+			off, got.Src, got.Ver, key.Src, key.Ver)
 	}
 	if err := a.readAt(dst, off+recordHeaderLen); err != nil {
 		return nil, err
@@ -274,14 +302,17 @@ func (a *arena) compact(live []recoveredRecord) (map[int64]int64, error) {
 		moved[r.off] = out
 		out += total
 	}
-	a.unmap()
-	a.f.Close()
 	if err := os.Rename(tmpPath, a.path); err != nil {
+		// The old file is untouched and still open: keep serving from it.
 		tmp.Close()
+		os.Remove(tmpPath)
 		return nil, fmt.Errorf("store: compact swap: %w", err)
 	}
+	a.unmap()
+	a.f.Close()
 	a.f = tmp
 	a.size = out
+	a.gen++
 	a.mapInit()
 	return moved, nil
 }

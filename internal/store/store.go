@@ -98,6 +98,10 @@ type entry struct {
 	buf    []byte // compressed frame while warm or spilling
 	off    int64  // arena offset once cold
 	length int32  // payload length once cold
+	// diskKey is the (Src,Ver) in the on-disk record header once cold.
+	// Retagging rebinds key without rewriting the record, so the two can
+	// differ; arena reads validate the header against diskKey.
+	diskKey Key
 	elem   *list.Element
 	// dropped marks an entry the index abandoned while it sat in the
 	// spill queue; the writeback goroutine discards it on arrival.
@@ -184,7 +188,7 @@ func Open(cfg Config) (*Store, error) {
 			if _, dup := s.index[r.key]; dup {
 				continue
 			}
-			e := &entry{key: r.key, state: stateCold, off: r.off, length: r.len}
+			e := &entry{key: r.key, diskKey: r.key, state: stateCold, off: r.off, length: r.len}
 			s.index[r.key] = e
 			e.elem = s.coldLRU.PushBack(e)
 			s.cold += int64(r.len)
@@ -214,16 +218,15 @@ func (s *Store) Put(key Key, row []matrix.Dist) {
 	}
 	bufp := s.encPool.Get().(*[]byte)
 	frame := AppendFrame((*bufp)[:0], row, refID, ref)
-	// The pooled scratch is recycled only when the frame outgrew it (the
-	// append reallocated); otherwise the entry owns it and the pool gets
-	// a fresh buffer on the next Put.
-	if cap(frame) == cap(*bufp) {
-		*bufp = frame
-	} else {
-		s.encPool.Put(bufp)
-	}
 	buf := make([]byte, len(frame))
 	copy(buf, frame)
+	// The frame was copied out, so the scratch always returns to the
+	// pool — keeping the reallocated backing array when the frame outgrew
+	// the old one.
+	if cap(frame) > cap(*bufp) {
+		*bufp = frame[:0]
+	}
+	s.encPool.Put(bufp)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -267,8 +270,6 @@ func (s *Store) Get(key Key, dst []matrix.Dist) ([]matrix.Dist, Tier) {
 	var (
 		buf  []byte
 		tier Tier
-		off  int64
-		plen int32
 	)
 	switch e.state {
 	case stateWarm, stateSpilling:
@@ -278,11 +279,16 @@ func (s *Store) Get(key Key, dst []matrix.Dist) ([]matrix.Dist, Tier) {
 		s.mu.Unlock()
 	case stateCold:
 		tier = TierCold
-		off, plen = e.off, e.length
+		// Snapshot offset, on-disk key, and compaction generation under
+		// s.mu (compaction also runs under s.mu, so the three are
+		// consistent); the read outside the lock rejects the offset if a
+		// compact lands in between, and the caller re-solves.
+		off, plen, diskKey := e.off, e.length, e.diskKey
+		gen := s.arena.generation()
 		s.removeLocked(e)
 		s.mu.Unlock()
 		var err error
-		buf, err = s.arena.read(off, plen, nil)
+		buf, err = s.arena.read(off, plen, diskKey, gen, nil)
 		if err != nil {
 			s.decodeErrs.Add(1)
 			return nil, TierNone
@@ -333,6 +339,12 @@ func (s *Store) Reconcile(oldVer, newVer uint64, judge func(row []matrix.Dist) V
 	rowp := s.rowPool.Get().(*[]matrix.Dist)
 	defer s.rowPool.Put(rowp)
 	var colds []byte
+	// Compaction runs under s.mu too, so one generation snapshot covers
+	// every cold read below.
+	var gen uint64
+	if s.arena != nil {
+		gen = s.arena.generation()
+	}
 	for _, k := range keys {
 		e := s.index[k]
 		if e == nil {
@@ -349,7 +361,7 @@ func (s *Store) Reconcile(oldVer, newVer uint64, judge func(row []matrix.Dist) V
 		buf := e.buf
 		if e.state == stateCold {
 			var err error
-			colds, err = s.arena.read(e.off, e.length, colds)
+			colds, err = s.arena.read(e.off, e.length, e.diskKey, gen, colds)
 			if err != nil {
 				s.removeLocked(e)
 				s.decodeErrs.Add(1)
@@ -485,6 +497,7 @@ func (s *Store) enqueueSpillLocked(e *entry) {
 		e.state = stateCold
 		e.off = off
 		e.length = int32(len(e.buf))
+		e.diskKey = e.key
 		e.buf = nil
 		e.elem = s.coldLRU.PushFront(e)
 		s.cold += int64(e.length)
@@ -542,12 +555,16 @@ func (s *Store) writeback() {
 		if err != nil || e.dropped || s.closed || s.index[e.key] != e {
 			if !e.dropped && s.index[e.key] == e {
 				delete(s.index, e.key)
+				if err != nil {
+					s.spillDrops.Add(1)
+				}
 			}
 			continue
 		}
 		e.state = stateCold
 		e.off = off
 		e.length = int32(len(buf))
+		e.diskKey = key
 		e.buf = nil
 		e.elem = s.coldLRU.PushFront(e)
 		s.cold += int64(e.length)

@@ -368,6 +368,97 @@ func TestCompaction(t *testing.T) {
 	}
 }
 
+// TestArenaReadValidatesKeyAndGeneration pins the defense against stale
+// cold offsets: a read presenting the wrong record key, or an offset
+// snapshotted before a compact moved every record, must error so the
+// store reports a miss — never decode whichever record the offset lands
+// on.
+func TestArenaReadValidatesKeyAndGeneration(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 64
+	a, _, err := openArena(filepath.Join(t.TempDir(), "arena"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.close()
+	k0, k1 := Key{Src: 0, Ver: 1}, Key{Src: 1, Ver: 1}
+	f0 := AppendFrame(nil, genRow(rng, n, "grid"), 0, nil)
+	f1 := AppendFrame(nil, genRow(rng, n, "grid"), 0, nil)
+	off0, err := a.append(k0, f0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off1, err := a.append(k1, f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.read(off0, int32(len(f0)), k1, a.generation(), nil); err == nil {
+		t.Fatal("read with the wrong key succeeded")
+	}
+	if _, err := a.read(off0, int32(len(f0)), k0, a.generation(), nil); err != nil {
+		t.Fatalf("read with the right key: %v", err)
+	}
+
+	// Compact away k0; its old offset now points at k1's record. A read
+	// presenting the pre-compact generation must be rejected.
+	gen := a.generation()
+	moved, err := a.compact([]recoveredRecord{{key: k1, off: off1, len: int32(len(f1))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.read(off0, int32(len(f0)), k0, gen, nil); err == nil {
+		t.Fatal("stale-generation read succeeded after compact")
+	}
+	got, err := a.read(moved[off1], int32(len(f1)), k1, a.generation(), nil)
+	if err != nil {
+		t.Fatalf("post-compact read: %v", err)
+	}
+	for i := range got {
+		if got[i] != f1[i] {
+			t.Fatalf("byte %d drifts after compact", i)
+		}
+	}
+}
+
+// TestReconcileRetagsColdFrames retags cold frames to a new version and
+// checks they still read back: the on-disk record header keeps the
+// original key, which the store must track separately for validation.
+func TestReconcileRetagsColdFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 256
+	s := mustOpen(t, Config{
+		N:           n,
+		WarmBytes:   0,
+		SpillBytes:  1 << 22,
+		SpillPath:   filepath.Join(t.TempDir(), "arena"),
+		Fingerprint: 4,
+	})
+	rows := map[int32][]matrix.Dist{}
+	for i := int32(0); i < 4; i++ {
+		rows[i] = genRow(rng, n, "powerlaw")
+		s.Put(Key{Src: i, Ver: 1}, rows[i])
+	}
+	waitCold(t, s, 4)
+	st := s.Reconcile(1, 2, func([]matrix.Dist) Verdict { return Keep }, nil)
+	if st.Retagged != 4 {
+		t.Fatalf("retagged %d of 4: %+v", st.Retagged, st)
+	}
+	for i := int32(0); i < 4; i++ {
+		got, tier := s.Get(Key{Src: i, Ver: 2}, nil)
+		if tier != TierCold {
+			t.Fatalf("retagged row %d from tier %v", i, tier)
+		}
+		for j := range got {
+			if got[j] != rows[i][j] {
+				t.Fatalf("retagged row %d entry %d drifts", i, j)
+			}
+		}
+	}
+	if s.decodeErrs.Load() != 0 {
+		t.Fatalf("%d decode errors on retagged reads", s.decodeErrs.Load())
+	}
+}
+
 // TestStoreConcurrentChurn hammers Put/Get/Reconcile from several
 // goroutines under -race.
 func TestStoreConcurrentChurn(t *testing.T) {
