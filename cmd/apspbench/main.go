@@ -44,6 +44,7 @@ func main() {
 		batchj  = flag.String("batchjson", "", "write the batch experiment report as JSON to this path and exit")
 		sjson   = flag.String("servejson", "", "write the serve experiment report as JSON to this path and exit")
 		stjson  = flag.String("storejson", "", "write the tiered-store experiment report as JSON to this path and exit")
+		ljson   = flag.String("loadjson", "", "write the two-tier load experiment report as JSON to this path and exit")
 		trace   = flag.String("trace", "", "run one instrumented ParAPSP solve, write a Chrome trace_event JSON to this path, and exit")
 		metrics = flag.Bool("metrics", false, "run one instrumented ParAPSP solve, print its metrics as JSON on stdout, and exit")
 	)
@@ -106,6 +107,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("wrote", *stjson)
+		return
+	}
+
+	if *ljson != "" {
+		if err := bench.WriteLoadReport(*ljson, cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *ljson)
 		return
 	}
 

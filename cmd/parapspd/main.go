@@ -49,7 +49,7 @@ func main() {
 		kernelSel    = flag.String("kernel", "", "subset-solver SSSP kernel: "+strings.Join(core.Kernels(), "|")+", or "+core.KernelAuto+" to pick per solve from graph features (default: static policy)")
 		addr         = flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
 		workers      = flag.Int("workers", 1, "solver workers per subset solve")
-		cacheRows    = flag.Int("cache-rows", 256, "deprecated alias for -cache-bytes: hot-tier capacity in rows (4*n bytes per row)")
+		cacheRows    = flag.Int("cache-rows", 0, "deprecated alias for -cache-bytes: hot-tier capacity in rows (4*n bytes per row; 0 lets -cache-bytes govern, both 0 defaults to 256 rows)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "hot-tier (T1) byte budget for uncompressed rows (0: derive from -cache-rows)")
 		warmBytes    = flag.Int64("warm-bytes", 0, "warm-tier (T2) byte budget for delta-compressed rows (0: 4x the hot budget, negative disables)")
 		spillBytes   = flag.Int64("spill-bytes", 0, "cold-tier (T3) byte budget for frames spilled to disk (0 disables; requires -spill-dir)")
@@ -57,6 +57,10 @@ func main() {
 		oracleFile   = flag.String("oracle-file", "", "persist the landmark oracle here: load if it matches the graph, else build and save")
 		landmarks    = flag.Int("landmarks", 16, "oracle landmarks (negative disables approximate answers)")
 		maxInflight  = flag.Int("max-inflight", 64, "admitted concurrent queries before 429")
+		beShare      = flag.Float64("besteffort-share", 0, "fraction of -max-inflight best-effort requests may occupy (0: default 0.75; the rest is the premium reserve)")
+		quotaRPS     = flag.Float64("quota-rps", 0, "per-client token-bucket refill rate in requests/second (0 disables quotas)")
+		quotaBurst   = flag.Int("quota-burst", 0, "per-client token-bucket depth (0: ceil of -quota-rps)")
+		tierHeader   = flag.String("tier-header", "", "request header carrying the SLO tier label, premium|besteffort (default X-Parapsp-Tier)")
 		maxBatch     = flag.Int("max-batch", 256, "largest accepted /batch request")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound after SIGTERM")
@@ -97,11 +101,15 @@ func main() {
 		SpillBytes:     *spillBytes,
 		SpillDir:       *spillDir,
 		OraclePath:     *oracleFile,
-		Landmarks:      *landmarks,
-		MaxInflight:    *maxInflight,
-		MaxBatch:       *maxBatch,
-		RequestTimeout: *timeout,
-		ShardID:        *shardID,
+		Landmarks:       *landmarks,
+		MaxInflight:     *maxInflight,
+		BestEffortShare: *beShare,
+		QuotaRPS:        *quotaRPS,
+		QuotaBurst:      *quotaBurst,
+		TierHeader:      *tierHeader,
+		MaxBatch:        *maxBatch,
+		RequestTimeout:  *timeout,
+		ShardID:         *shardID,
 	})
 	if err != nil {
 		fatal(err)

@@ -41,6 +41,11 @@ func main() {
 		hedgeAfter   = flag.Duration("hedge-after", 0, "fixed hedge delay before trying the next owner (0 = adaptive: owner's p90 latency)")
 		maxAttempts  = flag.Int("max-attempts", 3, "shards tried per subrequest (first + hedges + retries)")
 		maxBatch     = flag.Int("max-batch", 256, "largest accepted /batch request")
+		maxInflight  = flag.Int("max-inflight", 256, "admitted concurrent requests at the router edge before 429")
+		beShare      = flag.Float64("besteffort-share", 0, "fraction of -max-inflight best-effort requests may occupy (0: default 0.75; the rest is the premium reserve)")
+		quotaRPS     = flag.Float64("quota-rps", 0, "per-client token-bucket refill rate at the router edge in requests/second (0 disables router-side quotas)")
+		quotaBurst   = flag.Int("quota-burst", 0, "per-client token-bucket depth (0: ceil of -quota-rps)")
+		tierHeader   = flag.String("tier-header", "", "request header carrying the SLO tier label, premium|besteffort (default X-Parapsp-Tier; always forwarded canonically to shards)")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound after SIGTERM")
 	)
@@ -55,13 +60,18 @@ func main() {
 		fatal(err)
 	}
 	r, err := cluster.New(cluster.Config{
-		Shards:         membership,
-		ProbeInterval:  *probeEvery,
-		ProbeTimeout:   *probeTimeout,
-		HedgeAfter:     *hedgeAfter,
-		MaxAttempts:    *maxAttempts,
-		MaxBatch:       *maxBatch,
-		RequestTimeout: *timeout,
+		Shards:          membership,
+		ProbeInterval:   *probeEvery,
+		ProbeTimeout:    *probeTimeout,
+		HedgeAfter:      *hedgeAfter,
+		MaxAttempts:     *maxAttempts,
+		MaxBatch:        *maxBatch,
+		MaxInflight:     *maxInflight,
+		BestEffortShare: *beShare,
+		QuotaRPS:        *quotaRPS,
+		QuotaBurst:      *quotaBurst,
+		TierHeader:      *tierHeader,
+		RequestTimeout:  *timeout,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,427 @@
+// Package admit owns the request-admission lifecycle shared by every
+// parapsp daemon front door: client identity, per-client token-bucket
+// quotas, SLO tiers, inflight backpressure with a premium reserve,
+// deadline propagation, and drain state. Both internal/serve (the shard
+// daemon) and internal/cluster (the router) route every request through
+// an Admitter, so admission policy exists exactly once and the two HTTP
+// layers cannot drift.
+//
+// The admission ledger holds by construction: every call to Admit
+// increments admit.requests and exactly one of admit.admitted,
+// admit.rejected_quota, admit.rejected_inflight, admit.rejected_draining;
+// every admitted request's release increments exactly one of
+// admit.completed, admit.deadline_expired. So after a drain,
+//
+//	requests == admitted + rejected_quota + rejected_inflight + rejected_draining
+//	admitted == completed + deadline_expired
+//
+// reconcile exactly — the invariant the race-enabled stress suites scrape
+// off /metrics and assert. Each counter also exists per tier
+// (admit.premium.*, admit.besteffort.*), and the per-tier columns sum to
+// the totals.
+//
+// Tier policy: premium requests may occupy the whole inflight budget;
+// best-effort requests only its BestEffortShare slice, so a saturating
+// best-effort client exhausts its own slice (and starts eating degraded
+// Retry-After hints) while premium admission — and therefore premium
+// latency — is insulated. Quotas are per client identity and tier-blind:
+// a client's premium and best-effort traffic drain one bucket.
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"parapsp/internal/obs"
+)
+
+// Rejection sentinels. The HTTP layer maps them through Classify:
+// ErrQuota and ErrInflight to 429 + Retry-After, ErrDraining to 503.
+var (
+	ErrQuota    = errors.New("admit: client quota exhausted")
+	ErrInflight = errors.New("admit: too many in-flight requests")
+	ErrDraining = errors.New("admit: server is shutting down")
+)
+
+// RejectError is a rejection with its transport hints. It wraps one of
+// the sentinels above, so errors.Is(err, ErrQuota) etc. keep working.
+type RejectError struct {
+	Reason     error // ErrQuota | ErrInflight | ErrDraining
+	Tier       Tier
+	RetryAfter int // seconds the client should wait before retrying
+}
+
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("%v (tier %s, retry after %ds)", e.Reason, e.Tier, e.RetryAfter)
+}
+
+func (e *RejectError) Unwrap() error { return e.Reason }
+
+// Request is one admission question: who is asking, at which tier.
+type Request struct {
+	Client string
+	Tier   Tier
+}
+
+// Config tunes an Admitter. The zero value admits 64 concurrent requests
+// (three quarters of them available to best-effort traffic), applies no
+// quotas, and uses a 30-second default deadline.
+type Config struct {
+	// MaxInflight bounds concurrently admitted requests across both tiers
+	// (default 64). Excess requests fail fast with ErrInflight instead of
+	// queueing without bound.
+	MaxInflight int
+	// BestEffortShare is the fraction of MaxInflight best-effort requests
+	// may occupy, in (0,1] (default 0.75). The remainder is the premium
+	// reserve: slots best-effort traffic can never take, which is what
+	// keeps premium p99 flat while best-effort saturates. At least one
+	// best-effort slot always exists.
+	BestEffortShare float64
+	// QuotaRPS is the per-client token refill rate in requests/second;
+	// 0 disables quotas entirely.
+	QuotaRPS float64
+	// QuotaBurst is the bucket depth — the burst a client may spend after
+	// an idle period (default: ceil(QuotaRPS), at least 1).
+	QuotaBurst int
+	// RequestTimeout is the deadline WithDeadline applies when the caller's
+	// context has none (default 30s).
+	RequestTimeout time.Duration
+	// Metrics receives the admit.* counters; nil creates a private
+	// registry.
+	Metrics *obs.Metrics
+
+	// now overrides the clock (tests). nil means time.Now.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight < 1 {
+		c.MaxInflight = 64
+	}
+	if c.BestEffortShare <= 0 || c.BestEffortShare > 1 {
+		c.BestEffortShare = 0.75
+	}
+	if c.QuotaBurst < 1 {
+		c.QuotaBurst = int(c.QuotaRPS)
+		if float64(c.QuotaBurst) < c.QuotaRPS {
+			c.QuotaBurst++
+		}
+		if c.QuotaBurst < 1 {
+			c.QuotaBurst = 1
+		}
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// ledger is one row of admission counters — the totals, or one tier's
+// column. Every Admit outcome touches exactly one rejection-or-admitted
+// counter, every release exactly one completion counter.
+type ledger struct {
+	requests, admitted                 *obs.Counter
+	rejQuota, rejInflight, rejDraining *obs.Counter
+	completed, deadlineExpired         *obs.Counter
+}
+
+// metrics is the totals row plus the per-tier columns.
+type metrics struct {
+	total ledger
+	tier  [NumTiers]ledger
+}
+
+func newMetrics(reg *obs.Metrics) *metrics {
+	mk := func(name string) (*obs.Counter, *obs.CounterVec) {
+		return reg.Counter("admit." + name), reg.CounterVec("admit", name, TierNames)
+	}
+	m := &metrics{}
+	fields := []struct {
+		name string
+		tot  func(*ledger) **obs.Counter
+	}{
+		{"requests", func(l *ledger) **obs.Counter { return &l.requests }},
+		{"admitted", func(l *ledger) **obs.Counter { return &l.admitted }},
+		{"rejected_quota", func(l *ledger) **obs.Counter { return &l.rejQuota }},
+		{"rejected_inflight", func(l *ledger) **obs.Counter { return &l.rejInflight }},
+		{"rejected_draining", func(l *ledger) **obs.Counter { return &l.rejDraining }},
+		{"completed", func(l *ledger) **obs.Counter { return &l.completed }},
+		{"deadline_expired", func(l *ledger) **obs.Counter { return &l.deadlineExpired }},
+	}
+	for _, f := range fields {
+		tot, vec := mk(f.name)
+		*f.tot(&m.total) = tot
+		for t := 0; t < NumTiers; t++ {
+			*f.tot(&m.tier[t]) = vec.At(t)
+		}
+	}
+	return m
+}
+
+// bucket is one client's token bucket. tokens is the spendable balance at
+// time last; refills at cfg.QuotaRPS up to cfg.QuotaBurst.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the tracked-client map. Past it, fully idle buckets
+// (refilled to burst) are swept; a workload with more than maxBuckets
+// *concurrently active* clients keeps them all — correctness over memory.
+const maxBuckets = 4096
+
+// Admitter is the shared admission gate. All state is guarded by one
+// mutex: admission is a handful of arithmetic ops per request, far off
+// the solve path, and a single critical section is what makes the ledger
+// exact by construction.
+type Admitter struct {
+	cfg   Config
+	m     *metrics
+	beCap int // best-effort inflight ceiling
+
+	mu       sync.Mutex
+	draining bool
+	inflight [NumTiers]int
+	inTotal  int
+	buckets  map[string]*bucket
+	wg       sync.WaitGroup
+}
+
+// New builds an Admitter from cfg.
+func New(cfg Config) *Admitter {
+	cfg = cfg.withDefaults()
+	beCap := int(float64(cfg.MaxInflight) * cfg.BestEffortShare)
+	if beCap < 1 {
+		beCap = 1
+	}
+	return &Admitter{
+		cfg:     cfg,
+		m:       newMetrics(cfg.Metrics),
+		beCap:   beCap,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Metrics returns the registry the admitter publishes into.
+func (a *Admitter) Metrics() *obs.Metrics { return a.cfg.Metrics }
+
+// MaxInflight returns the total inflight budget; BestEffortCap the slice
+// of it best-effort traffic may occupy.
+func (a *Admitter) MaxInflight() int   { return a.cfg.MaxInflight }
+func (a *Admitter) BestEffortCap() int { return a.beCap }
+
+// Admit decides one request. On admission it returns a release function
+// the caller must invoke exactly once with the request's terminal error
+// (nil or otherwise); a deadline/cancellation error books the request as
+// deadline_expired, anything else as completed — client mistakes are
+// completed work, not lost work. On rejection it returns a *RejectError
+// carrying the reason and the Retry-After hint.
+func (a *Admitter) Admit(req Request) (release func(error), err error) {
+	tier := req.Tier
+	if int(tier) >= NumTiers {
+		tier = BestEffort
+	}
+	a.mu.Lock()
+	a.m.total.requests.Add(1)
+	a.m.tier[tier].requests.Add(1)
+	if a.draining {
+		a.m.total.rejDraining.Add(1)
+		a.m.tier[tier].rejDraining.Add(1)
+		a.mu.Unlock()
+		return nil, &RejectError{Reason: ErrDraining, Tier: tier, RetryAfter: 1}
+	}
+	if a.cfg.QuotaRPS > 0 {
+		if wait, ok := a.takeToken(req.Client); !ok {
+			a.m.total.rejQuota.Add(1)
+			a.m.tier[tier].rejQuota.Add(1)
+			a.mu.Unlock()
+			return nil, &RejectError{Reason: ErrQuota, Tier: tier, RetryAfter: wait}
+		}
+	}
+	if a.inTotal >= a.cfg.MaxInflight ||
+		(tier == BestEffort && a.inflight[BestEffort] >= a.beCap) {
+		retry := 1
+		if tier == BestEffort {
+			// Degraded hint: the fuller the server, the longer best-effort
+			// clients are told to stay away (premium always hears 1s).
+			retry = 1 + 2*a.inTotal/a.cfg.MaxInflight
+		}
+		a.m.total.rejInflight.Add(1)
+		a.m.tier[tier].rejInflight.Add(1)
+		a.mu.Unlock()
+		return nil, &RejectError{Reason: ErrInflight, Tier: tier, RetryAfter: retry}
+	}
+	a.inflight[tier]++
+	a.inTotal++
+	a.m.total.admitted.Add(1)
+	a.m.tier[tier].admitted.Add(1)
+	a.wg.Add(1)
+	a.mu.Unlock()
+
+	var once sync.Once
+	return func(reqErr error) {
+		once.Do(func() {
+			a.mu.Lock()
+			a.inflight[tier]--
+			a.inTotal--
+			if errors.Is(reqErr, context.DeadlineExceeded) || errors.Is(reqErr, context.Canceled) {
+				a.m.total.deadlineExpired.Add(1)
+				a.m.tier[tier].deadlineExpired.Add(1)
+			} else {
+				a.m.total.completed.Add(1)
+				a.m.tier[tier].completed.Add(1)
+			}
+			a.mu.Unlock()
+			a.wg.Done()
+		})
+	}, nil
+}
+
+// takeToken spends one token from client's bucket, lazily creating it
+// full (a new client gets its burst). Returns (retry-after seconds, ok).
+// Caller holds a.mu.
+func (a *Admitter) takeToken(client string) (int, bool) {
+	now := a.cfg.now()
+	b := a.buckets[client]
+	if b == nil {
+		if len(a.buckets) >= maxBuckets {
+			a.sweepIdleBuckets(now)
+		}
+		b = &bucket{tokens: float64(a.cfg.QuotaBurst), last: now}
+		a.buckets[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * a.cfg.QuotaRPS
+		if burst := float64(a.cfg.QuotaBurst); b.tokens > burst {
+			b.tokens = burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	wait := int((1 - b.tokens) / a.cfg.QuotaRPS)
+	if float64(wait)*a.cfg.QuotaRPS < 1-b.tokens {
+		wait++
+	}
+	if wait < 1 {
+		wait = 1
+	}
+	return wait, false
+}
+
+// sweepIdleBuckets drops buckets that have refilled to their burst — a
+// client idle long enough to be indistinguishable from a new one loses
+// nothing by being forgotten. Caller holds a.mu.
+func (a *Admitter) sweepIdleBuckets(now time.Time) {
+	for id, b := range a.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*a.cfg.QuotaRPS >= float64(a.cfg.QuotaBurst) {
+			delete(a.buckets, id)
+		}
+	}
+}
+
+// Track registers one unit of auxiliary work (an edge mutation, a
+// background task) under the drain group without spending an inflight
+// slot or quota: it is refused only when draining. The returned done must
+// be called exactly once. Tracked work is invisible to the ledger — it
+// was never admitted.
+func (a *Admitter) Track() (done func(), err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.draining {
+		return nil, &RejectError{Reason: ErrDraining, RetryAfter: 1}
+	}
+	a.wg.Add(1)
+	return func() { a.wg.Done() }, nil
+}
+
+// Drain flips the admitter into draining: every subsequent Admit and
+// Track is refused with ErrDraining. Idempotent.
+func (a *Admitter) Drain() {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+}
+
+// Draining reports whether Drain has been called.
+func (a *Admitter) Draining() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining
+}
+
+// Quiesce waits until every admitted request and tracked unit has
+// released, or ctx expires. Call after Drain.
+func (a *Admitter) Quiesce(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		a.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Inflight returns the currently admitted request count (both tiers).
+func (a *Admitter) Inflight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inTotal
+}
+
+// InflightTier returns one tier's currently admitted request count.
+func (a *Admitter) InflightTier(t Tier) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if int(t) >= NumTiers {
+		return 0
+	}
+	return a.inflight[t]
+}
+
+// Clients returns the number of quota buckets currently tracked.
+func (a *Admitter) Clients() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.buckets)
+}
+
+// WithDeadline applies the configured request timeout when the caller's
+// context has no deadline of its own.
+func (a *Admitter) WithDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, a.cfg.RequestTimeout)
+}
+
+// reqKey carries a Request through a context from the HTTP front door to
+// the admission point inside the query API.
+type reqKey struct{}
+
+// WithRequest returns a context carrying req for RequestFrom.
+func WithRequest(ctx context.Context, req Request) context.Context {
+	return context.WithValue(ctx, reqKey{}, req)
+}
+
+// RequestFrom extracts the Request carried by WithRequest; a context
+// without one yields the zero Request ("" client, BestEffort) — the
+// programmatic-API default.
+func RequestFrom(ctx context.Context) Request {
+	req, _ := ctx.Value(reqKey{}).(Request)
+	return req
+}

@@ -1,0 +1,437 @@
+package admit
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"parapsp/internal/obs"
+)
+
+// fakeClock is a manually advanced clock for quota tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// checkLedger asserts the by-construction admission invariants on a
+// quiesced admitter, both the totals and every per-tier column, and that
+// the tier columns sum to the totals.
+func checkLedger(t *testing.T, reg *obs.Metrics) {
+	t.Helper()
+	snap := reg.Snapshot()
+	rows := append([]string{""}, TierNames...)
+	get := func(row, name string) int64 {
+		if row == "" {
+			return snap["admit."+name]
+		}
+		return snap["admit."+row+"."+name]
+	}
+	for _, row := range rows {
+		req := get(row, "requests")
+		adm := get(row, "admitted")
+		rej := get(row, "rejected_quota") + get(row, "rejected_inflight") + get(row, "rejected_draining")
+		if req != adm+rej {
+			t.Fatalf("row %q: requests=%d != admitted=%d + rejections=%d\n%v", row, req, adm, rej, snap)
+		}
+		done := get(row, "completed") + get(row, "deadline_expired")
+		if adm != done {
+			t.Fatalf("row %q: admitted=%d != completed+deadline_expired=%d\n%v", row, adm, done, snap)
+		}
+	}
+	for _, name := range []string{"requests", "admitted", "rejected_quota",
+		"rejected_inflight", "rejected_draining", "completed", "deadline_expired"} {
+		var sum int64
+		for _, tier := range TierNames {
+			sum += get(tier, name)
+		}
+		if sum != get("", name) {
+			t.Fatalf("per-tier %s columns sum to %d, total says %d\n%v", name, sum, get("", name), snap)
+		}
+	}
+}
+
+func TestQuotaTokenBucket(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	reg := obs.NewMetrics()
+	a := New(Config{QuotaRPS: 2, QuotaBurst: 3, Metrics: reg, now: clk.now})
+
+	// A fresh client spends its burst, then is refused with a Retry-After
+	// long enough to accrue one token (1/2s rounds up to 1).
+	for i := 0; i < 3; i++ {
+		rel, err := a.Admit(Request{Client: "alice"})
+		if err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+		rel(nil)
+	}
+	_, err := a.Admit(Request{Client: "alice"})
+	var rej *RejectError
+	if !errors.As(err, &rej) || !errors.Is(err, ErrQuota) {
+		t.Fatalf("want quota rejection, got %v", err)
+	}
+	if rej.RetryAfter < 1 {
+		t.Fatalf("quota Retry-After = %d, want >= 1", rej.RetryAfter)
+	}
+
+	// Another client has its own bucket.
+	if rel, err := a.Admit(Request{Client: "bob"}); err != nil {
+		t.Fatalf("bob should have his own bucket: %v", err)
+	} else {
+		rel(nil)
+	}
+
+	// Tokens refill with time: after 1s at 2 rps alice can spend 2 more.
+	clk.advance(time.Second)
+	for i := 0; i < 2; i++ {
+		rel, err := a.Admit(Request{Client: "alice"})
+		if err != nil {
+			t.Fatalf("refilled admit %d: %v", i, err)
+		}
+		rel(nil)
+	}
+	if _, err := a.Admit(Request{Client: "alice"}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("want quota rejection after refill spent, got %v", err)
+	}
+	checkLedger(t, reg)
+}
+
+func TestInflightPremiumReserve(t *testing.T) {
+	reg := obs.NewMetrics()
+	a := New(Config{MaxInflight: 4, BestEffortShare: 0.5, Metrics: reg})
+	if a.BestEffortCap() != 2 {
+		t.Fatalf("BestEffortCap = %d, want 2", a.BestEffortCap())
+	}
+
+	// Best-effort fills only its share...
+	var rels []func(error)
+	for i := 0; i < 2; i++ {
+		rel, err := a.Admit(Request{Tier: BestEffort})
+		if err != nil {
+			t.Fatalf("besteffort admit %d: %v", i, err)
+		}
+		rels = append(rels, rel)
+	}
+	_, err := a.Admit(Request{Tier: BestEffort})
+	if !errors.Is(err, ErrInflight) {
+		t.Fatalf("want inflight rejection at best-effort cap, got %v", err)
+	}
+	// ...while premium still fits in the reserve.
+	for i := 0; i < 2; i++ {
+		rel, err := a.Admit(Request{Tier: Premium})
+		if err != nil {
+			t.Fatalf("premium admit %d into reserve: %v", i, err)
+		}
+		rels = append(rels, rel)
+	}
+	// Now the whole budget is full: premium is refused too, with the flat
+	// 1s hint; best-effort hears the degraded one.
+	var rejP, rejB *RejectError
+	if _, err := a.Admit(Request{Tier: Premium}); !errors.As(err, &rejP) {
+		t.Fatalf("want premium inflight rejection, got %v", err)
+	}
+	if _, err := a.Admit(Request{Tier: BestEffort}); !errors.As(err, &rejB) {
+		t.Fatalf("want besteffort inflight rejection, got %v", err)
+	}
+	if rejP.RetryAfter != 1 {
+		t.Fatalf("premium Retry-After = %d, want 1", rejP.RetryAfter)
+	}
+	if rejB.RetryAfter <= rejP.RetryAfter {
+		t.Fatalf("best-effort Retry-After (%d) must degrade past premium's (%d) at saturation",
+			rejB.RetryAfter, rejP.RetryAfter)
+	}
+	if got := a.Inflight(); got != 4 {
+		t.Fatalf("Inflight = %d, want 4", got)
+	}
+	if got := a.InflightTier(Premium); got != 2 {
+		t.Fatalf("InflightTier(Premium) = %d, want 2", got)
+	}
+	for _, rel := range rels {
+		rel(nil)
+	}
+	if got := a.Inflight(); got != 0 {
+		t.Fatalf("Inflight after release = %d, want 0", got)
+	}
+	checkLedger(t, reg)
+}
+
+func TestDrainRefusesAndQuiesces(t *testing.T) {
+	reg := obs.NewMetrics()
+	a := New(Config{MaxInflight: 2, Metrics: reg})
+	rel, err := a.Admit(Request{Tier: Premium})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := a.Track()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Drain()
+	if !a.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+	if _, err := a.Admit(Request{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("want draining rejection, got %v", err)
+	}
+	if _, err := a.Track(); !errors.Is(err, ErrDraining) {
+		t.Fatalf("want draining Track rejection, got %v", err)
+	}
+	// Quiesce blocks on the outstanding request + tracked unit.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := a.Quiesce(ctx); err == nil {
+		t.Fatal("Quiesce returned before outstanding work released")
+	}
+	rel(nil)
+	done()
+	if err := a.Quiesce(context.Background()); err != nil {
+		t.Fatalf("Quiesce after release: %v", err)
+	}
+	checkLedger(t, reg)
+}
+
+func TestReleaseClassifiesDeadline(t *testing.T) {
+	reg := obs.NewMetrics()
+	a := New(Config{Metrics: reg})
+	rel, err := a.Admit(Request{Tier: Premium})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel(context.DeadlineExceeded)
+	rel(nil) // second call must be a no-op
+	snap := reg.Snapshot()
+	if snap["admit.deadline_expired"] != 1 || snap["admit.completed"] != 0 {
+		t.Fatalf("deadline release misclassified: %v", snap)
+	}
+	if snap["admit.premium.deadline_expired"] != 1 {
+		t.Fatalf("per-tier deadline column missing: %v", snap)
+	}
+	checkLedger(t, reg)
+}
+
+// TestLedgerUnderConcurrency hammers one admitter from many goroutines
+// mixing tiers, clients, quota pressure, and mid-run drain, then asserts
+// the ledger reconciles exactly — the by-construction claim under -race.
+func TestLedgerUnderConcurrency(t *testing.T) {
+	reg := obs.NewMetrics()
+	a := New(Config{MaxInflight: 8, QuotaRPS: 500, QuotaBurst: 50, Metrics: reg})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				req := Request{Client: fmt.Sprintf("c%d", g%5), Tier: Tier(i % NumTiers)}
+				rel, err := a.Admit(req)
+				if err != nil {
+					continue
+				}
+				if i%7 == 0 {
+					rel(context.DeadlineExceeded)
+				} else {
+					rel(nil)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	a.Drain()
+	if err := a.Quiesce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap["admit.requests"] != 16*200 {
+		t.Fatalf("requests = %d, want %d", snap["admit.requests"], 16*200)
+	}
+	checkLedger(t, reg)
+}
+
+func TestBucketSweepBoundsClients(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	a := New(Config{QuotaRPS: 1, QuotaBurst: 2, now: clk.now})
+	for i := 0; i < maxBuckets; i++ {
+		rel, err := a.Admit(Request{Client: fmt.Sprintf("c%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel(nil)
+	}
+	// Every bucket refills to burst after 2s; the next new client sweeps
+	// them all instead of growing the map without bound.
+	clk.advance(2 * time.Second)
+	rel, err := a.Admit(Request{Client: "fresh"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel(nil)
+	if got := a.Clients(); got > 1 {
+		t.Fatalf("tracked clients after sweep = %d, want 1", got)
+	}
+}
+
+func TestWithDeadline(t *testing.T) {
+	a := New(Config{RequestTimeout: 50 * time.Millisecond})
+	ctx, cancel := a.WithDeadline(context.Background())
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("no deadline applied")
+	}
+	parent, pcancel := context.WithTimeout(context.Background(), time.Hour)
+	defer pcancel()
+	ctx2, cancel2 := a.WithDeadline(parent)
+	defer cancel2()
+	if d, _ := ctx2.Deadline(); time.Until(d) < 30*time.Minute {
+		t.Fatal("caller deadline was overridden")
+	}
+}
+
+func TestRequestContextRoundTrip(t *testing.T) {
+	req := Request{Client: "alice", Tier: Premium}
+	ctx := WithRequest(context.Background(), req)
+	if got := RequestFrom(ctx); got != req {
+		t.Fatalf("RequestFrom = %+v, want %+v", got, req)
+	}
+	if got := RequestFrom(context.Background()); got != (Request{}) {
+		t.Fatalf("zero-request default violated: %+v", got)
+	}
+}
+
+// TestWriteDecisionTable pins every status/header pair the two daemons
+// produce through the shared writer — the contract that used to be
+// duplicated (and free to drift) across three hand-rolled writers.
+func TestWriteDecisionTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		d          Decision
+		status     int
+		retryAfter string
+		reject     string
+		tier       string
+	}{
+		{"quota", Decision{Status: 429, RetryAfter: 3, Reject: "quota", Tier: "besteffort", Msg: "q"},
+			429, "3", "quota", "besteffort"},
+		{"inflight", Decision{Status: 429, RetryAfter: 1, Reject: "inflight", Tier: "premium", Msg: "i"},
+			429, "1", "inflight", "premium"},
+		{"draining", Decision{Status: 503, RetryAfter: 1, Reject: "draining", Msg: "d"},
+			503, "1", "draining", ""},
+		{"deadline", Decision{Status: 504, Msg: "t"}, 504, "", "", ""},
+		{"parse", Decision{Status: 400, Msg: "p"}, 400, "", "", ""},
+		{"skew", Decision{Status: 409, RetryAfter: 1, Msg: "s"}, 409, "1", "", ""},
+		{"unavailable", Decision{Status: 503, RetryAfter: 1, Msg: "u"}, 503, "1", "", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			WriteDecision(rec, tc.d)
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d", rec.Code, tc.status)
+			}
+			if got := rec.Header().Get("Retry-After"); got != tc.retryAfter {
+				t.Fatalf("Retry-After = %q, want %q", got, tc.retryAfter)
+			}
+			if got := rec.Header().Get(RejectHeader); got != tc.reject {
+				t.Fatalf("%s = %q, want %q", RejectHeader, got, tc.reject)
+			}
+			if got := rec.Header().Get(DefaultTierHeader); got != tc.tier {
+				t.Fatalf("%s = %q, want %q", DefaultTierHeader, got, tc.tier)
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("Content-Type = %q", ct)
+			}
+			if body := rec.Body.String(); !json.Valid([]byte(body)) {
+				t.Fatalf("body not JSON: %q", body)
+			}
+		})
+	}
+}
+
+// TestClassify pins the error → Decision mapping for the shared
+// vocabulary, including pass-through of the RejectError's hints.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		reject string
+		retry  int
+	}{
+		{&RejectError{Reason: ErrQuota, Tier: BestEffort, RetryAfter: 4}, 429, "quota", 4},
+		{&RejectError{Reason: ErrInflight, Tier: Premium, RetryAfter: 1}, 429, "inflight", 1},
+		{&RejectError{Reason: ErrDraining, RetryAfter: 1}, 503, "draining", 1},
+		{ErrQuota, 429, "quota", 1},
+		{ErrInflight, 429, "inflight", 1},
+		{ErrDraining, 503, "draining", 1},
+		{context.DeadlineExceeded, 504, "", 0},
+		{context.Canceled, 504, "", 0},
+		{fmt.Errorf("wrapped: %w", context.DeadlineExceeded), 504, "", 0},
+	}
+	for _, tc := range cases {
+		d, ok := Classify(tc.err)
+		if !ok {
+			t.Fatalf("Classify(%v) not recognized", tc.err)
+		}
+		if d.Status != tc.status || d.Reject != tc.reject || d.RetryAfter != tc.retry {
+			t.Fatalf("Classify(%v) = %+v, want status %d reject %q retry %d",
+				tc.err, d, tc.status, tc.reject, tc.retry)
+		}
+	}
+	if _, ok := Classify(errors.New("something else")); ok {
+		t.Fatal("Classify claimed an unrelated error")
+	}
+}
+
+func TestParseRequestFromHTTP(t *testing.T) {
+	mk := func(hdr map[string]string, remote string) *http.Request {
+		r := httptest.NewRequest(http.MethodGet, "/dist?u=1&v=2", nil)
+		r.RemoteAddr = remote
+		for k, v := range hdr {
+			r.Header.Set(k, v)
+		}
+		return r
+	}
+	// Header identity + explicit tier.
+	req, err := ParseRequest(mk(map[string]string{
+		ClientHeader: "svc-a", DefaultTierHeader: "Premium",
+	}, "10.0.0.9:1234"), "")
+	if err != nil || req.Client != "svc-a" || req.Tier != Premium {
+		t.Fatalf("got %+v, %v", req, err)
+	}
+	// Remote-addr fallback, default tier.
+	req, err = ParseRequest(mk(nil, "10.0.0.9:1234"), "")
+	if err != nil || req.Client != "10.0.0.9" || req.Tier != BestEffort {
+		t.Fatalf("got %+v, %v", req, err)
+	}
+	// Custom tier header name.
+	req, err = ParseRequest(mk(map[string]string{"X-SLO": "premium"}, "h:1"), "X-SLO")
+	if err != nil || req.Tier != Premium {
+		t.Fatalf("custom header: got %+v, %v", req, err)
+	}
+	// Unknown tier defaults; oversized tier errors.
+	if req, err = ParseRequest(mk(map[string]string{DefaultTierHeader: "gold"}, "h:1"), ""); err != nil || req.Tier != BestEffort {
+		t.Fatalf("unknown tier: got %+v, %v", req, err)
+	}
+	long := make([]byte, maxTierLen+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if _, err = ParseRequest(mk(map[string]string{DefaultTierHeader: string(long)}, "h:1"), ""); !errors.Is(err, ErrTier) {
+		t.Fatalf("oversized tier: want ErrTier, got %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package admit
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// Decision is one request's transport-level fate: the status to answer,
+// the Retry-After hint (seconds; 0 omits the header), the RejectHeader
+// value naming the refusing gate ("" omits it), the tier to echo ("" om-
+// its it), and the error message for the JSON body ("" means no body —
+// the caller streams its own success payload).
+//
+// Decision + WriteDecision replace the three hand-rolled status/header
+// writers that used to live in internal/serve and internal/cluster; the
+// table test pins every status/header pair so the two daemons cannot
+// drift apart again.
+type Decision struct {
+	Status     int
+	RetryAfter int
+	Reject     string
+	Tier       string
+	Msg        string
+}
+
+// errorBody is the uniform JSON error payload of every parapsp daemon.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// WriteDecision writes d: headers first (Retry-After, reject reason,
+// tier echo), then the status, then the JSON error body. Success bodies
+// are not its business — call it only for terminal decisions.
+func WriteDecision(w http.ResponseWriter, d Decision) {
+	if d.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(d.RetryAfter))
+	}
+	if d.Reject != "" {
+		w.Header().Set(RejectHeader, d.Reject)
+	}
+	if d.Tier != "" {
+		w.Header().Set(DefaultTierHeader, d.Tier)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(d.Status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(errorBody{Error: d.Msg})
+}
+
+// Classify maps the shared admission/lifecycle error vocabulary to its
+// Decision: quota and inflight rejections to 429 + Retry-After, draining
+// to 503 + Retry-After, deadline expiry and cancellation to 504. The
+// boolean reports whether err belongs to this vocabulary; package-
+// specific errors (parse failures, mutation conflicts) stay with their
+// packages.
+func Classify(err error) (Decision, bool) {
+	d := Decision{Msg: err.Error()}
+	var rej *RejectError
+	if errors.As(err, &rej) {
+		d.RetryAfter = rej.RetryAfter
+		d.Tier = rej.Tier.String()
+	}
+	switch {
+	case errors.Is(err, ErrQuota):
+		d.Status = http.StatusTooManyRequests
+		d.Reject = "quota"
+		if d.RetryAfter == 0 {
+			d.RetryAfter = 1
+		}
+	case errors.Is(err, ErrInflight):
+		d.Status = http.StatusTooManyRequests
+		d.Reject = "inflight"
+		if d.RetryAfter == 0 {
+			d.RetryAfter = 1
+		}
+	case errors.Is(err, ErrDraining):
+		d.Status = http.StatusServiceUnavailable
+		d.Reject = "draining"
+		if d.RetryAfter == 0 {
+			d.RetryAfter = 1
+		}
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		d.Status = http.StatusGatewayTimeout
+	default:
+		return Decision{}, false
+	}
+	return d, true
+}
+
+// ParseRequest resolves one HTTP request's admission identity: the client
+// id (ClientHeader, else remote IP) and the tier from tierHeader (empty
+// tierHeader means DefaultTierHeader). A malformed tier value errors —
+// the caller answers 4xx — and never panics; unknown tier names default
+// to BestEffort (see ParseTier).
+func ParseRequest(r *http.Request, tierHeader string) (Request, error) {
+	if tierHeader == "" {
+		tierHeader = DefaultTierHeader
+	}
+	tier, err := ParseTier(r.Header.Get(tierHeader))
+	if err != nil {
+		return Request{}, err
+	}
+	return Request{Client: ClientID(r), Tier: tier}, nil
+}

@@ -1,0 +1,131 @@
+package admit
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Tier is a request's service-level class. The zero value is BestEffort:
+// an unlabeled request gets the cheap treatment (sketch-first approximate
+// answers, first to be shed under load), and only an explicit label buys
+// the expensive one — the safe default when the paper's premise holds and
+// per-query cost is highly variable.
+type Tier uint8
+
+const (
+	// BestEffort requests accept approximate answers (the landmark-sketch
+	// tier serves them at a fraction of an exact row solve) and are shed
+	// first under load, with a Retry-After that degrades as pressure
+	// grows.
+	BestEffort Tier = iota
+	// Premium requests are always answered exactly — tolerance hints are
+	// ignored — and keep a reserved slice of the inflight budget that
+	// best-effort traffic can never occupy.
+	Premium
+
+	// NumTiers sizes per-tier arrays (counters, gates).
+	NumTiers = 2
+)
+
+// TierNames lists the wire names in Tier order; TierNames[t] == t.String().
+var TierNames = []string{"besteffort", "premium"}
+
+func (t Tier) String() string {
+	if int(t) < len(TierNames) {
+		return TierNames[t]
+	}
+	return fmt.Sprintf("tier(%d)", uint8(t))
+}
+
+// ErrTier marks a tier header value that is rejected outright (a 4xx)
+// rather than defaulted: oversized or non-printable values, which are
+// never a typo'd tier name and usually a confused or hostile client.
+var ErrTier = errors.New("admit: malformed tier")
+
+// maxTierLen bounds an accepted tier header value. Real values are
+// "premium" or "besteffort"; anything longer than this is abuse, not a
+// misspelling, and is refused instead of silently defaulted.
+const maxTierLen = 64
+
+// ParseTier maps a tier header value to a Tier. The contract the fuzz
+// target pins: never panics, and every input either admits at some tier
+// or errors (a 4xx upstream). Empty and unknown-but-plausible values
+// default to BestEffort — an unrecognized tier name must not turn away
+// traffic — while oversized or control-character values error with
+// ErrTier. Matching is case-insensitive and tolerates surrounding space.
+func ParseTier(s string) (Tier, error) {
+	if len(s) > maxTierLen {
+		return BestEffort, fmt.Errorf("%w: value of %d bytes exceeds %d", ErrTier, len(s), maxTierLen)
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 || s[i] == 0x7f {
+			return BestEffort, fmt.Errorf("%w: control byte 0x%02x in value", ErrTier, s[i])
+		}
+	}
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "premium":
+		return Premium, nil
+	default: // "", "besteffort", and every unknown-but-printable name
+		return BestEffort, nil
+	}
+}
+
+// DefaultTierHeader is the request header carrying the tier label, and
+// the response header echoing the tier the request was admitted at.
+const DefaultTierHeader = "X-Parapsp-Tier"
+
+// ClientHeader names the requesting client for quota accounting. A
+// router resolves identity once at the edge and forwards it here, so the
+// shard-side buckets see through-router identity instead of charging
+// everything to the router's address.
+const ClientHeader = "X-Parapsp-Client"
+
+// RejectHeader reports, on a rejection response, which admission gate
+// refused the request: "quota", "inflight", or "draining". A router uses
+// it to tell an intentional per-client quota 429 (pass through — every
+// replica would refuse the same client) from transient backpressure
+// (retry another owner).
+const RejectHeader = "X-Parapsp-Reject"
+
+// maxClientLen bounds a client identity; longer header values are
+// truncated, never rejected — identity only keys a quota bucket.
+const maxClientLen = 128
+
+// ClientID resolves the requesting client's quota identity: the
+// ClientHeader value when present (sanitized and truncated), else the
+// request's remote IP with the port stripped, else "anon". It never
+// fails: identity selects a bucket, it is not authentication.
+func ClientID(r *http.Request) string {
+	if id := sanitizeClient(r.Header.Get(ClientHeader)); id != "" {
+		return id
+	}
+	host := r.RemoteAddr
+	if i := strings.LastIndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	host = strings.Trim(host, "[]")
+	if host == "" {
+		return "anon"
+	}
+	return host
+}
+
+// sanitizeClient truncates and strips control bytes so a hostile header
+// cannot bloat the bucket map key space or corrupt log lines.
+func sanitizeClient(s string) string {
+	if len(s) > maxClientLen {
+		s = s[:maxClientLen]
+	}
+	if strings.IndexFunc(s, func(r rune) bool { return r < 0x20 || r == 0x7f }) < 0 {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 0x20 && r != 0x7f {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

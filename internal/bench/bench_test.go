@@ -27,7 +27,7 @@ func TestRegistryComplete(t *testing.T) {
 		"exactness", "complexity", "distmem", "workstats", "weighted", "oracle",
 		"ablation-queue", "ablation-buckets",
 		"ablation-threshold", "ablation-reuse", "kernelcmp", "kernels",
-		"obs-overhead", "serve", "store", "batch",
+		"load", "obs-overhead", "serve", "store", "batch",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -1,0 +1,378 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"parapsp/internal/admit"
+	"parapsp/internal/gen"
+	"parapsp/internal/serve"
+)
+
+// The load experiment measures the admission layer's saturation behavior:
+// a fixed, light premium workload runs against a swept best-effort offered
+// load, over real HTTP, and the report pins the two properties the SLO
+// tiers promise — the saturation knee is visible in the best-effort
+// achieved-vs-offered curve (best-effort degrades first: rising p99 and
+// 429s), while premium p99 holds near its unloaded value because the
+// premium reserve keeps best-effort from occupying the whole inflight
+// budget. The BENCH_PR10.json artifact.
+
+func init() {
+	register(Experiment{
+		ID:     "load",
+		Paper:  "ours (admission)",
+		Title:  "Two-tier saturation sweep: offered load to the knee, premium p99 held",
+		Expect: "best-effort throughput flattens and sheds 429s past the knee; premium p99 stays within 2x unloaded",
+		Run:    runLoad,
+	})
+}
+
+// TierLoad is one tier's outcome at one offered-load step.
+type TierLoad struct {
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	Sent        int64   `json:"sent"`
+	OK          int64   `json:"ok"`
+	Rejected    int64   `json:"rejected"` // 429/503 fast-fails
+	P50Ns       int64   `json:"p50_ns"`   // over OK responses only
+	P99Ns       int64   `json:"p99_ns"`
+	P999Ns      int64   `json:"p999_ns"`
+}
+
+// LoadStep is one point of the sweep: the best-effort offered load at this
+// step plus both tiers' outcomes while it ran.
+type LoadStep struct {
+	BestEffort TierLoad `json:"besteffort"`
+	Premium    TierLoad `json:"premium"`
+}
+
+// LoadReport is the machine-readable result of the load experiment.
+type LoadReport struct {
+	Dataset         string  `json:"dataset"`
+	Vertices        int     `json:"vertices"`
+	Arcs            int64   `json:"arcs"`
+	Workers         int     `json:"workers"`
+	MaxInflight     int     `json:"max_inflight"`
+	BestEffortShare float64 `json:"besteffort_share"`
+	StepNs          int64   `json:"step_ns"` // measurement window per step
+
+	// Unloaded is the premium-only warmup step: the baseline premium p99
+	// that the loaded steps are held against.
+	Unloaded TierLoad   `json:"unloaded_premium"`
+	Steps    []LoadStep `json:"steps"`
+
+	// KneeOfferedRPS is the first swept best-effort load whose achieved
+	// throughput fell below 85% of offered (the saturation knee); 0 when
+	// the sweep never saturated.
+	KneeOfferedRPS float64 `json:"knee_offered_rps"`
+	// WorstPremiumP99Ns is the worst premium p99 observed across the
+	// loaded steps; PremiumHolds is the SLO verdict the acceptance pins:
+	// saturating best-effort load must not push premium p99 past 2x (plus
+	// a small absolute floor for scheduler jitter on tiny latencies) its
+	// unloaded value.
+	WorstPremiumP99Ns int64 `json:"worst_premium_p99_ns"`
+	PremiumHolds      bool  `json:"premium_holds"`
+	// BestEffortDegraded reports that saturation was visible where it
+	// should be: past the knee, best-effort shed load (429s) or its p99
+	// exceeded premium's.
+	BestEffortDegraded bool             `json:"besteffort_degraded"`
+	Metrics            map[string]int64 `json:"metrics"`
+}
+
+const (
+	loadBenchPremiumRPS = 300.0
+	loadBenchPremiumWrk = 2
+	loadBenchBEWrk      = 16
+	loadBenchHotSrc     = 16
+	loadBenchStepDur    = time.Second
+)
+
+// loadBenchSteps is the swept best-effort offered load (requests/second).
+// The top steps deliberately exceed what the solver can answer, so the
+// sweep always walks past the knee: achieved flattens below offered and
+// the best-effort slice of the inflight budget starts shedding 429s.
+var loadBenchSteps = []float64{200, 800, 3200, 12800, 25600, 51200}
+
+// BuildLoadReport boots a quota-free two-tier server on a synthetic
+// power-law graph, sweeps the best-effort offered load against a constant
+// premium trickle, and returns the structured report.
+func BuildLoadReport(cfg Config) (*LoadReport, error) {
+	cfg = cfg.normalized()
+	n := int(1200 * cfg.Scale)
+	if n < 128 {
+		n = 128
+	}
+	g, err := gen.PowerLawConfiguration(n, 2.5, 2, true, cfg.Seed, gen.Weighting{})
+	if err != nil {
+		return nil, err
+	}
+	workers := 1
+	for _, p := range cfg.Threads {
+		if p > workers && p <= runtime.NumCPU() {
+			workers = p
+		}
+	}
+	// A deliberately tiny inflight budget makes the knee reachable at
+	// loopback request rates and keeps solver goroutines from crowding the
+	// benchmark host's cores: best-effort gets one slot, the premium
+	// reserve (the other slot) is what the PremiumHolds verdict exercises.
+	const maxInflight = 2
+	s, err := serve.New(g, serve.Config{
+		Workers:     workers,
+		CacheBytes:  int64(n/4) * int64(n) * 4, // n/4 hot rows
+		Landmarks:   16,
+		MaxInflight: maxInflight,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	base := "http://" + l.Addr().String()
+
+	rep := &LoadReport{
+		Dataset:         "power-law",
+		Vertices:        n,
+		Arcs:            g.NumArcs(),
+		Workers:         workers,
+		MaxInflight:     maxInflight,
+		BestEffortShare: 0.75,
+		StepNs:          loadBenchStepDur.Nanoseconds(),
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+
+	// The premium population queries a small hot source set — the realistic
+	// SLO shape (paid traffic hits warm rows) and, deliberately, a
+	// low-variance probe: its latency measures admission interference, not
+	// solve-cost noise. Warm those rows once before the baseline.
+	hotSet := make([]int32, loadBenchHotSrc)
+	pick := rand.New(rand.NewSource(cfg.Seed))
+	for i := range hotSet {
+		hotSet[i] = int32(pick.Intn(n))
+	}
+	for _, u := range hotSet {
+		resp, err := client.Get(fmt.Sprintf("%s/dist?u=%d&v=%d", base, u, (u+1)%int32(n)))
+		if err != nil {
+			return nil, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	premiumURI := func(rng *rand.Rand) string {
+		return fmt.Sprintf("%s/dist?u=%d&v=%d", base, hotSet[rng.Intn(len(hotSet))], rng.Intn(n))
+	}
+	// The best-effort population is half tolerant (sketch-answerable) and
+	// half exact over cold random sources — the half that actually costs
+	// solver time in the server, so offered load translates into held
+	// inflight slots and the knee is a solver saturation, not an HTTP one.
+	bestEffortURI := func(rng *rand.Rand) string {
+		uri := fmt.Sprintf("%s/dist?u=%d&v=%d", base, rng.Intn(n), rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			uri += "&tol=0.5"
+		}
+		return uri
+	}
+
+	// Discarded warmup: a burst of best-effort traffic brings the row cache
+	// to its steady-state residency, so the measured steps aren't dominated
+	// by the cold-start transient of the very first solves.
+	runTierLoad(client, admit.BestEffort, bestEffortURI, 2000,
+		loadBenchBEWrk, loadBenchStepDur, cfg.Seed+7)
+
+	// Unloaded baseline: premium alone, one step, so the held-p99 verdict
+	// has a denominator measured on the same wire and cache state.
+	rep.Unloaded = runTierLoad(client, admit.Premium, premiumURI, loadBenchPremiumRPS,
+		loadBenchPremiumWrk, loadBenchStepDur, cfg.Seed)
+
+	for si, offered := range loadBenchSteps {
+		var step LoadStep
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			step.BestEffort = runTierLoad(client, admit.BestEffort, bestEffortURI, offered,
+				loadBenchBEWrk, loadBenchStepDur, cfg.Seed+int64(si)*31+1)
+		}()
+		go func() {
+			defer wg.Done()
+			step.Premium = runTierLoad(client, admit.Premium, premiumURI, loadBenchPremiumRPS,
+				loadBenchPremiumWrk, loadBenchStepDur, cfg.Seed+int64(si)*31+2)
+		}()
+		wg.Wait()
+		rep.Steps = append(rep.Steps, step)
+		if rep.KneeOfferedRPS == 0 && step.BestEffort.AchievedRPS < 0.85*offered {
+			rep.KneeOfferedRPS = offered
+		}
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		return nil, err
+	}
+	if err := <-serveDone; err != nil {
+		return nil, err
+	}
+
+	// The held-p99 verdict is judged at and past the knee — the claim is
+	// that a *saturating* best-effort load cannot move premium latency.
+	// (Pre-knee steps still appear in Steps for the full curve.) Without a
+	// detected knee, the two heaviest steps stand in for saturation.
+	satFrom := len(rep.Steps) - 2
+	for i, offered := range loadBenchSteps {
+		if offered == rep.KneeOfferedRPS {
+			satFrom = i
+			break
+		}
+	}
+	if satFrom < 0 {
+		satFrom = 0
+	}
+	for i, step := range rep.Steps {
+		if i >= satFrom && step.Premium.P99Ns > rep.WorstPremiumP99Ns {
+			rep.WorstPremiumP99Ns = step.Premium.P99Ns
+		}
+		if step.BestEffort.Rejected > 0 || step.BestEffort.P99Ns > step.Premium.P99Ns {
+			rep.BestEffortDegraded = true
+		}
+	}
+	// 2x the unloaded p99, with a 10ms absolute floor — one Go preemption
+	// quantum: at sub-millisecond baselines a single timeslice spent behind
+	// a solver goroutine is a large multiple of the baseline, and the SLO
+	// claim is about admission interference, not host-scheduler granularity.
+	bound := 2 * rep.Unloaded.P99Ns
+	if floor := (10 * time.Millisecond).Nanoseconds(); bound < floor {
+		bound = floor
+	}
+	rep.PremiumHolds = rep.WorstPremiumP99Ns <= bound
+	rep.Metrics = s.Metrics().Snapshot()
+	return rep, nil
+}
+
+// runTierLoad offers load at the given rate from wrk open-ish loop workers
+// for the duration: each worker paces on a ticker at rate/wrk and issues
+// one request per tick (makeURI picks the query), falling behind (and
+// thus bounding offered load) only when latency exceeds its interval —
+// which is exactly the saturation signal the report wants to expose.
+func runTierLoad(client *http.Client, tier admit.Tier, makeURI func(*rand.Rand) string, rps float64, wrk int, dur time.Duration, seed int64) TierLoad {
+	out := TierLoad{OfferedRPS: rps}
+	interval := time.Duration(float64(wrk) / rps * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	deadline := time.Now().Add(dur)
+	var mu sync.Mutex
+	var lats []int64
+	var wg sync.WaitGroup
+	for w := 0; w < wrk; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for time.Now().Before(deadline) {
+				<-tick.C
+				req, err := http.NewRequest(http.MethodGet, makeURI(rng), nil)
+				if err != nil {
+					continue
+				}
+				req.Header.Set(admit.DefaultTierHeader, tier.String())
+				req.Header.Set(admit.ClientHeader, fmt.Sprintf("%s-%d", tier, w))
+				start := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				el := time.Since(start).Nanoseconds()
+				mu.Lock()
+				out.Sent++
+				switch resp.StatusCode {
+				case http.StatusOK:
+					out.OK++
+					lats = append(lats, el)
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					out.Rejected++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	out.AchievedRPS = float64(out.OK) / dur.Seconds()
+	out.P50Ns = percentile(lats, 50)
+	out.P99Ns = percentile(lats, 99)
+	out.P999Ns = percentile999(lats)
+	return out
+}
+
+// percentile999 is the nearest-rank p99.9 (percentile only does integer
+// percents).
+func percentile999(sorted []int64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * 999 / 1000
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func runLoad(cfg Config, w io.Writer) error {
+	rep, err := BuildLoadReport(cfg)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("two-tier saturation sweep: premium %.0f rps constant, best-effort swept (inflight budget %d, share %.2f)",
+			loadBenchPremiumRPS, rep.MaxInflight, rep.BestEffortShare),
+		Header: []string{"be offered", "be achieved", "be rejected", "be p99", "prem p99", "prem rejected"},
+	}
+	for _, step := range rep.Steps {
+		t.AddRow(
+			fmt.Sprintf("%.0f", step.BestEffort.OfferedRPS),
+			fmt.Sprintf("%.0f", step.BestEffort.AchievedRPS),
+			step.BestEffort.Rejected,
+			FormatDuration(time.Duration(step.BestEffort.P99Ns)),
+			FormatDuration(time.Duration(step.Premium.P99Ns)),
+			step.Premium.Rejected)
+	}
+	t.Fprint(w)
+	fmt.Fprintf(w, "unloaded premium p99 %s; worst loaded premium p99 %s; knee at %.0f rps; premium holds: %v; best-effort degraded first: %v\n",
+		FormatDuration(time.Duration(rep.Unloaded.P99Ns)),
+		FormatDuration(time.Duration(rep.WorstPremiumP99Ns)),
+		rep.KneeOfferedRPS, rep.PremiumHolds, rep.BestEffortDegraded)
+	return nil
+}
+
+// WriteLoadReport runs the load experiment and writes its structured
+// report as indented JSON to path (the BENCH_PR10.json artifact).
+func WriteLoadReport(path string, cfg Config) error {
+	rep, err := BuildLoadReport(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -92,7 +92,7 @@ func BuildServeReport(cfg Config) (*ServeReport, error) {
 	}
 	s, err := serve.New(g, serve.Config{
 		Workers:     workers,
-		CacheRows:   cacheRows,
+		CacheBytes:  int64(cacheRows) * int64(n) * 4,
 		Landmarks:   16,
 		MaxInflight: 4 * serveBenchClients,
 	})

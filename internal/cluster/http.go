@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 
+	"parapsp/internal/admit"
 	"parapsp/internal/obs"
 	"parapsp/internal/serve"
 )
@@ -82,44 +83,89 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// writeRouteError maps a routing failure to its HTTP status: 503 +
+// writeRouteError maps a routing or admission failure to its HTTP status
+// through the shared admit vocabulary: the router's own quota/inflight
+// rejections answer 429 + Retry-After exactly as a shard's would, 503 +
 // Retry-After when no owner is reachable (the promise the chaos test
-// holds us to — that is the *only* 503), 504 on deadline, 400 otherwise.
+// holds us to — that is the *only* unavailability 503), 504 on deadline,
+// 400 otherwise. All terminal statuses are written by admit.WriteDecision
+// so routers and shards cannot drift apart.
 func (r *Router) writeRouteError(w http.ResponseWriter, err error) {
+	if d, ok := admit.Classify(err); ok {
+		switch {
+		case errors.Is(err, admit.ErrQuota), errors.Is(err, admit.ErrInflight):
+			r.m.throttled.Add(1)
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			r.m.deadlines.Add(1)
+		}
+		admit.WriteDecision(w, d)
+		return
+	}
 	switch {
 	case errors.Is(err, errUnavailable):
 		r.m.unavailable.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		r.m.deadlines.Add(1)
-		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+		admit.WriteDecision(w, admit.Decision{
+			Status: http.StatusServiceUnavailable, RetryAfter: 1, Msg: err.Error(),
+		})
+	case errors.Is(err, admit.ErrTier):
+		r.m.badRequests.Add(1)
+		admit.WriteDecision(w, admit.Decision{Status: http.StatusBadRequest, Msg: err.Error()})
 	default:
 		r.m.badRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		admit.WriteDecision(w, admit.Decision{Status: http.StatusBadRequest, Msg: err.Error()})
 	}
 }
 
 // writeForwarded relays one shard response verbatim, stamping the shard.
+// Beyond the solver/version observability headers it preserves the
+// admission headers of a shard-side rejection — Retry-After, the reject
+// reason, and the tier echo — so a client behind the router sees exactly
+// what it would see talking to the shard.
 func writeForwarded(w http.ResponseWriter, res *fwdResult) {
-	if kind := res.header.Get(solverHeader); kind != "" {
-		w.Header().Set(solverHeader, kind)
-	}
-	if ver := res.header.Get(versionHeader); ver != "" {
-		w.Header().Set(versionHeader, ver)
-	}
-	if ct := res.header.Get("Content-Type"); ct != "" {
-		w.Header().Set("Content-Type", ct)
+	for _, h := range []string{
+		solverHeader, versionHeader, "Content-Type",
+		"Retry-After", admit.RejectHeader, admit.DefaultTierHeader,
+	} {
+		if v := res.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
 	}
 	w.Header().Set(shardHeader, res.shard.ID)
 	w.WriteHeader(res.status)
 	_, _ = w.Write(res.body)
 }
 
+// admitEdge resolves the request's admission identity and admits it at
+// the router edge: tier parse errors answer 400, quota/inflight/draining
+// rejections answer through the shared decision table — all before any
+// shard round trip. The admitted tier is echoed immediately so every
+// response (including rejections) carries it. Callers must invoke the
+// returned release exactly once with the request's terminal error.
+func (r *Router) admitEdge(w http.ResponseWriter, req *http.Request) (admit.Request, func(error), bool) {
+	areq, err := admit.ParseRequest(req, r.cfg.TierHeader)
+	if err != nil {
+		r.writeRouteError(w, err)
+		return admit.Request{}, nil, false
+	}
+	w.Header().Set(admit.DefaultTierHeader, areq.Tier.String())
+	release, err := r.adm.Admit(areq)
+	if err != nil {
+		r.writeRouteError(w, err)
+		return admit.Request{}, nil, false
+	}
+	return areq, release, true
+}
+
 // handleQuery routes /dist and /path: both are keyed by the source u, so
 // ownership is the ring walk from hash(u).
 func (r *Router) handleQuery(endpoint string, w http.ResponseWriter, req *http.Request) {
 	r.m.requests.Add(1)
+	areq, release, ok := r.admitEdge(w, req)
+	if !ok {
+		return
+	}
+	var ferr error
+	defer func() { release(ferr) }()
 	u, _, _, err := serve.ParseDistQuery(req.URL.Query(), r.order())
 	if err != nil {
 		r.m.badRequests.Add(1)
@@ -129,8 +175,9 @@ func (r *Router) handleQuery(endpoint string, w http.ResponseWriter, req *http.R
 	ctx, cancel := r.withDeadline(req.Context())
 	defer cancel()
 	owners := r.mem.current().owners(u)
-	res, err := r.forward(ctx, http.MethodGet, endpoint+"?"+req.URL.RawQuery, nil, owners)
+	res, err := r.forward(ctx, http.MethodGet, endpoint+"?"+req.URL.RawQuery, nil, owners, areq)
 	if err != nil {
+		ferr = err
 		r.writeRouteError(w, err)
 		return
 	}
@@ -159,6 +206,12 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
 		return
 	}
+	areq, release, ok := r.admitEdge(w, req)
+	if !ok {
+		return
+	}
+	var ferr error
+	defer func() { release(ferr) }()
 	data, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBatchBody))
 	if err != nil {
 		r.m.badRequests.Add(1)
@@ -182,6 +235,7 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 	for i, q := range qs {
 		owners := rg.owners(q.U)
 		if len(owners) == 0 {
+			ferr = errUnavailable
 			r.writeRouteError(w, errUnavailable)
 			return
 		}
@@ -215,7 +269,7 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 				results[gi] = groupResult{grp: grp, err: err}
 				return
 			}
-			res, err := r.forward(ctx, http.MethodPost, "/batch", body, grp.owners)
+			res, err := r.forward(ctx, http.MethodPost, "/batch", body, grp.owners, areq)
 			results[gi] = groupResult{grp: grp, res: res, err: err}
 		}(gi, grp)
 	}
@@ -226,6 +280,7 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 	// scattered back into request order.
 	for _, gr := range results {
 		if gr.err != nil {
+			ferr = gr.err
 			r.writeRouteError(w, gr.err)
 			return
 		}
@@ -250,9 +305,10 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 		}
 		if ver != mergedVer {
 			r.m.versionSkew.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusConflict, errorBody{
-				Error: fmt.Sprintf("cluster: graph version skew across shards (%s vs %s); retry after replicas converge", mergedVer, ver),
+			admit.WriteDecision(w, admit.Decision{
+				Status:     http.StatusConflict,
+				RetryAfter: 1,
+				Msg:        fmt.Sprintf("cluster: graph version skew across shards (%s vs %s); retry after replicas converge", mergedVer, ver),
 			})
 			return
 		}
@@ -314,11 +370,22 @@ type clusterHealth struct {
 	Shards   []shardHealth `json:"shards"`
 	Healthy  int           `json:"healthy"`
 	Vertices int64         `json:"vertices"` // 0 until a probe reports it
+	// Router-edge admission load, split by SLO tier.
+	Inflight           int `json:"inflight"`
+	PremiumInflight    int `json:"premium_inflight"`
+	BestEffortInflight int `json:"besteffort_inflight"`
+	QuotaClients       int `json:"quota_clients"`
 }
 
 func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	shards, healthy := r.mem.snapshot()
-	body := clusterHealth{Vertices: r.n.Load()}
+	body := clusterHealth{
+		Vertices:           r.n.Load(),
+		Inflight:           r.adm.Inflight(),
+		PremiumInflight:    r.adm.InflightTier(admit.Premium),
+		BestEffortInflight: r.adm.InflightTier(admit.BestEffort),
+		QuotaClients:       r.adm.Clients(),
+	}
 	for i, sh := range shards {
 		body.Shards = append(body.Shards, shardHealth{
 			ID: sh.ID, Addr: sh.Addr, Healthy: healthy[i],

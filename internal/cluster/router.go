@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parapsp/internal/admit"
 	"parapsp/internal/obs"
 )
 
@@ -57,6 +58,25 @@ type Config struct {
 	ProbeInterval, ProbeTimeout time.Duration
 	// MaxBatch bounds the queries accepted in one /batch (default 256).
 	MaxBatch int
+	// MaxInflight bounds concurrently admitted requests at the router edge
+	// (default 256 — a router fans out, so it runs wider than one shard).
+	// Excess requests answer 429 + Retry-After instead of queueing.
+	MaxInflight int
+	// BestEffortShare is the fraction of MaxInflight best-effort requests
+	// may occupy (default 0.75, see admit.Config); the rest is the premium
+	// reserve.
+	BestEffortShare float64
+	// QuotaRPS is the per-client token-bucket refill rate at the router
+	// edge; 0 disables router-side quotas (shard-side quotas still apply
+	// and are passed through faithfully). QuotaBurst is the bucket depth
+	// (default ceil(QuotaRPS)).
+	QuotaRPS   float64
+	QuotaBurst int
+	// TierHeader is the request header carrying the SLO tier label
+	// (default X-Parapsp-Tier). Whatever header name is accepted here, the
+	// router always forwards the canonical X-Parapsp-Tier to shards and
+	// echoes it on responses.
+	TierHeader string
 	// Metrics receives the cluster.* counters; nil creates a private
 	// registry.
 	Metrics *obs.Metrics
@@ -90,6 +110,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch < 1 {
 		c.MaxBatch = 256
 	}
+	if c.MaxInflight < 1 {
+		c.MaxInflight = 256
+	}
+	if c.TierHeader == "" {
+		c.TierHeader = admit.DefaultTierHeader
+	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewMetrics()
 	}
@@ -106,7 +132,7 @@ func (c Config) withDefaults() Config {
 // one terminal bucket, so routed == merged + hedge_cancelled + failed.
 type routerMetrics struct {
 	requests, badRequests, unavailable, deadlines *obs.Counter
-	badUpstream                                   *obs.Counter
+	throttled, badUpstream                        *obs.Counter
 	routed, merged, hedgeCancelled, failed        *obs.Counter
 	hedges, retries                               *obs.Counter
 	probes, probeFailures, probeMismatch          *obs.Counter
@@ -120,6 +146,9 @@ func newRouterMetrics(reg *obs.Metrics) *routerMetrics {
 		badRequests: reg.Counter("cluster.bad_requests"),
 		unavailable: reg.Counter("cluster.unavailable"),
 		deadlines:   reg.Counter("cluster.deadlines"),
+		// throttled counts the router's own admission rejections (quota or
+		// inflight), the edge mirror of serve.throttled.
+		throttled:   reg.Counter("cluster.throttled"),
 		badUpstream: reg.Counter("cluster.bad_upstream"),
 		// The attempt ledger: routed counts every subrequest sent to a
 		// shard; merged the one whose response was used, hedge_cancelled
@@ -151,6 +180,10 @@ type Router struct {
 	m      *routerMetrics
 	lat    map[string]*latencyWindow
 	client *http.Client
+	// adm is the shared admission layer at the router edge: the same
+	// quotas/tiers/ledger machinery the shards run, so a request rejected
+	// here never costs a shard round trip. See internal/admit.
+	adm *admit.Admitter
 	// n is the graph order adopted from the first successful probe
 	// (0 = unknown); shards reporting a different order are refused as
 	// misconfigured. Used to 400 out-of-range queries at the edge.
@@ -194,12 +227,20 @@ func New(cfg Config) (*Router, error) {
 	}
 	cfg = cfg.withDefaults()
 	r := &Router{
-		cfg:       cfg,
-		mem:       newMembership(cfg.Shards),
-		m:         newRouterMetrics(cfg.Metrics),
-		lat:       make(map[string]*latencyWindow, len(cfg.Shards)),
-		vers:      make(map[string]*atomic.Uint64, len(cfg.Shards)),
-		client:    cfg.Client,
+		cfg:    cfg,
+		mem:    newMembership(cfg.Shards),
+		m:      newRouterMetrics(cfg.Metrics),
+		lat:    make(map[string]*latencyWindow, len(cfg.Shards)),
+		vers:   make(map[string]*atomic.Uint64, len(cfg.Shards)),
+		client: cfg.Client,
+		adm: admit.New(admit.Config{
+			MaxInflight:     cfg.MaxInflight,
+			BestEffortShare: cfg.BestEffortShare,
+			QuotaRPS:        cfg.QuotaRPS,
+			QuotaBurst:      cfg.QuotaBurst,
+			RequestTimeout:  cfg.RequestTimeout,
+			Metrics:         cfg.Metrics,
+		}),
 		stopProbe: make(chan struct{}),
 	}
 	for _, sh := range cfg.Shards {
@@ -239,11 +280,11 @@ func (r *Router) order() int {
 	return math.MaxInt32
 }
 
+// withDeadline applies the configured request timeout when the caller's
+// context has no deadline of its own — delegated to the shared admission
+// layer so routers and shards propagate deadlines identically.
 func (r *Router) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
-	if _, ok := ctx.Deadline(); ok {
-		return ctx, func() {}
-	}
-	return context.WithTimeout(ctx, r.cfg.RequestTimeout)
+	return r.adm.WithDeadline(ctx)
 }
 
 // fwdResult is one completed subrequest attempt.
@@ -256,21 +297,31 @@ type fwdResult struct {
 }
 
 // usable reports whether an attempt's response settles the subrequest:
-// a success, or a client error to pass through verbatim. 429 and every
-// 5xx are retryable — another replica can do better.
+// a success, or a client error to pass through verbatim. Backpressure
+// 429s and every 5xx are retryable — another replica can do better — but
+// a quota 429 (X-Parapsp-Reject: quota) passes through: it is the shard
+// enforcing the client's own rate limit, deterministic for that client,
+// and retrying it elsewhere would just burn another replica's tokens for
+// the same verdict.
 func usable(res *fwdResult) bool {
 	if res.err != nil {
 		return false
 	}
+	if res.status == http.StatusTooManyRequests {
+		return res.header.Get(admit.RejectHeader) == "quota"
+	}
 	return res.status == http.StatusOK ||
-		(res.status >= 400 && res.status < 500 && res.status != http.StatusTooManyRequests)
+		(res.status >= 400 && res.status < 500)
 }
 
-// attempt performs one HTTP round trip to one shard. A transport failure
-// outside the caller's own cancellation evicts the shard from the ring
-// immediately (the prober readmits it when /healthz answers again), so
-// the very next request already routes around a SIGKILLed replica.
-func (r *Router) attempt(ctx context.Context, sh Shard, method, uri string, body []byte) *fwdResult {
+// attempt performs one HTTP round trip to one shard, forwarding the
+// admitted identity (canonical client and tier headers) so shard-side
+// quotas and SLO policy apply to the end client, not to the router. A
+// transport failure outside the caller's own cancellation evicts the
+// shard from the ring immediately (the prober readmits it when /healthz
+// answers again), so the very next request already routes around a
+// SIGKILLed replica.
+func (r *Router) attempt(ctx context.Context, sh Shard, method, uri string, body []byte, areq admit.Request) *fwdResult {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -282,6 +333,10 @@ func (r *Router) attempt(ctx context.Context, sh Shard, method, uri string, body
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if areq.Client != "" {
+		req.Header.Set(admit.ClientHeader, areq.Client)
+	}
+	req.Header.Set(admit.DefaultTierHeader, areq.Tier.String())
 	start := time.Now()
 	resp, err := r.client.Do(req)
 	if err != nil {
@@ -329,7 +384,7 @@ func (r *Router) hedgeDelay(primary Shard) time.Duration {
 // hedge_cancelled, everything else as failed — so the attempt ledger
 // balances by construction. Returns errUnavailable when the chain is
 // exhausted and ctx.Err() when the deadline expires first.
-func (r *Router) forward(ctx context.Context, method, uri string, body []byte, owners []Shard) (*fwdResult, error) {
+func (r *Router) forward(ctx context.Context, method, uri string, body []byte, owners []Shard, areq admit.Request) (*fwdResult, error) {
 	if len(owners) == 0 {
 		return nil, errUnavailable
 	}
@@ -349,7 +404,7 @@ func (r *Router) forward(ctx context.Context, method, uri string, body []byte, o
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results <- r.attempt(ctx, sh, method, uri, body)
+			results <- r.attempt(ctx, sh, method, uri, body, areq)
 		}()
 	}
 	launch()

@@ -452,6 +452,10 @@ func TestRouterConcurrentMembershipNoLeak(t *testing.T) {
 		close(stop)
 		chaosWG.Wait()
 
+		// The admission ledger must reconcile exactly even under
+		// membership churn — every admitted request released once.
+		checkRouterAdmitLedger(t, h)
+
 		// Ring consistency after the dust settles: healthy flags and ring
 		// contents agree, owner chains are duplicate-free and complete.
 		for _, f := range shards {

@@ -340,6 +340,19 @@ func TestClusterChaos(t *testing.T) {
 	if m["cluster.shard_down"] == 0 {
 		t.Fatal("SIGKILL left no shard_down transition in the metrics")
 	}
+	// The admission ledger survives the same chaos: per tier and total,
+	// requests == admitted + rejections, admitted == completed + expired.
+	for _, p := range []string{"admit", "admit.besteffort", "admit.premium"} {
+		req := m[p+".requests"]
+		adm := m[p+".admitted"]
+		rej := m[p+".rejected_quota"] + m[p+".rejected_inflight"] + m[p+".rejected_draining"]
+		if req != adm+rej {
+			t.Fatalf("%s ledger: requests=%d != admitted=%d + rejected=%d", p, req, adm, rej)
+		}
+		if done := m[p+".completed"] + m[p+".deadline_expired"]; adm != done {
+			t.Fatalf("%s ledger: admitted=%d != completed+expired=%d", p, adm, done)
+		}
+	}
 
 	// Graceful teardown: router and the surviving shards drain cleanly.
 	router.drain(t, "parapsprouter: drained cleanly (requests=")

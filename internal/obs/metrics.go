@@ -84,6 +84,31 @@ func (t Timing) MeanNs() int64 {
 	return t.sum.Load() / n
 }
 
+// CounterVec is a small fixed family of counters sharing a name prefix,
+// one per label — the per-tier admission counters ("admit.admitted" split
+// into "admit.premium.admitted" / "admit.besteffort.admitted") are the
+// motivating use. Labels are fixed at construction so the hot path is one
+// slice index plus an atomic add, and every member exports through the
+// ordinary registry snapshot under "<prefix>.<label>.<name>".
+type CounterVec struct {
+	counters []*Counter
+}
+
+// CounterVec returns the named counter family: one counter per label, in
+// label order, registered as "<prefix>.<label>.<name>".
+func (m *Metrics) CounterVec(prefix, name string, labels []string) *CounterVec {
+	v := &CounterVec{counters: make([]*Counter, len(labels))}
+	for i, l := range labels {
+		v.counters[i] = m.Counter(prefix + "." + l + "." + name)
+	}
+	return v
+}
+
+// At returns the counter of the i-th label. The index is the caller's
+// label enum (e.g. a Tier); out-of-range indices panic, as a mis-sized
+// enum is a programming error.
+func (v *CounterVec) At(i int) *Counter { return v.counters[i] }
+
 // Snapshot returns a point-in-time copy of every counter.
 func (m *Metrics) Snapshot() map[string]int64 {
 	m.mu.Lock()

@@ -156,3 +156,24 @@ func TestUsec(t *testing.T) {
 		}
 	}
 }
+
+func TestCounterVec(t *testing.T) {
+	m := NewMetrics()
+	v := m.CounterVec("admit", "admitted", []string{"besteffort", "premium"})
+	v.At(0).Add(3)
+	v.At(1).Add(5)
+	snap := m.Snapshot()
+	if got := snap["admit.besteffort.admitted"]; got != 3 {
+		t.Errorf("besteffort counter = %d, want 3", got)
+	}
+	if got := snap["admit.premium.admitted"]; got != 5 {
+		t.Errorf("premium counter = %d, want 5", got)
+	}
+	// Asking for the same family again returns the same registry counters,
+	// not fresh zeroed ones.
+	again := m.CounterVec("admit", "admitted", []string{"besteffort", "premium"})
+	again.At(0).Add(1)
+	if got := m.Snapshot()["admit.besteffort.admitted"]; got != 4 {
+		t.Errorf("re-acquired counter = %d, want 4", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"parapsp/internal/admit"
 	"parapsp/internal/matrix"
 )
 
@@ -18,19 +19,34 @@ type rowKey struct {
 	ver uint64
 }
 
+// pendingKey identifies one in-flight solve: a row key plus the SLO tier
+// of the request that started it. Coalescing is cross-client but
+// per-tier — every concurrent request for the same (src, ver, tier)
+// rides one solve, while a premium request never queues behind a
+// best-effort-initiated solve (whose owner may be sharing the contended
+// best-effort slice of the inflight budget). The *completed* row is
+// tier-blind: both tiers' solves land in the same (src, ver)-keyed store,
+// so a premium solve warms best-effort traffic and vice versa.
+type pendingKey struct {
+	src  int32
+	ver  uint64
+	tier admit.Tier
+}
+
 // rowCache is an LRU cache of completed distance rows keyed by (source,
-// version), with single-flight deduplication: concurrent requests for the
-// same uncomputed key produce exactly one subset solve. The first caller
-// to miss becomes the *owner* of that key and must call fulfill with the
-// solved row (or an error); everyone else who arrives while the entry is
-// pending blocks on the entry's ready channel.
+// version), with single-flight deduplication keyed by (source, version,
+// tier): concurrent requests for the same uncomputed key at the same tier
+// produce exactly one subset solve. The first caller to miss becomes the
+// *owner* of that pending key and must call fulfill with the solved row
+// (or an error); everyone else who arrives while the entry is pending
+// blocks on the entry's ready channel.
 //
-// Only ready entries participate in LRU eviction — a pending entry is
-// pinned, because waiters hold a pointer to it and the owner will fulfill
-// it. Eviction removes an entry from the index but never touches its row
-// slice, so a reader that obtained the row before the eviction keeps a
-// valid immutable snapshot (rows are written once, before the ready
-// channel closes, and never mutated after).
+// A pending entry is pinned (it lives outside the LRU), because waiters
+// hold a pointer to it and the owner will fulfill it. Eviction removes a
+// ready entry from the index but never touches its row slice, so a reader
+// that obtained the row before the eviction keeps a valid immutable
+// snapshot (rows are written once, before the ready channel closes, and
+// never mutated after).
 //
 // Capacity is a byte budget (4 bytes per distance label), not a row
 // count: this is the hot tier (T1) of the tiered store, and byte
@@ -43,9 +59,10 @@ type rowKey struct {
 type rowCache struct {
 	mu       sync.Mutex
 	capBytes int64
-	bytes    int64 // bytes of ready rows resident in the LRU
-	entries  map[rowKey]*cacheEntry
-	lru      *list.List // ready entries, front = most recently used
+	bytes    int64                      // bytes of ready rows resident in the LRU
+	entries  map[rowKey]*cacheEntry     // ready rows
+	pending  map[pendingKey]*cacheEntry // in-flight solves
+	lru      *list.List                 // ready entries, front = most recently used
 
 	// onEvict, when non-nil, receives each evicted ready entry after the
 	// cache mutex is released. It must not call back into the cache.
@@ -70,6 +87,7 @@ func newRowCache(capBytes int64) *rowCache {
 	return &rowCache{
 		capBytes: capBytes,
 		entries:  make(map[rowKey]*cacheEntry),
+		pending:  make(map[pendingKey]*cacheEntry),
 		lru:      list.New(),
 	}
 }
@@ -82,20 +100,22 @@ type acquisition struct {
 	// rows holds the sources whose rows were ready immediately.
 	rows map[int32][]matrix.Dist
 	// owned are the sources this caller created pending entries for; it
-	// must solve them and call fulfill exactly once.
+	// must solve them and call fulfill exactly once, at the same tier.
 	owned []int32
-	// waits are pending entries owned by other in-flight callers.
+	// waits are pending entries owned by other in-flight callers of the
+	// same tier.
 	waits []*cacheEntry
 }
 
 // acquire classifies each (deduplicated) source at version ver as ready,
-// pending elsewhere, or owned by this caller, updating the hit/miss
-// counters in one critical section so that hits + misses == lookups
-// always reconciles. A key found in the cache counts as a hit whether its
-// row is already ready or still being computed (the coalesced counter
-// separates the latter); only a key that triggers a new solve counts as a
-// miss.
-func (c *rowCache) acquire(sources []int32, ver uint64, m *metrics) acquisition {
+// pending under this tier elsewhere, or owned by this caller, updating
+// the hit/miss counters in one critical section so that hits + misses ==
+// lookups always reconciles. A ready row counts as a hit for any tier; a
+// same-tier pending entry counts as a hit too (the coalesced counter
+// separates it); only a key that triggers a new solve counts as a miss —
+// including the rare cross-tier duplicate, where a premium caller starts
+// its own solve rather than queueing behind a best-effort one.
+func (c *rowCache) acquire(sources []int32, ver uint64, tier admit.Tier, m *metrics) acquisition {
 	acq := acquisition{rows: make(map[int32][]matrix.Dist, len(sources))}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -111,13 +131,15 @@ func (c *rowCache) acquire(sources []int32, ver uint64, m *metrics) acquisition 
 		if e, ok := c.entries[rowKey{src: s, ver: ver}]; ok {
 			m.hits.Add(1)
 			m.storeT1.Add(1)
-			if e.elem != nil {
-				c.lru.MoveToFront(e.elem)
-				acq.rows[s] = e.row
-			} else {
-				m.coalesced.Add(1)
-				acq.waits = append(acq.waits, e)
-			}
+			c.lru.MoveToFront(e.elem)
+			acq.rows[s] = e.row
+			continue
+		}
+		if e, ok := c.pending[pendingKey{src: s, ver: ver, tier: tier}]; ok {
+			m.hits.Add(1)
+			m.storeT1.Add(1)
+			m.coalesced.Add(1)
+			acq.waits = append(acq.waits, e)
 			continue
 		}
 		// A hot miss is not yet a store miss: the caller consults the
@@ -125,7 +147,7 @@ func (c *rowCache) acquire(sources []int32, ver uint64, m *metrics) acquisition 
 		// one of serve.store.{t2_promotes, t3_promotes, misses}.
 		m.misses.Add(1)
 		e := &cacheEntry{key: rowKey{src: s, ver: ver}, ready: make(chan struct{})}
-		c.entries[e.key] = e
+		c.pending[pendingKey{src: s, ver: ver, tier: tier}] = e
 		acq.owned = append(acq.owned, s)
 	}
 	return acq
@@ -150,24 +172,32 @@ func containsWait(waits []*cacheEntry, s int32) bool {
 }
 
 // fulfill publishes the solved rows (or the shared error) for the sources
-// previously acquired as owned at version ver, inserts the ready entries
-// into the LRU and evicts past capacity. rowOf returns the immutable row
-// for a source; on a non-nil err the entries are removed instead so a
-// later request retries.
-func (c *rowCache) fulfill(owned []int32, ver uint64, rowOf func(int32) []matrix.Dist, err error, m *metrics) {
+// previously acquired as owned at version ver and tier, inserts the ready
+// entries into the LRU and evicts past capacity. rowOf returns the
+// immutable row for a source; on a non-nil err the pending entries are
+// removed instead so a later request retries. When a cross-tier duplicate
+// solve fulfilled the same (src, ver) first, the existing ready row is
+// kept and this tier's waiters are simply released onto this copy — the
+// two rows are both exact, and double-accounting the bytes would break
+// the budget.
+func (c *rowCache) fulfill(owned []int32, ver uint64, tier admit.Tier, rowOf func(int32) []matrix.Dist, err error, m *metrics) {
 	c.mu.Lock()
 	for _, s := range owned {
-		e := c.entries[rowKey{src: s, ver: ver}]
-		if e == nil || e.elem != nil {
+		pk := pendingKey{src: s, ver: ver, tier: tier}
+		e := c.pending[pk]
+		if e == nil {
 			continue // impossible unless fulfill is called twice; be safe
 		}
+		delete(c.pending, pk)
 		if err != nil {
 			e.err = err
-			delete(c.entries, e.key)
 		} else {
 			e.row = rowOf(s)
-			e.elem = c.lru.PushFront(e)
-			c.bytes += rowBytes(e.row)
+			if _, dup := c.entries[e.key]; !dup {
+				c.entries[e.key] = e
+				e.elem = c.lru.PushFront(e)
+				c.bytes += rowBytes(e.row)
+			}
 		}
 		close(e.ready)
 	}
@@ -190,9 +220,9 @@ func (c *rowCache) demote(evicted []*cacheEntry) {
 
 // install inserts an already-solved row as a ready entry for (src, ver) —
 // the mutation path's re-tag/repair primitive, run before the version it
-// tags becomes current. The row is shared, not copied; callers hand over
-// an immutable slice. A pre-existing entry for the key wins (single
-// flight owns it); install then reports false.
+// tags becomes current (so no pending entry for that version can exist).
+// The row is shared, not copied; callers hand over an immutable slice. A
+// pre-existing ready entry for the key wins; install then reports false.
 func (c *rowCache) install(src int32, ver uint64, row []matrix.Dist, m *metrics) bool {
 	c.mu.Lock()
 	key := rowKey{src: src, ver: ver}
@@ -217,7 +247,7 @@ func (c *rowCache) readyRows(ver uint64) (srcs []int32, rows [][]matrix.Dist) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for key, e := range c.entries {
-		if key.ver == ver && e.elem != nil {
+		if key.ver == ver {
 			srcs = append(srcs, key.src)
 			rows = append(rows, e.row)
 		}
@@ -250,7 +280,7 @@ func (c *rowCache) evictOverCap(m *metrics) []*cacheEntry {
 func (c *rowCache) lookup(s int32, ver uint64, m *metrics) []matrix.Dist {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.entries[rowKey{src: s, ver: ver}]; ok && e.elem != nil {
+	if e, ok := c.entries[rowKey{src: s, ver: ver}]; ok {
 		m.lookups.Add(1)
 		m.hits.Add(1)
 		m.storeLookups.Add(1)
@@ -263,24 +293,14 @@ func (c *rowCache) lookup(s int32, ver uint64, m *metrics) []matrix.Dist {
 
 // peek returns the ready row for (s, ver) without counting a lookup,
 // creating an entry, or touching the LRU order. Internal readers
-// (post-fulfill copies, refinement dedup) use it so bookkeeping reflects
-// only real queries.
+// (post-fulfill copies) use it so bookkeeping reflects only real queries.
 func (c *rowCache) peek(s int32, ver uint64) []matrix.Dist {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.entries[rowKey{src: s, ver: ver}]; ok && e.elem != nil {
+	if e, ok := c.entries[rowKey{src: s, ver: ver}]; ok {
 		return e.row
 	}
 	return nil
-}
-
-// contains reports whether (s, ver) is resident or pending (used to skip
-// redundant background refinements).
-func (c *rowCache) contains(s int32, ver uint64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.entries[rowKey{src: s, ver: ver}]
-	return ok
 }
 
 // Len returns the number of ready rows currently resident (all versions).

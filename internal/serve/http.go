@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"sync"
 
+	"parapsp/internal/admit"
 	"parapsp/internal/dyn"
 	"parapsp/internal/obs"
 )
@@ -115,32 +116,47 @@ type errorBody struct {
 
 // writeError maps a query-layer error to its HTTP status. Error responses
 // carry the current graph version (no pinned snapshot exists for them).
+// The shared admission vocabulary (quota/inflight 429s, draining 503,
+// deadline 504, each with its Retry-After and reject-reason header) is
+// classified and written by internal/admit — one table for every daemon;
+// only serve-specific errors (parse, mutation conflicts, validation) are
+// mapped here.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	if w.Header().Get(versionHeader) == "" {
 		setVersion(w, s.Version())
 	}
+	if d, ok := admit.Classify(err); ok {
+		admit.WriteDecision(w, d)
+		return
+	}
 	switch {
-	case errors.Is(err, ErrParse):
+	case errors.Is(err, ErrParse), errors.Is(err, dyn.ErrOp), errors.Is(err, admit.ErrTier):
 		s.m.badRequests.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	case errors.Is(err, dyn.ErrNoEdge), errors.Is(err, dyn.ErrEdgeExists):
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
-	case errors.Is(err, dyn.ErrOp):
-		s.m.badRequests.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
-	case errors.Is(err, ErrBusy):
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
-	case errors.Is(err, ErrClosed):
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
 	default:
 		// Validation errors raised by the query API itself (range checks,
 		// batch limits) are client mistakes, not server faults.
 		s.m.badRequests.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	}
+}
+
+// admitContext resolves the request's admission identity (client header or
+// remote address, tier header) and attaches it to the context for
+// admitRequest to consume. A malformed tier value is a 400 — written here —
+// and the returned ok is false.
+func (s *Server) admitContext(w http.ResponseWriter, r *http.Request) (*http.Request, bool) {
+	req, err := admit.ParseRequest(r, s.cfg.TierHeader)
+	if err != nil {
+		s.writeError(w, err)
+		return r, false
+	}
+	// Echo the admitted tier on every response — success or rejection — so
+	// clients and the router can observe which SLO actually applied.
+	w.Header().Set(admit.DefaultTierHeader, req.Tier.String())
+	return r.WithContext(admit.WithRequest(r.Context(), req)), true
 }
 
 // labeled runs fn under pprof labels so CPU profiles split by endpoint,
@@ -151,6 +167,10 @@ func labeled(endpoint string, fn func()) {
 
 func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 	labeled("dist", func() {
+		r, ok := s.admitContext(w, r)
+		if !ok {
+			return
+		}
 		u, v, tol, err := ParseDistQuery(r.URL.Query(), s.n)
 		if err != nil {
 			s.writeError(w, err)
@@ -175,6 +195,10 @@ type pathBody struct {
 
 func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	labeled("path", func() {
+		r, ok := s.admitContext(w, r)
+		if !ok {
+			return
+		}
 		u, v, _, err := ParseDistQuery(r.URL.Query(), s.n)
 		if err != nil {
 			s.writeError(w, err)
@@ -204,6 +228,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	labeled("batch", func() {
 		if r.Method != http.MethodPost {
 			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+			return
+		}
+		r, ok := s.admitContext(w, r)
+		if !ok {
 			return
 		}
 		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -271,6 +299,11 @@ type healthBody struct {
 	Inflight     int     `json:"inflight"`
 	Draining     bool    `json:"draining"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Admission-layer load split by SLO tier, plus the number of
+	// per-client quota buckets currently tracked.
+	PremiumInflight    int `json:"premium_inflight"`
+	BestEffortInflight int `json:"besteffort_inflight"`
+	QuotaClients       int `json:"quota_clients"`
 	// Tiered-store residency (additive; zero when the tiers are off).
 	CachedBytes int64 `json:"cached_bytes"`
 	WarmRows    int   `json:"warm_rows"`
@@ -298,22 +331,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.StoreStats()
 	setVersion(w, snap.Version)
 	writeJSON(w, http.StatusOK, healthBody{
-		Status:       status,
-		ShardID:      s.cfg.ShardID,
-		Vertices:     s.n,
-		Arcs:         snap.G.NumArcs(),
-		GraphVersion: snap.Version,
-		CachedRows:   s.CachedRows(),
-		Landmarks:    landmarks,
-		Inflight:     s.Inflight(),
-		Draining:     draining,
-		CacheHitRate: hitRate,
-		CachedBytes:  s.CachedBytes(),
-		WarmRows:     st.WarmRows,
-		WarmBytes:    st.WarmBytes,
-		ColdRows:     st.ColdRows,
-		ColdBytes:    st.ColdBytes,
-		SpillFile:    st.ArenaFile,
+		Status:             status,
+		ShardID:            s.cfg.ShardID,
+		Vertices:           s.n,
+		Arcs:               snap.G.NumArcs(),
+		GraphVersion:       snap.Version,
+		CachedRows:         s.CachedRows(),
+		Landmarks:          landmarks,
+		Inflight:           s.Inflight(),
+		Draining:           draining,
+		CacheHitRate:       hitRate,
+		PremiumInflight:    s.InflightTier(admit.Premium),
+		BestEffortInflight: s.InflightTier(admit.BestEffort),
+		QuotaClients:       s.QuotaClients(),
+		CachedBytes:        s.CachedBytes(),
+		WarmRows:           st.WarmRows,
+		WarmBytes:          st.WarmBytes,
+		ColdRows:           st.ColdRows,
+		ColdBytes:          st.ColdBytes,
+		SpillFile:          st.ArenaFile,
 	})
 }
 

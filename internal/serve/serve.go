@@ -32,12 +32,18 @@
 // response carries the answering version in the X-Parapsp-Graph-Version
 // header.
 //
-// Resource safety: in-flight work is bounded by a semaphore (excess
-// requests fail fast with ErrBusy, which the HTTP layer maps to 429 +
-// Retry-After), every request runs under a context deadline, and Shutdown
-// drains — it stops admitting work, waits for in-flight requests and
-// background refinements, and only then returns, so no accepted request is
-// ever dropped.
+// Resource safety and admission live in one shared layer, internal/admit:
+// every request passes the Admitter's gates — per-client token-bucket
+// quotas, SLO-tiered inflight backpressure (excess requests fail fast
+// with ErrBusy, which the HTTP layer maps to 429 + Retry-After), and the
+// drain state — and runs under a context deadline. Requests carry an
+// admit.Request (client identity + tier) in their context: premium
+// requests are always answered exactly and may occupy the whole inflight
+// budget, best-effort requests keep the sketch-first approximate path and
+// only the best-effort slice of the budget, so a saturating best-effort
+// client cannot move premium latency. Shutdown drains — it stops
+// admitting work, waits for in-flight requests, and only then returns, so
+// no accepted request is ever dropped.
 package serve
 
 import (
@@ -45,10 +51,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
+	"parapsp/internal/admit"
 	"parapsp/internal/core"
 	"parapsp/internal/dyn"
 	"parapsp/internal/graph"
@@ -58,12 +66,15 @@ import (
 	"parapsp/internal/store"
 )
 
-// Errors surfaced by the query API. The HTTP layer maps ErrBusy to 429,
-// ErrClosed to 503, and context deadline errors to 504; edge-mutation
-// conflicts (dyn.ErrNoEdge, dyn.ErrEdgeExists) map to 409.
+// Errors surfaced by the query API — aliases of the shared admission
+// vocabulary, kept under their historical names. The HTTP layer maps
+// ErrBusy (and admit.ErrQuota) to 429, ErrClosed to 503, and context
+// deadline errors to 504; edge-mutation conflicts (dyn.ErrNoEdge,
+// dyn.ErrEdgeExists) map to 409. Rejections arrive as *admit.RejectError
+// wrapping these sentinels, so errors.Is keeps working.
 var (
-	ErrBusy   = errors.New("serve: too many in-flight requests")
-	ErrClosed = errors.New("serve: server is shutting down")
+	ErrBusy   = admit.ErrInflight
+	ErrClosed = admit.ErrDraining
 )
 
 // Config tunes a Server. The zero value serves exact queries with one
@@ -118,6 +129,20 @@ type Config struct {
 	// MaxInflight bounds concurrently admitted queries (default 64).
 	// Excess requests fail with ErrBusy instead of queueing without bound.
 	MaxInflight int
+	// BestEffortShare is the fraction of MaxInflight best-effort requests
+	// may occupy (default 0.75, see admit.Config); the remainder is the
+	// premium reserve.
+	BestEffortShare float64
+	// QuotaRPS is the per-client token-bucket refill rate in
+	// requests/second; 0 disables quotas. QuotaBurst is the bucket depth
+	// (default ceil(QuotaRPS)). Identity is the X-Parapsp-Client header,
+	// else the remote IP.
+	QuotaRPS   float64
+	QuotaBurst int
+	// TierHeader is the request header carrying the SLO tier label
+	// (default X-Parapsp-Tier); responses always echo the admitted tier
+	// in X-Parapsp-Tier regardless.
+	TierHeader string
 	// MaxBatch bounds the queries accepted in one /batch request
 	// (default 256).
 	MaxBatch int
@@ -159,6 +184,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
+	}
+	if c.TierHeader == "" {
+		c.TierHeader = admit.DefaultTierHeader
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewMetrics()
@@ -285,15 +313,19 @@ type Server struct {
 	tiers *store.Store
 	dict  *oracleRefs
 	m     *metrics
-	sem   chan struct{}
+	// adm is the shared admission layer: quotas, tiered inflight
+	// backpressure, drain state, and the admit.* ledger, publishing into
+	// the same registry as the serve.* counters.
+	adm *admit.Admitter
 
 	dynMu sync.Mutex // serializes ApplyEdge's reconcile+publish sequence
 
-	mu      sync.Mutex // guards closed + wg.Add ordering vs Shutdown
-	closed  bool
-	wg      sync.WaitGroup
 	httpSrv *httpServerRef
 }
+
+// cacheRowsDeprecation emits the one-time warning when the deprecated
+// row-count cache knob is still in use; see Config.CacheRows.
+var cacheRowsDeprecation sync.Once
 
 // New builds a server: it validates the config, constructs the landmark
 // oracle (unless disabled; loaded from OraclePath when it matches the
@@ -302,6 +334,12 @@ type Server struct {
 func New(g *graph.Graph, cfg Config) (*Server, error) {
 	if g == nil || g.N() == 0 {
 		return nil, fmt.Errorf("serve: nil or empty graph")
+	}
+	if cfg.CacheBytes == 0 && cfg.CacheRows != 0 {
+		cacheRowsDeprecation.Do(func() {
+			fmt.Fprintln(os.Stderr, "serve: CacheRows (-cache-rows) is deprecated; "+
+				"use CacheBytes (-cache-bytes) — the row alias derives CacheBytes as rows*4*n and will be removed")
+		})
 	}
 	cfg = cfg.withDefaults()
 	n := g.N()
@@ -324,11 +362,18 @@ func New(g *graph.Graph, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: SpillBytes set without SpillDir")
 	}
 	s := &Server{
-		n:       n,
-		cfg:     cfg,
-		cache:   newRowCache(t1Bytes),
-		m:       newServeMetrics(cfg.Metrics),
-		sem:     make(chan struct{}, cfg.MaxInflight),
+		n:     n,
+		cfg:   cfg,
+		cache: newRowCache(t1Bytes),
+		m:     newServeMetrics(cfg.Metrics),
+		adm: admit.New(admit.Config{
+			MaxInflight:     cfg.MaxInflight,
+			BestEffortShare: cfg.BestEffortShare,
+			QuotaRPS:        cfg.QuotaRPS,
+			QuotaBurst:      cfg.QuotaBurst,
+			RequestTimeout:  cfg.RequestTimeout,
+			Metrics:         cfg.Metrics,
+		}),
 		httpSrv: &httpServerRef{},
 	}
 	// "auto" is not a registry entry — the resolver replaces it per solve
@@ -474,62 +519,41 @@ func (s *Server) StoreStats() store.Stats {
 	return s.tiers.Snapshot()
 }
 
-// Inflight returns the number of currently admitted units of work
-// (foreground queries plus background refinements holding a slot).
-func (s *Server) Inflight() int { return len(s.sem) }
+// Inflight returns the number of currently admitted queries (both tiers).
+func (s *Server) Inflight() int { return s.adm.Inflight() }
+
+// InflightTier returns one tier's currently admitted query count.
+func (s *Server) InflightTier(t admit.Tier) int { return s.adm.InflightTier(t) }
+
+// QuotaClients returns the number of per-client quota buckets tracked.
+func (s *Server) QuotaClients() int { return s.adm.Clients() }
 
 // Draining reports whether Shutdown has begun: new work is being refused
 // with ErrClosed. A cluster router's health prober consumes this through
 // /healthz to take the shard out of the ring before its final 503.
-func (s *Server) Draining() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.closed
-}
+func (s *Server) Draining() bool { return s.adm.Draining() }
 
-// begin admits one unit of work: it refuses when the server is draining
-// and registers the work so Shutdown can wait for it. Every begin must be
-// paired with exactly one end.
-func (s *Server) begin() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
+// admitRequest routes one query through the shared admission layer: the
+// admit.Request is taken from the context (attached by the HTTP layer;
+// programmatic callers default to the "local" client at BestEffort), and
+// the returned release must be called exactly once with the request's
+// terminal error so the admission ledger books it as completed or
+// deadline_expired. The serve.requests / serve.throttled counters mirror
+// the admission outcome under their historical names.
+func (s *Server) admitRequest(ctx context.Context) (func(error), admit.Request, error) {
+	req := admit.RequestFrom(ctx)
+	if req.Client == "" {
+		req.Client = "local"
 	}
-	s.wg.Add(1)
-	return nil
-}
-
-func (s *Server) end() { s.wg.Done() }
-
-// admit additionally claims an in-flight slot, implementing backpressure:
-// when MaxInflight requests are already running the caller gets ErrBusy
-// immediately instead of queueing.
-func (s *Server) admit() (release func(), err error) {
-	if err := s.begin(); err != nil {
-		return nil, err
-	}
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		s.m.throttled.Add(1)
-		s.end()
-		return nil, ErrBusy
+	release, err := s.adm.Admit(req)
+	if err != nil {
+		if errors.Is(err, admit.ErrQuota) || errors.Is(err, admit.ErrInflight) {
+			s.m.throttled.Add(1)
+		}
+		return nil, req, err
 	}
 	s.m.requests.Add(1)
-	return func() {
-		<-s.sem
-		s.end()
-	}, nil
-}
-
-// withDeadline applies the configured request timeout when the caller's
-// context has no deadline of its own.
-func (s *Server) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
-	if _, ok := ctx.Deadline(); ok {
-		return ctx, func() {}
-	}
-	return context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	return release, req, nil
 }
 
 func (s *Server) checkVertex(v int32) error {
@@ -608,7 +632,7 @@ func (s *Server) BatchKind(ctx context.Context, qs []Query, tol float64) ([]Answ
 // whole batch — cache lookups, oracle bounds, and subset solves alike —
 // is answered against exactly that snapshot, regardless of concurrent
 // mutations.
-func (s *Server) BatchPinned(ctx context.Context, qs []Query, tol float64) ([]Answer, string, uint64, error) {
+func (s *Server) BatchPinned(ctx context.Context, qs []Query, tol float64) (_ []Answer, _ string, _ uint64, err error) {
 	if len(qs) == 0 {
 		return nil, "", 0, fmt.Errorf("serve: empty batch")
 	}
@@ -626,12 +650,18 @@ func (s *Server) BatchPinned(ctx context.Context, qs []Query, tol float64) ([]An
 			return nil, "", 0, err
 		}
 	}
-	release, err := s.admit()
+	release, req, err := s.admitRequest(ctx)
 	if err != nil {
 		return nil, "", 0, err
 	}
-	defer release()
-	ctx, cancel := s.withDeadline(ctx)
+	defer func() { release(err) }()
+	// Premium means always-exact: the tier contract overrides the caller's
+	// tolerance, so a premium answer is bit-identical to the FW truth even
+	// when the client (or a proxy default) passed tol > 0.
+	if req.Tier == admit.Premium {
+		tol = 0
+	}
+	ctx, cancel := s.adm.WithDeadline(ctx)
 	defer cancel()
 	pin := s.store.Current()
 
@@ -668,8 +698,9 @@ func (s *Server) BatchPinned(ctx context.Context, qs []Query, tol float64) ([]An
 	}
 	kind := SolverCache
 	if len(needSrc) > 0 {
-		rows, solveKind, err := s.rows(ctx, pin, needSrc)
-		if err != nil {
+		rows, solveKind, rerr := s.rows(ctx, pin, needSrc, req.Tier)
+		if rerr != nil {
+			err = rerr
 			return nil, "", 0, err
 		}
 		kind = solveKind
@@ -709,9 +740,9 @@ func distToJSON(d matrix.Dist) int64 {
 // "batch/..." or "scalar/..." value when this caller solved sources,
 // SolverCache when every source came from a tier, was already resident,
 // or was pending under another request.
-func (s *Server) rows(ctx context.Context, pin *dyn.Snapshot, sources []int32) (map[int32][]matrix.Dist, string, error) {
+func (s *Server) rows(ctx context.Context, pin *dyn.Snapshot, sources []int32, tier admit.Tier) (map[int32][]matrix.Dist, string, error) {
 	kind := SolverCache
-	acq := s.cache.acquire(sources, pin.Version, s.m)
+	acq := s.cache.acquire(sources, pin.Version, tier, s.m)
 	solve := acq.owned
 	if len(acq.owned) > 0 && s.tiers != nil {
 		var promoted []int32
@@ -735,7 +766,7 @@ func (s *Server) rows(ctx context.Context, pin *dyn.Snapshot, sources []int32) (
 			promoted = append(promoted, src)
 		}
 		if len(promoted) > 0 {
-			s.cache.fulfill(promoted, pin.Version, func(src int32) []matrix.Dist {
+			s.cache.fulfill(promoted, pin.Version, tier, func(src int32) []matrix.Dist {
 				return acq.rows[src]
 			}, nil, s.m)
 		}
@@ -749,7 +780,7 @@ func (s *Server) rows(ctx context.Context, pin *dyn.Snapshot, sources []int32) (
 			Kernel:  s.cfg.Kernel,
 		})
 		if err != nil {
-			s.cache.fulfill(solve, pin.Version, nil, err, s.m)
+			s.cache.fulfill(solve, pin.Version, tier, nil, err, s.m)
 			return nil, "", err
 		}
 		s.m.solves.Add(1)
@@ -760,7 +791,7 @@ func (s *Server) rows(ctx context.Context, pin *dyn.Snapshot, sources []int32) (
 		} else {
 			s.m.scalarSolves.Add(1)
 		}
-		s.cache.fulfill(solve, pin.Version, func(src int32) []matrix.Dist {
+		s.cache.fulfill(solve, pin.Version, tier, func(src int32) []matrix.Dist {
 			// Copy out of the SubsetResult so the cache retains only the
 			// rows it wants, not the whole k*n block.
 			row := make([]matrix.Dist, s.n)
@@ -810,22 +841,22 @@ func (s *Server) PathKind(ctx context.Context, u, v int32) ([]int32, Answer, str
 
 // PathPinned is PathKind plus the pinned graph version: the distance row
 // and the predecessor walk both resolve against that one snapshot.
-func (s *Server) PathPinned(ctx context.Context, u, v int32) ([]int32, Answer, string, uint64, error) {
+func (s *Server) PathPinned(ctx context.Context, u, v int32) (_ []int32, _ Answer, _ string, _ uint64, err error) {
 	if err := s.checkVertex(u); err != nil {
 		return nil, Answer{}, "", 0, err
 	}
 	if err := s.checkVertex(v); err != nil {
 		return nil, Answer{}, "", 0, err
 	}
-	release, err := s.admit()
+	release, req, err := s.admitRequest(ctx)
 	if err != nil {
 		return nil, Answer{}, "", 0, err
 	}
-	defer release()
-	ctx, cancel := s.withDeadline(ctx)
+	defer func() { release(err) }()
+	ctx, cancel := s.adm.WithDeadline(ctx)
 	defer cancel()
 	pin := s.store.Current()
-	rows, kind, err := s.rows(ctx, pin, []int32{u})
+	rows, kind, err := s.rows(ctx, pin, []int32{u}, req.Tier)
 	if err != nil {
 		return nil, Answer{}, "", 0, err
 	}
@@ -870,10 +901,14 @@ type ApplyResult struct {
 // Conflicts (inserting an existing edge, deleting or reweighting a missing
 // one) fail with dyn.ErrEdgeExists / dyn.ErrNoEdge.
 func (s *Server) ApplyEdge(op dyn.EdgeOp) (ApplyResult, error) {
-	if err := s.begin(); err != nil {
+	// Mutations are auxiliary work: they respect the drain state (so
+	// Shutdown can wait for them) but are not queries — they take no
+	// inflight slot, burn no quota, and stay off the admission ledger.
+	done, err := s.adm.Track()
+	if err != nil {
 		return ApplyResult{}, err
 	}
-	defer s.end()
+	defer done()
 	s.dynMu.Lock()
 	defer s.dynMu.Unlock()
 
@@ -959,21 +994,10 @@ func (s *Server) reconcile(old, next *dyn.Snapshot, ch dyn.Change, res *ApplyRes
 // active connections, and background refinements are awaited. It returns
 // nil when everything drained before ctx expired. Shutdown is idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
+	s.adm.Drain()
 	err := s.httpSrv.shutdown(ctx)
-	done := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-ctx.Done():
-		if err == nil {
-			err = ctx.Err()
-		}
+	if qerr := s.adm.Quiesce(ctx); qerr != nil && err == nil {
+		err = qerr
 	}
 	// With queries drained no demotion or promotion can race the close;
 	// the store drains its spill queue and stops the writeback goroutine.

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"parapsp/internal/admit"
 	"parapsp/internal/baseline"
 	"parapsp/internal/gen"
 	"parapsp/internal/graph"
@@ -174,9 +176,14 @@ func TestApproxFromLandmark(t *testing.T) {
 func TestBackpressure(t *testing.T) {
 	g := testGraph(t, 60, 2)
 	s := newTestServer(t, g, Config{Workers: 1, CacheRows: 8, MaxInflight: 1, Landmarks: -1})
-	s.sem <- struct{}{} // occupy the only slot
-	if _, err := s.Dist(context.Background(), 1, 2, 0); err != ErrBusy {
-		t.Fatalf("Dist under full semaphore = %v, want ErrBusy", err)
+	// Occupy the only inflight slot through the admission layer, exactly as
+	// a stuck in-flight query would.
+	release, err := s.adm.Admit(admit.Request{Client: "holder", Tier: admit.Premium})
+	if err != nil {
+		t.Fatalf("holder admit: %v", err)
+	}
+	if _, err := s.Dist(context.Background(), 1, 2, 0); !errors.Is(err, ErrBusy) {
+		t.Fatalf("Dist under full inflight budget = %v, want ErrBusy", err)
 	}
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest(http.MethodGet, "/dist?u=1&v=2", nil)
@@ -187,7 +194,10 @@ func TestBackpressure(t *testing.T) {
 	if rec.Header().Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After header")
 	}
-	<-s.sem
+	if got := rec.Header().Get(admit.RejectHeader); got != "inflight" {
+		t.Fatalf("reject header = %q, want inflight", got)
+	}
+	release(nil)
 	if _, err := s.Dist(context.Background(), 1, 2, 0); err != nil {
 		t.Fatalf("Dist after release: %v", err)
 	}
@@ -205,7 +215,7 @@ func TestClosedServerRefuses(t *testing.T) {
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
-	if _, err := s.Dist(context.Background(), 0, 1, 0); err != ErrClosed {
+	if _, err := s.Dist(context.Background(), 0, 1, 0); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Dist after shutdown = %v, want ErrClosed", err)
 	}
 	rec := httptest.NewRecorder()

@@ -116,6 +116,10 @@ func TestStressMixedWorkload(t *testing.T) {
 	if snap["serve.store.t2_promotes"]+snap["serve.store.t3_promotes"] == 0 {
 		t.Fatal("undersized hot tier never promoted from the compressed tiers")
 	}
+	// The admission ledger must reconcile exactly after the mixed stress:
+	// every request in a rejection bucket or admitted, every admitted
+	// request released into exactly one terminal bucket.
+	checkAdmitLedger(t, snap)
 }
 
 func stressExact(s *Server, truth *matrix.Matrix, u, v int32) error {

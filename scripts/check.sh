@@ -34,6 +34,11 @@ echo "== dynamic-graph differential suite + /edge fuzz corpus (race-enabled)"
 go test -race -run 'TestDynamic|TestMetamorphic|TestRepair|TestStore|TestSnapshot|TestVersionPinned|TestEdgeEndpoint|TestMutate|FuzzParseEdgeOp' \
     -count=1 ./internal/dyn/ ./internal/serve/ ./internal/graph/
 
+echo "== admission suite: quotas, tiers, ledger reconciliation via /metrics + tier fuzz corpus (race-enabled)"
+go test -race -run 'Test|FuzzParseTier' -count=1 ./internal/admit/
+go test -race -run 'TestTierDifferentialUnderLoad|TestQuotaLedgerOverHTTP|TestBackpressure' -count=1 ./internal/serve/
+go test -race -run 'TestRouterTierPassthrough|TestRouterEdgeQuota' -count=1 ./internal/cluster/
+
 echo "== obs exporters (trace + metrics smoke, tiny scale)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
